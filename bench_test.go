@@ -1,0 +1,354 @@
+// Package repro's root benchmark harness regenerates every table and
+// figure of the paper's evaluation (see DESIGN.md's per-experiment index).
+// Each benchmark runs a scaled-down version of the corresponding
+// experiment so the whole suite completes in minutes; the cmd tools run
+// the full paper-scale versions. Custom metrics attach the scientifically
+// interesting quantity (infection rate, Q, improvement %) to the benchmark
+// output so `go test -bench` doubles as a results table.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/budget"
+	"repro/internal/core"
+	"repro/internal/noc"
+	"repro/internal/trojan"
+	"repro/internal/workload"
+)
+
+// benchConfig is the reduced-scale chip used by campaign benchmarks.
+func benchConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Cores = 64
+	cfg.MemTraffic = false
+	cfg.EpochCycles = 500
+	cfg.Epochs = 6
+	cfg.WarmupEpochs = 1
+	return cfg
+}
+
+// E1 — Table I: configuration construction and validation.
+func BenchmarkTableIConfig(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig()
+		if err := cfg.Validate(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.NewSystem(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E2 — Section III-D: HT area/power accounting.
+func BenchmarkAreaPower(b *testing.B) {
+	var r trojan.AreaPowerReport
+	for i := 0; i < b.N; i++ {
+		r = trojan.Report(60, 512)
+	}
+	b.ReportMetric(r.TotalHTAreaUm2, "um2")
+	b.ReportMetric(r.AreaFractionOfAllRouters*100, "area%")
+}
+
+// E3 — Fig 3(a): infection rate vs HT count, 64 nodes.
+func BenchmarkFig3a(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		pts, err := core.InfectionVsHTCount(64, core.GMCorner, []int{5, 15, 30}, 20, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = pts[len(pts)-1].Rate
+	}
+	b.ReportMetric(last, "infection@30HT")
+}
+
+// E4 — Fig 3(b): infection rate vs HT count, 512 nodes.
+func BenchmarkFig3b(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		pts, err := core.InfectionVsHTCount(512, core.GMCorner, []int{10, 30, 60}, 10, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = pts[len(pts)-1].Rate
+	}
+	b.ReportMetric(last, "infection@60HT")
+}
+
+// E5 — Fig 4(a): infection by HT distribution, HTs = size/16.
+func BenchmarkFig4a(b *testing.B) {
+	benchmarkFig4(b, 16)
+}
+
+// E6 — Fig 4(b): infection by HT distribution, HTs = size/8.
+func BenchmarkFig4b(b *testing.B) {
+	benchmarkFig4(b, 8)
+}
+
+func benchmarkFig4(b *testing.B, denominator int) {
+	b.Helper()
+	sizes := []int{64, 128, 256, 512}
+	var center, corner float64
+	for i := 0; i < b.N; i++ {
+		c, err := core.InfectionByDistribution(core.DistCenter, sizes, denominator, 10, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		k, err := core.InfectionByDistribution(core.DistCorner, sizes, denominator, 10, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		center, corner = c[2].Rate, k[2].Rate // 256-node column
+	}
+	b.ReportMetric(center, "center@256")
+	b.ReportMetric(corner, "corner@256")
+}
+
+// E7 — Fig 5: Q vs infection rate, one mix per sub-benchmark.
+func BenchmarkFig5(b *testing.B) {
+	for _, mix := range workload.Mixes() {
+		mix := mix
+		b.Run(mix.Name, func(b *testing.B) {
+			var q float64
+			for i := 0; i < b.N; i++ {
+				pts, err := core.QVsInfection(benchConfig(), mix.Name, 16, []float64{0.8})
+				if err != nil {
+					b.Fatal(err)
+				}
+				q = pts[0].Q
+			}
+			b.ReportMetric(q, "Q@0.8")
+		})
+	}
+}
+
+// E8 — Fig 6: per-application performance change at 0.5 infection.
+func BenchmarkFig6(b *testing.B) {
+	var attackerChange, victimChange float64
+	for i := 0; i < b.N; i++ {
+		pts, err := core.QVsInfection(benchConfig(), "mix-1", 16, []float64{0.5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, app := range pts[0].PerApp {
+			switch app.Role {
+			case core.RoleAttacker:
+				attackerChange = app.Change
+			case core.RoleVictim:
+				victimChange = app.Change
+			}
+		}
+	}
+	b.ReportMetric(attackerChange, "attackerΘ")
+	b.ReportMetric(victimChange, "victimΘ")
+}
+
+// E9 — Section V-C: optimal vs random placement.
+func BenchmarkOptimalPlacement(b *testing.B) {
+	var improvement float64
+	for i := 0; i < b.N; i++ {
+		study, err := core.OptimalVsRandom(benchConfig(), "mix-1", 16, 8, 6, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		improvement = study.ImprovementPct
+	}
+	b.ReportMetric(improvement, "improve%")
+}
+
+// E10 — allocator ablation: the attack under each budgeting algorithm.
+func BenchmarkAllocatorAblation(b *testing.B) {
+	for _, alloc := range budget.All() {
+		alloc := alloc
+		b.Run(alloc.Name(), func(b *testing.B) {
+			var q float64
+			for i := 0; i < b.N; i++ {
+				cfg := benchConfig()
+				cfg.Allocator = alloc
+				if alloc.Name() == "dp" {
+					cfg.Allocator = budget.NewDPKnapsack(200)
+				}
+				q = runCampaignQ(b, cfg, nil)
+			}
+			b.ReportMetric(q, "Q")
+		})
+	}
+}
+
+// Ablation — routing algorithm (DESIGN.md §5.1).
+func BenchmarkRoutingAblation(b *testing.B) {
+	for _, name := range []string{"xy", "west-first"} {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			var q float64
+			for i := 0; i < b.N; i++ {
+				cfg := benchConfig()
+				r, err := noc.RoutingByName(name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg.NoC.Routing = r
+				q = runCampaignQ(b, cfg, nil)
+			}
+			b.ReportMetric(q, "Q")
+		})
+	}
+}
+
+// Ablation — tamper strategy (DESIGN.md §5.2).
+func BenchmarkTamperStrategyAblation(b *testing.B) {
+	strategies := []trojan.Strategy{
+		trojan.ZeroStrategy{},
+		trojan.ScaleStrategy{VictimFactor: 0.25, BoostFactor: 1.5},
+		trojan.ScaleStrategy{VictimFactor: 0.5, BoostFactor: 1.0},
+	}
+	for _, s := range strategies {
+		s := s
+		b.Run(s.Name(), func(b *testing.B) {
+			var q float64
+			for i := 0; i < b.N; i++ {
+				q = runCampaignQ(b, benchConfig(), s)
+			}
+			b.ReportMetric(q, "Q")
+		})
+	}
+}
+
+// runCampaignQ runs one standard mix-1 campaign with a near-manager fleet
+// and returns Q.
+func runCampaignQ(b *testing.B, cfg core.Config, strategy trojan.Strategy) float64 {
+	b.Helper()
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mix, err := workload.MixByName("mix-1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc, err := core.MixScenario(mix, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mesh := sys.Mesh()
+	gm := sys.ManagerNode()
+	placement, err := attack.RingCluster(mesh, mesh.Coord(gm), 8, 1, gm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc.Trojans = placement
+	sc.Strategy = strategy
+	attacked, baseline, err := sys.RunPair(sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cmp, err := core.Compare(attacked, baseline)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cmp.Q
+}
+
+// Substrate micro-benchmarks: the NoC under the Fig 3 traffic pattern and
+// the memory system under a hot-set workload.
+func BenchmarkNoCManyToOne(b *testing.B) {
+	mesh := noc.Mesh{Width: 16, Height: 16}
+	for i := 0; i < b.N; i++ {
+		net, err := noc.New(mesh, noc.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		gm := mesh.Center()
+		delivered := 0
+		net.Attach(gm, func(p *noc.Packet) { delivered++ })
+		for id := noc.NodeID(0); id < noc.NodeID(mesh.Nodes()); id++ {
+			if id == gm {
+				continue
+			}
+			if err := net.Inject(&noc.Packet{Src: id, Dst: gm, Type: noc.TypePowerReq}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, ok := net.RunUntilIdle(1_000_000); !ok {
+			b.Fatal("network did not drain")
+		}
+	}
+}
+
+func BenchmarkDPAllocator(b *testing.B) {
+	reqs := make([]budget.Request, 64)
+	for i := range reqs {
+		reqs[i] = budget.Request{
+			Core:        i,
+			RequestMW:   3960,
+			Sensitivity: float64(i % 7),
+			LevelsMW:    []uint32{696, 1012, 1472, 2100, 2920, 3956},
+			LevelValues: []float64{0.9, 1.6, 2.2, 2.7, 3.1, 3.4},
+		}
+	}
+	alloc := budget.NewDPKnapsack(100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		alloc.Allocate(120_000, reqs)
+	}
+}
+
+// Extension — Section II-B DoS-class comparison on identical hardware.
+func BenchmarkDoSVariants(b *testing.B) {
+	cfg := benchConfig()
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mesh := sys.Mesh()
+	placement, err := attack.RingCluster(mesh, mesh.Coord(sys.ManagerNode()), 8, 1, sys.ManagerNode())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var falseData, drop, loop float64
+	for i := 0; i < b.N; i++ {
+		results, err := core.DoSVariantStudy(cfg, "mix-1", 16, placement)
+		if err != nil {
+			b.Fatal(err)
+		}
+		falseData, drop, loop = results[0].Q, results[1].Q, results[2].Q
+	}
+	b.ReportMetric(falseData, "Q:false-data")
+	b.ReportMetric(drop, "Q:drop")
+	b.ReportMetric(loop, "Q:loopback")
+}
+
+// Extension — manager-side defenses against the duty-cycled attack.
+func BenchmarkDefenseAblation(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Epochs = 8
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mesh := sys.Mesh()
+	placement, err := attack.RingCluster(mesh, mesh.Coord(sys.ManagerNode()), 8, 1, sys.ManagerNode())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var undefended, defended float64
+	for i := 0; i < b.N; i++ {
+		results, err := core.DefenseStudy(cfg, "mix-1", 16, placement)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			switch r.Defense {
+			case "none":
+				undefended = r.Q
+			case "both":
+				defended = r.Q
+			}
+		}
+	}
+	b.ReportMetric(undefended, "Q:none")
+	b.ReportMetric(defended, "Q:defended")
+}

@@ -1,0 +1,53 @@
+package main
+
+import "testing"
+
+func smallArgs(extra ...string) []string {
+	base := []string{"-size", "64", "-threads", "15", "-epochs", "5"}
+	return append(base, extra...)
+}
+
+func TestRunVariantsSmall(t *testing.T) {
+	if err := run(smallArgs("-variants")); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunDefenseSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("defense study runs eight campaigns")
+	}
+	if err := run(smallArgs("-defense", "-epochs", "8")); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunAblationSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation runs eight campaigns")
+	}
+	if err := run(smallArgs("-ablation")); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunFig5SingleMix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure sweep is slow")
+	}
+	if err := run(smallArgs("-fig", "5", "-mix", "mix-3")); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunRequiresAction(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing action must fail")
+	}
+}
+
+func TestRunRejectsUnknownMix(t *testing.T) {
+	if err := run([]string{"-fig", "5", "-mix", "mix-9"}); err == nil {
+		t.Fatal("unknown mix must fail")
+	}
+}

@@ -1,0 +1,85 @@
+// Command htplace covers the attacker-planning experiments: the Section
+// III-D area/power accounting table and the Section V-C optimal-vs-random
+// placement comparison built on the Eqn 9 model and Eqn 10 enumeration.
+//
+// Examples:
+//
+//	htplace -areapower
+//	htplace -optimize -mix mix-4 -hts 16 -samples 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/trojan"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "htplace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("htplace", flag.ContinueOnError)
+	var (
+		areapower = fs.Bool("areapower", false, "print the Section III-D area/power table")
+		optimize  = fs.Bool("optimize", false, "run the Section V-C optimal-vs-random study")
+		mixName   = fs.String("mix", "mix-1", "Table III mix for -optimize")
+		threads   = fs.Int("threads", 64, "threads per application")
+		size      = fs.Int("size", 256, "system size")
+		hts       = fs.Int("hts", 16, "Trojan count (paper: 16)")
+		samples   = fs.Int("samples", 16, "random placements used to fit Eqn 9")
+		seed      = fs.Int64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch {
+	case *areapower:
+		printAreaPower()
+		return nil
+	case *optimize:
+		return runOptimize(*mixName, *threads, *size, *hts, *samples, *seed)
+	default:
+		return fmt.Errorf("need -areapower or -optimize")
+	}
+}
+
+func printAreaPower() {
+	inv := trojan.DefaultInventory()
+	fmt.Println("Section III-D: hardware Trojan area and power (TSMC 45 nm)")
+	fmt.Printf("  circuit: %d comparators x %d bits + %d registers x %d bits (≈%d transistors)\n",
+		inv.Comparators, inv.ComparatorBits, inv.Registers, inv.RegisterBits, inv.TransistorEstimate())
+	fmt.Printf("  one HT:      %10.4f um^2  %10.5f uW\n", trojan.HTAreaUm2, trojan.HTPowerUW)
+	fmt.Printf("  one router:  %10.1f um^2  %10.1f uW (4 VCs, 5-flit FIFO)\n", trojan.RouterAreaUm2, trojan.RouterPowerUW)
+	for _, tc := range []struct{ hts, nodes int }{{1, 1}, {60, 512}} {
+		r := trojan.Report(tc.hts, tc.nodes)
+		fmt.Printf("  %2d HT(s) on %3d router(s): area %10.4f um^2 (%.4f%%), power %9.5f uW (%.5f%%)\n",
+			r.HTs, r.Nodes, r.TotalHTAreaUm2, r.AreaFractionOfAllRouters*100,
+			r.TotalHTPowerUW, r.PowerFractionOfAllRouters*100)
+	}
+}
+
+func runOptimize(mixName string, threads, size, hts, samples int, seed int64) error {
+	cfg := core.DefaultConfig()
+	cfg.Cores = size
+	cfg.MemTraffic = false
+	cfg.Seed = seed
+	fmt.Printf("Section V-C: optimal vs random placement (%s, %d HTs, %d training samples)\n",
+		mixName, hts, samples)
+	study, err := core.OptimalVsRandom(cfg, mixName, threads, hts, samples, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  Eqn 9 model fit R^2:        %.3f\n", study.ModelR2)
+	fmt.Printf("  Eqn 10 enumeration size:    %d placements\n", study.Evaluated)
+	fmt.Printf("  random placement Q:         %.3f ± %.3f\n", study.RandomQMean, study.RandomQStd)
+	fmt.Printf("  optimal placement Q:        %.3f\n", study.OptimalQ)
+	fmt.Printf("  improvement:                %+.1f%%\n", study.ImprovementPct)
+	return nil
+}

@@ -1,0 +1,31 @@
+package main
+
+import "testing"
+
+func TestRunAreaPower(t *testing.T) {
+	if err := run([]string{"-areapower"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunOptimizeSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("optimise study is slow")
+	}
+	err := run([]string{"-optimize", "-mix", "mix-1", "-size", "64", "-threads", "15", "-hts", "6", "-samples", "5"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunRequiresAction(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing action must fail")
+	}
+}
+
+func TestRunRejectsUnknownMix(t *testing.T) {
+	if err := run([]string{"-optimize", "-mix", "mix-7", "-size", "64"}); err == nil {
+		t.Fatal("unknown mix must fail")
+	}
+}

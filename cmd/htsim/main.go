@@ -1,0 +1,195 @@
+// Command htsim runs a single hardware-Trojan power-budgeting campaign and
+// prints the full report: per-application θ/Θ/Φ, infection rates, the
+// attack effect Q, and NoC statistics.
+//
+// Examples:
+//
+//	htsim -print-config
+//	htsim -mix mix-1 -threads 64 -infection 0.5
+//	htsim -mix mix-4 -threads 64 -hts 16 -placement center -allocator greedy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/attack"
+	"repro/internal/budget"
+	"repro/internal/core"
+	"repro/internal/noc"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "htsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("htsim", flag.ContinueOnError)
+	var (
+		printConfig = fs.Bool("print-config", false, "print the Table I configuration and exit")
+		size        = fs.Int("size", 256, "system size (number of cores)")
+		mixName     = fs.String("mix", "mix-1", "Table III benchmark mix")
+		threads     = fs.Int("threads", 64, "threads per application")
+		htCount     = fs.Int("hts", 16, "number of hardware Trojans")
+		placement   = fs.String("placement", "random", "HT placement: center, corner, random, ring")
+		infection   = fs.Float64("infection", -1, "target infection rate (overrides -placement when ≥ 0)")
+		allocName   = fs.String("allocator", "fair", "budget allocator: fair, greedy, dp, pi")
+		gmPos       = fs.String("gm", "center", "global manager position: center or corner")
+		routing     = fs.String("routing", "xy", "routing algorithm: xy or west-first")
+		epochs      = fs.Int("epochs", 10, "budgeting epochs")
+		epochCycles = fs.Uint64("epoch-cycles", 1000, "cycles per epoch")
+		memTraffic  = fs.Bool("mem", false, "enable cache-hierarchy background traffic")
+		dualPath    = fs.Bool("dualpath", false, "enable the dual-path request-verification defense")
+		trace       = fs.Bool("trace", false, "print the per-epoch trace")
+		seed        = fs.Int64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Cores = *size
+	cfg.Epochs = *epochs
+	cfg.EpochCycles = *epochCycles
+	cfg.MemTraffic = *memTraffic
+	cfg.DualPathRequests = *dualPath
+	cfg.Seed = *seed
+	alloc, err := budget.ByName(*allocName)
+	if err != nil {
+		return err
+	}
+	cfg.Allocator = alloc
+	if *gmPos == "corner" {
+		cfg.GM = core.GMCorner
+	}
+	r, err := noc.RoutingByName(*routing)
+	if err != nil {
+		return err
+	}
+	cfg.NoC.Routing = r
+
+	if *printConfig {
+		printTableI(cfg)
+		return nil
+	}
+
+	mix, err := workload.MixByName(*mixName)
+	if err != nil {
+		return err
+	}
+	sc, err := core.MixScenario(mix, *threads)
+	if err != nil {
+		return err
+	}
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return err
+	}
+	mesh := sys.Mesh()
+	gm := sys.ManagerNode()
+
+	switch {
+	case *infection >= 0:
+		p, achieved := attack.ForInfectionRate(mesh, gm, *infection, mesh.Nodes()/4)
+		fmt.Printf("placement for target infection %.2f: %d HTs (predicted %.3f)\n", *infection, p.Size(), achieved)
+		sc.Trojans = p
+	case *htCount > 0:
+		var p attack.Placement
+		switch *placement {
+		case "center":
+			p, err = attack.CenterCluster(mesh, *htCount, rand.New(rand.NewSource(*seed)), gm)
+		case "corner":
+			p, err = attack.CornerCluster(mesh, *htCount, rand.New(rand.NewSource(*seed)), gm)
+		case "ring":
+			p, err = attack.RingCluster(mesh, mesh.Coord(gm), *htCount, 2, gm)
+		case "random":
+			p, err = attack.RandomPlacement(mesh, *htCount, rand.New(rand.NewSource(*seed)), gm)
+		default:
+			return fmt.Errorf("unknown placement %q", *placement)
+		}
+		if err != nil {
+			return err
+		}
+		sc.Trojans = p
+	}
+
+	attacked, baseline, err := sys.RunPair(sc)
+	if err != nil {
+		return err
+	}
+	cmp, err := core.Compare(attacked, baseline)
+	if err != nil {
+		return err
+	}
+	printReport(cfg, sys, attacked, cmp)
+	if *dualPath {
+		fmt.Printf("dual-path voter: %d pairs, %d mismatches, %d unpaired\n",
+			attacked.DualPathPairs, attacked.DualPathMismatches, attacked.DualPathUnpaired)
+	}
+	if *trace {
+		printTrace(attacked)
+	}
+	return nil
+}
+
+func printTrace(rep *core.Report) {
+	fmt.Printf("%7s %8s %10s %10s %13s %13s\n",
+		"epoch", "active", "received", "tampered", "victim-level", "attacker-lvl")
+	for _, rec := range rep.Epochs {
+		state := "off"
+		if rec.TrojanActive {
+			state = "ON"
+		}
+		fmt.Printf("%7d %8s %10d %10d %13.2f %13.2f\n",
+			rec.Epoch, state, rec.RequestsReceived, rec.RequestsTampered,
+			rec.VictimMeanLevel, rec.AttackerMeanLevel)
+	}
+}
+
+func printTableI(cfg core.Config) {
+	mesh, _ := cfg.Mesh()
+	fmt.Println("Configuration (Table I)")
+	fmt.Printf("  Number of processors      %d\n", cfg.Cores)
+	fmt.Printf("  Mesh                      %dx%d 2D mesh\n", mesh.Width, mesh.Height)
+	fmt.Printf("  NoC VCs / buffer          %d VCs x %d flits\n", cfg.NoC.VCs, cfg.NoC.BufDepth)
+	fmt.Printf("  NoC latency               router %d cycles, link %d cycle\n", cfg.NoC.RouterCycles, cfg.NoC.LinkCycles)
+	fmt.Printf("  Routing algorithm         %s\n", cfg.NoC.Routing.Name())
+	fmt.Printf("  L1 D cache (private)      16 KB, 2-way, 32 B lines\n")
+	fmt.Printf("  L2 cache (shared)         64 KB slice/node, %d-cycle, MESI\n", cfg.Mem.L2Latency)
+	fmt.Printf("  Main memory latency       %d cycles\n", cfg.Mem.MemLatency)
+	fmt.Printf("  DVFS levels               %d (%.1f-%.1f GHz)\n",
+		cfg.Power.NumLevels(), cfg.Power.Freq(0), cfg.Power.Freq(cfg.Power.NumLevels()-1))
+	fmt.Printf("  Chip budget               %.1f W (%.0f%% of peak)\n",
+		float64(cfg.ChipBudgetMW())/1000, cfg.BudgetFraction*100)
+	fmt.Printf("  Allocator                 %s\n", cfg.Allocator.Name())
+}
+
+func printReport(cfg core.Config, sys *core.System, attacked *core.Report, cmp *core.Comparison) {
+	fmt.Printf("chip: %d cores, GM at node %d, budget %.1f W, allocator %s\n",
+		cfg.Cores, sys.ManagerNode(), float64(attacked.ChipBudgetMW)/1000, cfg.Allocator.Name())
+	fmt.Printf("infection: measured %.3f, predicted %.3f (trojans modified %d requests)\n",
+		attacked.InfectionMeasured, attacked.InfectionPredicted, attacked.Trojan.Modified)
+	fmt.Printf("%-16s %-9s %7s %9s %9s %7s\n", "app", "role", "cores", "theta", "baseline", "change")
+	for _, app := range cmp.PerApp {
+		fmt.Printf("%-16s %-9s %7d %9.3f %9.3f %6.2fx\n",
+			app.Name, app.Role, appCores(attacked, app.Name), app.ThetaAttacked, app.ThetaBaseline, app.Change)
+	}
+	fmt.Printf("attack effect Q = %.3f\n", cmp.Q)
+	fmt.Printf("noc: %d packets delivered, avg POWER_REQ latency %.1f cycles\n",
+		attacked.Net.Delivered, attacked.Net.AvgLatency(noc.TypePowerReq))
+}
+
+func appCores(rep *core.Report, name string) int {
+	for _, a := range rep.Apps {
+		if a.Name == name {
+			return a.Cores
+		}
+	}
+	return 0
+}

@@ -1,0 +1,114 @@
+// Command infection regenerates the infection-rate figures of the paper:
+// Fig 3 (infection vs HT count for center/corner managers at sizes 64 and
+// 512) and Fig 4 (infection vs system size for the three HT distributions
+// at HT counts of size/16 and size/8).
+//
+// Examples:
+//
+//	infection -fig 3a
+//	infection -fig 4b -trials 100
+//	infection -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "infection:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("infection", flag.ContinueOnError)
+	var (
+		fig    = fs.String("fig", "", "figure to regenerate: 3a, 3b, 4a, 4b")
+		all    = fs.Bool("all", false, "regenerate every figure")
+		trials = fs.Int("trials", 50, "random placements averaged per point")
+		seed   = fs.Int64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *all {
+		for _, f := range []string{"3a", "3b", "4a", "4b"} {
+			if err := emit(f, *trials, *seed); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+	if *fig == "" {
+		return fmt.Errorf("need -fig or -all")
+	}
+	return emit(*fig, *trials, *seed)
+}
+
+func emit(fig string, trials int, seed int64) error {
+	switch fig {
+	case "3a":
+		return fig3(64, counts(30, 7), trials, seed)
+	case "3b":
+		return fig3(512, counts(60, 7), trials, seed)
+	case "4a":
+		return fig4(16, trials, seed)
+	case "4b":
+		return fig4(8, trials, seed)
+	default:
+		return fmt.Errorf("unknown figure %q (want 3a, 3b, 4a, 4b)", fig)
+	}
+}
+
+// counts builds n evenly spaced HT counts from 0 to max.
+func counts(max, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = max * i / (n - 1)
+	}
+	return out
+}
+
+func fig3(size int, htCounts []int, trials int, seed int64) error {
+	fmt.Printf("Fig 3 (system size %d): infection rate vs number of HTs\n", size)
+	center, err := core.InfectionVsHTCount(size, core.GMCenter, htCounts, trials, seed)
+	if err != nil {
+		return err
+	}
+	corner, err := core.InfectionVsHTCount(size, core.GMCorner, htCounts, trials, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%8s %12s %12s\n", "HTs", "GM-center", "GM-corner")
+	for i := range center {
+		fmt.Printf("%8d %12.3f %12.3f\n", center[i].HTs, center[i].Rate, corner[i].Rate)
+	}
+	return nil
+}
+
+func fig4(denominator, trials int, seed int64) error {
+	sizes := []int{64, 128, 256, 512}
+	fmt.Printf("Fig 4 (HTs = size/%d): infection rate vs system size\n", denominator)
+	series := make(map[core.Distribution][]core.DistributionPoint)
+	for _, dist := range []core.Distribution{core.DistCenter, core.DistRandom, core.DistCorner} {
+		pts, err := core.InfectionByDistribution(dist, sizes, denominator, trials, seed)
+		if err != nil {
+			return err
+		}
+		series[dist] = pts
+	}
+	fmt.Printf("%8s %10s %10s %10s\n", "size", "center", "random", "corner")
+	for i, size := range sizes {
+		fmt.Printf("%8d %10.3f %10.3f %10.3f\n", size,
+			series[core.DistCenter][i].Rate,
+			series[core.DistRandom][i].Rate,
+			series[core.DistCorner][i].Rate)
+	}
+	return nil
+}

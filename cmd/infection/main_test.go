@@ -1,0 +1,45 @@
+package main
+
+import "testing"
+
+func TestRunFig3a(t *testing.T) {
+	if err := run([]string{"-fig", "3a", "-trials", "3"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunFig4b(t *testing.T) {
+	if err := run([]string{"-fig", "4b", "-trials", "3"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	if err := run([]string{"-all", "-trials", "2"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunRejectsUnknownFigure(t *testing.T) {
+	if err := run([]string{"-fig", "7"}); err == nil {
+		t.Fatal("unknown figure must fail")
+	}
+}
+
+func TestRunRequiresFigure(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing -fig must fail")
+	}
+}
+
+func TestCountsSpacing(t *testing.T) {
+	got := counts(30, 7)
+	if len(got) != 7 || got[0] != 0 || got[6] != 30 {
+		t.Fatalf("counts = %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("counts not nondecreasing: %v", got)
+		}
+	}
+}

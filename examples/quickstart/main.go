@@ -1,0 +1,69 @@
+// Quickstart: build the Table I chip, implant 12 hardware Trojans near the
+// global manager, run one attack campaign against mix-1, and print the
+// paper's headline measurements (infection rate, per-app Θ, attack effect
+// Q).
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func main() {
+	// The Table I chip, shrunk to 64 cores so the example runs in seconds.
+	cfg := core.DefaultConfig()
+	cfg.Cores = 64
+	cfg.MemTraffic = false // budget-protocol-only: plenty for a first look
+
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The Table III mix-1 workload: barnes+canneal attack
+	// blackscholes+raytrace, 8 threads each.
+	mix, err := workload.MixByName("mix-1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	scenario, err := core.MixScenario(mix, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Implant 12 Trojans in a ring around the global manager — the
+	// highest-impact region (Section IV-B).
+	mesh := sys.Mesh()
+	gm := sys.ManagerNode()
+	placement, err := attack.RingCluster(mesh, mesh.Coord(gm), 12, 2, gm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scenario.Trojans = placement
+
+	// Run the campaign and its clean baseline.
+	attacked, baseline, err := sys.RunPair(scenario)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cmp, err := core.Compare(attacked, baseline)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("global manager at node %d, %d Trojans implanted\n", gm, placement.Size())
+	fmt.Printf("infection rate: %.2f (predicted %.2f)\n",
+		attacked.InfectionMeasured, attacked.InfectionPredicted)
+	for _, app := range cmp.PerApp {
+		fmt.Printf("  %-14s %-9s Θ = %.2f\n", app.Name, app.Role, app.Change)
+	}
+	fmt.Printf("attack effect Q = %.2f  (> 1 means the attack worked)\n", cmp.Q)
+}

@@ -1,0 +1,165 @@
+// Package budget implements the chip's power-budgeting subsystem: the
+// global manager that solicits per-core power requests over the NoC and the
+// allocation algorithms that divide the chip budget among cores.
+//
+// Four allocator families from the paper's related work are provided —
+// proportional fair share, a sensitivity-ordered greedy heuristic [8], a
+// multiple-choice-knapsack dynamic program [9], and a PI controller [12] —
+// because the paper claims the attack works "irrespective of the power
+// budgeting algorithms"; the allocator ablation benchmark tests exactly
+// that claim.
+package budget
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Request is one core's power solicitation as the global manager sees it.
+// RequestMW arrives in a POWER_REQ packet (and may have been tampered with
+// in flight); the hint fields are OS-level knowledge held by the manager
+// itself and are not carried on the NoC, so Trojans cannot touch them.
+type Request struct {
+	// Core is the requesting core.
+	Core int
+	// RequestMW is the requested power in milliwatts as received.
+	RequestMW uint32
+	// Sensitivity is the Φ hint (Definition 5) for the application running
+	// on this core.
+	Sensitivity float64
+	// LevelsMW are the core's selectable DVFS power draws, ascending, in
+	// milliwatts.
+	LevelsMW []uint32
+	// LevelValues are the expected throughputs at each level (same length
+	// as LevelsMW), used by value-aware allocators.
+	LevelValues []float64
+}
+
+// Allocator divides a chip budget among requests. Implementations must be
+// deterministic and must return one grant per request, in order.
+type Allocator interface {
+	// Allocate returns per-core grants in milliwatts. The sum of grants
+	// must not exceed budgetMW (modulo sub-milliwatt rounding).
+	Allocate(budgetMW uint64, reqs []Request) []uint32
+	// Name identifies the allocator in reports and benchmarks.
+	Name() string
+}
+
+// ByName returns the named allocator with default parameters.
+func ByName(name string) (Allocator, error) {
+	switch name {
+	case "fair":
+		return FairShare{}, nil
+	case "greedy":
+		return Greedy{}, nil
+	case "dp":
+		return NewDPKnapsack(50), nil
+	case "pi":
+		return NewPIController(0.5), nil
+	default:
+		return nil, fmt.Errorf("budget: unknown allocator %q", name)
+	}
+}
+
+// All returns one instance of every allocator, for ablations.
+func All() []Allocator {
+	return []Allocator{FairShare{}, Greedy{}, NewDPKnapsack(50), NewPIController(0.5)}
+}
+
+// FairShare grants each core its request when the budget covers the total,
+// and scales all requests proportionally when it does not. This is the
+// baseline policy and the one under which the attack mechanism is easiest
+// to see: shrinking a victim's request directly shrinks its share.
+type FairShare struct{}
+
+var _ Allocator = FairShare{}
+
+// Name implements Allocator.
+func (FairShare) Name() string { return "fair" }
+
+// Allocate implements Allocator.
+func (FairShare) Allocate(budgetMW uint64, reqs []Request) []uint32 {
+	grants := make([]uint32, len(reqs))
+	var total uint64
+	for _, r := range reqs {
+		total += uint64(r.RequestMW)
+	}
+	if total == 0 {
+		return grants
+	}
+	if total <= budgetMW {
+		for i, r := range reqs {
+			grants[i] = r.RequestMW
+		}
+		return grants
+	}
+	scale := float64(budgetMW) / float64(total)
+	for i, r := range reqs {
+		grants[i] = uint32(float64(r.RequestMW) * scale)
+	}
+	return grants
+}
+
+// Greedy is the heuristic allocator modelled on user-experience-oriented
+// power adaptation [8]: every core first receives its lowest-level power,
+// then the remaining budget is spent upgrading cores in descending order of
+// their sensitivity hint, never past their request.
+type Greedy struct{}
+
+var _ Allocator = Greedy{}
+
+// Name implements Allocator.
+func (Greedy) Name() string { return "greedy" }
+
+// Allocate implements Allocator.
+func (Greedy) Allocate(budgetMW uint64, reqs []Request) []uint32 {
+	grants := make([]uint32, len(reqs))
+	var spent uint64
+	for i, r := range reqs {
+		base := baseLevelMW(r)
+		grants[i] = base
+		spent += uint64(base)
+	}
+	order := make([]int, len(reqs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ra, rb := reqs[order[a]], reqs[order[b]]
+		if ra.Sensitivity != rb.Sensitivity {
+			return ra.Sensitivity > rb.Sensitivity
+		}
+		return ra.Core < rb.Core
+	})
+	for _, i := range order {
+		r := reqs[i]
+		for _, lvl := range r.LevelsMW {
+			if lvl <= grants[i] || lvl > r.RequestMW {
+				continue
+			}
+			delta := uint64(lvl - grants[i])
+			if spent+delta > budgetMW {
+				break
+			}
+			spent += delta
+			grants[i] = lvl
+		}
+	}
+	return grants
+}
+
+// baseLevelMW is the mandatory floor grant for a request: the lowest DVFS
+// level, or zero when the request carries no level table.
+func baseLevelMW(r Request) uint32 {
+	if len(r.LevelsMW) == 0 {
+		return 0
+	}
+	base := r.LevelsMW[0]
+	if base > r.RequestMW {
+		// Even the floor exceeds the (possibly tampered) request: honour
+		// the request value — this is precisely how a zeroed request
+		// starves a victim.
+		return r.RequestMW
+	}
+	return base
+}

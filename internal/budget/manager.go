@@ -1,0 +1,153 @@
+package budget
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/noc"
+)
+
+// CoreInfo is the manager's OS-level knowledge about one core: which
+// application class runs there and what its DVFS menu looks like. It never
+// travels on the NoC, so hardware Trojans cannot corrupt it — only the
+// request values are exposed.
+type CoreInfo struct {
+	// Sensitivity is the application's Φ (Definition 5).
+	Sensitivity float64
+	// LevelsMW are the core's DVFS power draws, ascending, in milliwatts.
+	LevelsMW []uint32
+	// LevelValues are expected throughputs per level.
+	LevelValues []float64
+}
+
+// Grant is one core's power allocation for the next epoch.
+type Grant struct {
+	Core    noc.NodeID
+	GrantMW uint32
+}
+
+// RequestFilter is a manager-side integrity check on incoming request
+// values — the defensive counterpart to the paper's attack (its conclusion
+// calls for "more research on detection and protection"). FilterRequest
+// returns the value the manager should actually use and whether the
+// original was flagged as suspect. Filters see only what real hardware
+// would see: the core ID and the payload as received.
+type RequestFilter interface {
+	FilterRequest(core noc.NodeID, mw uint32) (useMW uint32, flagged bool)
+	// Name identifies the filter in reports.
+	Name() string
+}
+
+// Manager is the global manager core (Section II-A): it collects POWER_REQ
+// packets during an epoch and runs the allocator at the epoch boundary.
+type Manager struct {
+	node     noc.NodeID
+	alloc    Allocator
+	budgetMW uint64
+	info     map[noc.NodeID]CoreInfo
+	pending  map[noc.NodeID]uint32
+	filter   RequestFilter
+
+	// ReceivedTotal counts all POWER_REQ packets ever accepted.
+	ReceivedTotal uint64
+	// TamperedTotal counts accepted requests that were modified in flight.
+	// The real manager cannot see this bit — it exists for measurement.
+	TamperedTotal uint64
+	// FlaggedTotal counts requests the filter marked suspect.
+	FlaggedTotal uint64
+	// RepairedTampered counts requests that were both tampered in flight
+	// and flagged by the filter — true positives, for detection metrics.
+	RepairedTampered uint64
+}
+
+// NewManager creates a global manager at node with the given allocator and
+// chip budget.
+func NewManager(node noc.NodeID, alloc Allocator, budgetMW uint64) (*Manager, error) {
+	if alloc == nil {
+		return nil, fmt.Errorf("budget: manager needs an allocator")
+	}
+	if budgetMW == 0 {
+		return nil, fmt.Errorf("budget: manager needs a nonzero budget")
+	}
+	return &Manager{
+		node:     node,
+		alloc:    alloc,
+		budgetMW: budgetMW,
+		info:     make(map[noc.NodeID]CoreInfo),
+		pending:  make(map[noc.NodeID]uint32),
+	}, nil
+}
+
+// Node returns the manager's NoC node.
+func (m *Manager) Node() noc.NodeID { return m.node }
+
+// BudgetMW returns the chip power budget in milliwatts.
+func (m *Manager) BudgetMW() uint64 { return m.budgetMW }
+
+// Allocator returns the active allocation algorithm.
+func (m *Manager) Allocator() Allocator { return m.alloc }
+
+// SetCoreInfo registers OS-level knowledge for a core.
+func (m *Manager) SetCoreInfo(core noc.NodeID, info CoreInfo) { m.info[core] = info }
+
+// SetFilter installs a request-integrity filter (nil clears).
+func (m *Manager) SetFilter(f RequestFilter) { m.filter = f }
+
+// HandleRequest latches one delivered POWER_REQ packet. Later requests from
+// the same core within an epoch overwrite earlier ones.
+func (m *Manager) HandleRequest(p *noc.Packet) {
+	if p.Type != noc.TypePowerReq || p.Dst != m.node {
+		return
+	}
+	value := p.Payload
+	if m.filter != nil {
+		use, flagged := m.filter.FilterRequest(p.Src, value)
+		if flagged {
+			m.FlaggedTotal++
+			if p.Tampered {
+				m.RepairedTampered++
+			}
+		}
+		value = use
+	}
+	m.pending[p.Src] = value
+	m.ReceivedTotal++
+	if p.Tampered {
+		m.TamperedTotal++
+	}
+}
+
+// PendingCount returns the number of cores with a request this epoch.
+func (m *Manager) PendingCount() int { return len(m.pending) }
+
+// AllocateEpoch runs the allocator over the epoch's requests, clears the
+// pending set, and returns the grants sorted by core ID.
+func (m *Manager) AllocateEpoch() []Grant {
+	if len(m.pending) == 0 {
+		return nil
+	}
+	cores := make([]noc.NodeID, 0, len(m.pending))
+	for c := range m.pending {
+		cores = append(cores, c)
+	}
+	sort.Slice(cores, func(i, j int) bool { return cores[i] < cores[j] })
+
+	reqs := make([]Request, len(cores))
+	for i, c := range cores {
+		info := m.info[c]
+		reqs[i] = Request{
+			Core:        int(c),
+			RequestMW:   m.pending[c],
+			Sensitivity: info.Sensitivity,
+			LevelsMW:    info.LevelsMW,
+			LevelValues: info.LevelValues,
+		}
+	}
+	grants := m.alloc.Allocate(m.budgetMW, reqs)
+	out := make([]Grant, len(cores))
+	for i, c := range cores {
+		out[i] = Grant{Core: c, GrantMW: grants[i]}
+	}
+	m.pending = make(map[noc.NodeID]uint32, len(cores))
+	return out
+}

@@ -1,0 +1,65 @@
+package budget
+
+// PIController is the control-theoretic allocator modelled on power-capping
+// controllers [12]. Each core's grant tracks its request through a
+// proportional term; when the tracked grants overshoot the chip budget they
+// are rescaled, which is the actuator saturating. The controller is
+// stateful across epochs: call Reset between independent experiments.
+type PIController struct {
+	// Kp is the proportional gain in (0, 1].
+	Kp   float64
+	prev map[int]float64
+}
+
+var _ Allocator = (*PIController)(nil)
+
+// NewPIController returns a controller with gain kp (clamped into (0, 1]).
+func NewPIController(kp float64) *PIController {
+	if kp <= 0 || kp > 1 {
+		kp = 0.5
+	}
+	return &PIController{Kp: kp, prev: make(map[int]float64)}
+}
+
+// Name implements Allocator.
+func (*PIController) Name() string { return "pi" }
+
+// Reset clears the controller state.
+func (c *PIController) Reset() { c.prev = make(map[int]float64) }
+
+// Allocate implements Allocator.
+func (c *PIController) Allocate(budgetMW uint64, reqs []Request) []uint32 {
+	grants := make([]uint32, len(reqs))
+	if len(reqs) == 0 {
+		return grants
+	}
+	// Proportional tracking toward each (possibly tampered) request.
+	raw := make([]float64, len(reqs))
+	var total float64
+	for i, r := range reqs {
+		p, ok := c.prev[r.Core]
+		if !ok {
+			p = float64(baseLevelMW(r))
+		}
+		p += c.Kp * (float64(r.RequestMW) - p)
+		if p < 0 {
+			p = 0
+		}
+		raw[i] = p
+		total += p
+	}
+	// Actuator saturation: rescale into the budget.
+	scale := 1.0
+	if total > float64(budgetMW) && total > 0 {
+		scale = float64(budgetMW) / total
+	}
+	for i, r := range reqs {
+		g := raw[i] * scale
+		if g > float64(r.RequestMW) {
+			g = float64(r.RequestMW)
+		}
+		grants[i] = uint32(g)
+		c.prev[r.Core] = raw[i] * scale
+	}
+	return grants
+}

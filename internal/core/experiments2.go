@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/attack"
+	"repro/internal/budget"
+	"repro/internal/defense"
+	"repro/internal/trojan"
+	"repro/internal/workload"
+)
+
+// This file extends the paper's evaluation with the two studies its text
+// motivates but does not run: a comparison of the Section II-B DoS attack
+// classes on identical hardware, and an evaluation of manager-side
+// detection/protection (the conclusion's explicit call for future work).
+
+// VariantResult is one row of the DoS-variant comparison.
+type VariantResult struct {
+	// Mode is the attack class.
+	Mode trojan.Mode
+	// Q is the Definition 3 attack effect.
+	Q float64
+	// VictimChange is the mean victim Θ.
+	VictimChange float64
+	// AttackerChange is the mean attacker Θ.
+	AttackerChange float64
+	// Dropped and Looped count destroyed/bounced packets.
+	Dropped, Looped uint64
+}
+
+// DoSVariantStudy runs the same mix, placement, and chip under each of the
+// three Section II-B attack classes implemented by the Trojan, comparing
+// their attack effects. The false-data attack is the paper's contribution;
+// drop and loopback are the taxonomy baselines.
+func DoSVariantStudy(cfg Config, mixName string, threads int, placement attack.Placement) ([]VariantResult, error) {
+	mix, err := workload.MixByName(mixName)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := MixScenario(mix, threads)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	baseline, err := sys.Run(sc.WithoutTrojans())
+	if err != nil {
+		return nil, err
+	}
+	out := make([]VariantResult, 0, 3)
+	for _, mode := range []trojan.Mode{trojan.ModeFalseData, trojan.ModeDrop, trojan.ModeLoopback} {
+		sc.Trojans = placement
+		sc.Mode = mode
+		attacked, err := sys.Run(sc)
+		if err != nil {
+			return nil, fmt.Errorf("core: variant %v: %w", mode, err)
+		}
+		cmp, err := Compare(attacked, baseline)
+		if err != nil {
+			return nil, err
+		}
+		res := VariantResult{
+			Mode:    mode,
+			Q:       cmp.Q,
+			Dropped: attacked.Net.DroppedPackets,
+			Looped:  attacked.Net.LoopedBack,
+		}
+		var nV, nA int
+		for _, app := range cmp.PerApp {
+			switch app.Role {
+			case RoleVictim:
+				res.VictimChange += app.Change
+				nV++
+			case RoleAttacker:
+				res.AttackerChange += app.Change
+				nA++
+			}
+		}
+		if nV > 0 {
+			res.VictimChange /= float64(nV)
+		}
+		if nA > 0 {
+			res.AttackerChange /= float64(nA)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// DefenseResult is one row of the defense study.
+type DefenseResult struct {
+	// Defense names the filter configuration ("none" for the undefended
+	// chip).
+	Defense string
+	// Q is the attack effect that survives the defense.
+	Q float64
+	// Flagged counts requests the filter marked suspect.
+	Flagged uint64
+	// Repaired counts flagged requests that really were tampered.
+	Repaired uint64
+	// FalsePositives counts flags raised on untampered requests — the cost
+	// of anomaly detection on workloads with legitimate demand phases.
+	FalsePositives uint64
+}
+
+// DefenseStudy measures how much of the attack effect each manager-side
+// request filter removes, under the same campaign. The attack duty-cycles
+// its activation (the paper's stealth recommendation), which is exactly
+// the transition signature history-based detection needs.
+func DefenseStudy(cfg Config, mixName string, threads int, placement attack.Placement) ([]DefenseResult, error) {
+	mix, err := workload.MixByName(mixName)
+	if err != nil {
+		return nil, err
+	}
+	baseScenario, err := MixScenario(mix, threads)
+	if err != nil {
+		return nil, err
+	}
+	baseScenario.Trojans = placement
+	// The Trojans stay dormant for two epochs — detectors get an honest
+	// observation window before the first activation, which is also the
+	// realistic deployment order (the chip boots clean, then the hacker's
+	// agents send the activating broadcast).
+	baseScenario.ActivateAfterEpochs = 2
+	baseScenario.DutyOnEpochs, baseScenario.DutyOffEpochs = 2, 2
+
+	levelsMW := make([]uint32, cfg.Power.NumLevels())
+	for i := range levelsMW {
+		levelsMW[i] = cfg.Power.PowerMW(i)
+	}
+	rangeGuard, err := defense.NewRangeGuard(levelsMW)
+	if err != nil {
+		return nil, err
+	}
+	filters := []struct {
+		name     string
+		filter   budget.RequestFilter
+		dualPath bool
+	}{
+		{name: "none"},
+		{name: "range-guard", filter: rangeGuard},
+		{name: "history-guard", filter: defense.NewHistoryGuard(0.3, 0.4)},
+		{name: "both", filter: defense.NewChain(rangeGuard, defense.NewHistoryGuard(0.3, 0.4))},
+		{name: "dual-path", dualPath: true},
+		{name: "dual-path+range", filter: rangeGuard, dualPath: true},
+	}
+	out := make([]DefenseResult, 0, len(filters))
+	for _, f := range filters {
+		c := cfg
+		c.Filter = f.filter
+		c.DualPathRequests = f.dualPath
+		sys, err := NewSystem(c)
+		if err != nil {
+			return nil, err
+		}
+		attacked, baseline, err := sys.RunPair(baseScenario)
+		if err != nil {
+			return nil, fmt.Errorf("core: defense %s: %w", f.name, err)
+		}
+		cmp, err := Compare(attacked, baseline)
+		if err != nil {
+			return nil, err
+		}
+		res := DefenseResult{
+			Defense:        f.name,
+			Q:              cmp.Q,
+			Flagged:        attacked.FlaggedRequests,
+			Repaired:       attacked.RepairedTampered,
+			FalsePositives: attacked.FlaggedRequests - attacked.RepairedTampered,
+		}
+		if f.dualPath {
+			res.Flagged += attacked.DualPathMismatches
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestInfectionVsHTCountTrends(t *testing.T) {
+	counts := []int{0, 5, 10, 20, 30}
+	center, err := InfectionVsHTCount(64, GMCenter, counts, 20, 1)
+	if err != nil {
+		t.Fatalf("InfectionVsHTCount: %v", err)
+	}
+	corner, err := InfectionVsHTCount(64, GMCorner, counts, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(center) != len(counts) {
+		t.Fatalf("points = %d, want %d", len(center), len(counts))
+	}
+	// Fig 3 trend 1: more HTs → higher infection (monotone in the mean).
+	for i := 1; i < len(center); i++ {
+		if center[i].Rate < center[i-1].Rate {
+			t.Errorf("center series not increasing at %d HTs", center[i].HTs)
+		}
+	}
+	// Fig 3 trend 2: corner manager suffers higher infection than center.
+	for i := 1; i < len(counts); i++ {
+		if corner[i].Rate <= center[i].Rate {
+			t.Errorf("at %d HTs corner rate %v not above center %v",
+				counts[i], corner[i].Rate, center[i].Rate)
+		}
+	}
+	if center[0].Rate != 0 {
+		t.Error("zero HTs must give zero infection")
+	}
+}
+
+func TestInfectionVsHTCountValidation(t *testing.T) {
+	if _, err := InfectionVsHTCount(0, GMCenter, []int{1}, 1, 1); err == nil {
+		t.Error("invalid size must fail")
+	}
+	if _, err := InfectionVsHTCount(64, GMPlacement(7), []int{1}, 1, 1); err == nil {
+		t.Error("invalid placement must fail")
+	}
+	if _, err := InfectionVsHTCount(64, GMCenter, []int{1}, 0, 1); err == nil {
+		t.Error("zero trials must fail")
+	}
+}
+
+func TestInfectionByDistributionOrdering(t *testing.T) {
+	sizes := []int{64, 128, 256, 512}
+	center, err := InfectionByDistribution(DistCenter, sizes, 16, 10, 1)
+	if err != nil {
+		t.Fatalf("InfectionByDistribution: %v", err)
+	}
+	random, err := InfectionByDistribution(DistRandom, sizes, 16, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corner, err := InfectionByDistribution(DistCorner, sizes, 16, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig 4's headline ordering: center > random > corner at every size.
+	for i, size := range sizes {
+		if !(center[i].Rate > random[i].Rate && random[i].Rate > corner[i].Rate) {
+			t.Errorf("size %d: ordering violated center=%v random=%v corner=%v",
+				size, center[i].Rate, random[i].Rate, corner[i].Rate)
+		}
+	}
+}
+
+func TestInfectionByDistributionDenominator(t *testing.T) {
+	// HTs = size/8 must infect at least as much as size/16 (more HTs).
+	sizes := []int{64, 256}
+	th16, err := InfectionByDistribution(DistCenter, sizes, 16, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th8, err := InfectionByDistribution(DistCenter, sizes, 8, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sizes {
+		// The sampling region grows with the fleet, so the comparison is
+		// statistical: allow a small tolerance.
+		if th8[i].Rate+0.05 < th16[i].Rate {
+			t.Errorf("size %d: size/8 rate %v below size/16 rate %v", sizes[i], th8[i].Rate, th16[i].Rate)
+		}
+	}
+}
+
+func TestInfectionByDistributionValidation(t *testing.T) {
+	if _, err := InfectionByDistribution(DistCenter, []int{64}, 0, 1, 1); err == nil {
+		t.Error("zero denominator must fail")
+	}
+	if _, err := InfectionByDistribution(Distribution("weird"), []int{64}, 16, 1, 1); err == nil {
+		t.Error("unknown distribution must fail")
+	}
+}
+
+func TestQVsInfectionRises(t *testing.T) {
+	cfg := fastConfig()
+	points, err := QVsInfection(cfg, "mix-1", 8, []float64{0, 0.5, 0.95})
+	if err != nil {
+		t.Fatalf("QVsInfection: %v", err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d, want 3", len(points))
+	}
+	if points[0].Q != 1 {
+		t.Errorf("zero-infection Q = %v, want exactly 1", points[0].Q)
+	}
+	if !(points[2].Q > points[1].Q && points[1].Q > points[0].Q) {
+		t.Errorf("Q not increasing: %v, %v, %v", points[0].Q, points[1].Q, points[2].Q)
+	}
+	// Fig 6 shape at the top point: attackers above 1, victims below 1.
+	for _, app := range points[2].PerApp {
+		switch app.Role {
+		case RoleAttacker:
+			if app.Change < 1 {
+				t.Errorf("attacker %s Θ = %v, want ≥ 1", app.Name, app.Change)
+			}
+		case RoleVictim:
+			if app.Change >= 1 {
+				t.Errorf("victim %s Θ = %v, want < 1", app.Name, app.Change)
+			}
+		}
+	}
+}
+
+func TestQVsInfectionUnknownMix(t *testing.T) {
+	if _, err := QVsInfection(fastConfig(), "mix-9", 8, []float64{0.5}); err == nil {
+		t.Error("unknown mix must fail")
+	}
+}
+
+func TestOptimalVsRandomImproves(t *testing.T) {
+	cfg := fastConfig()
+	study, err := OptimalVsRandom(cfg, "mix-1", 8, 8, 8, 3)
+	if err != nil {
+		t.Fatalf("OptimalVsRandom: %v", err)
+	}
+	if study.Evaluated == 0 {
+		t.Error("enumeration evaluated nothing")
+	}
+	if study.RandomQMean <= 0 {
+		t.Errorf("random Q mean = %v", study.RandomQMean)
+	}
+	// Section V-C: the optimised placement must beat the random average.
+	if study.OptimalQ <= study.RandomQMean {
+		t.Errorf("optimal Q %v not above random mean %v", study.OptimalQ, study.RandomQMean)
+	}
+	if study.ImprovementPct <= 0 {
+		t.Errorf("improvement = %v%%, want positive", study.ImprovementPct)
+	}
+}
+
+func TestOptimalVsRandomValidation(t *testing.T) {
+	if _, err := OptimalVsRandom(fastConfig(), "mix-1", 8, 8, 2, 3); err == nil {
+		t.Error("too few samples must fail")
+	}
+	if _, err := OptimalVsRandom(fastConfig(), "mix-9", 8, 8, 8, 3); err == nil {
+		t.Error("unknown mix must fail")
+	}
+}

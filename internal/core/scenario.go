@@ -1,0 +1,144 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/attack"
+	"repro/internal/trojan"
+	"repro/internal/workload"
+)
+
+// Role classifies an application in a campaign.
+type Role int
+
+// Application roles per Table III.
+const (
+	// RoleNeutral marks bystander applications.
+	RoleNeutral Role = iota + 1
+	// RoleAttacker marks the hacker's applications — their cores are
+	// registered as agents with the Trojans.
+	RoleAttacker
+	// RoleVictim marks the legitimate applications the attack targets.
+	RoleVictim
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case RoleNeutral:
+		return "neutral"
+	case RoleAttacker:
+		return "attacker"
+	case RoleVictim:
+		return "victim"
+	default:
+		return fmt.Sprintf("role(%d)", int(r))
+	}
+}
+
+// AppSpec is one application in a campaign.
+type AppSpec struct {
+	// Name must be a Table II benchmark.
+	Name string
+	// Threads is the number of cores the application occupies.
+	Threads int
+	// Role classifies the application.
+	Role Role
+	// PhasePeriodEpochs gives the application time-varying demand: for the
+	// first half of each period its cores request peak power, for the
+	// second half only a mid-level amount (real applications alternate
+	// compute and I/O phases). Zero means steady peak demand. Legitimate
+	// phase transitions are exactly what history-based tamper detection
+	// can confuse with an attack — the defense study measures that false
+	// positive rate.
+	PhasePeriodEpochs int
+}
+
+// Scenario describes one attack campaign over a configured chip.
+type Scenario struct {
+	// Apps are placed on cores contiguously in slice order, skipping the
+	// manager node.
+	Apps []AppSpec
+	// Trojans are the infected routers; an empty placement runs the clean
+	// baseline.
+	Trojans attack.Placement
+	// Strategy is the Trojans' payload rewrite; nil selects the default
+	// scale-down strategy.
+	Strategy trojan.Strategy
+	// Mode selects the Section II-B attack class; zero means the paper's
+	// false-data attack.
+	Mode trojan.Mode
+	// DutyOnEpochs and DutyOffEpochs optionally duty-cycle the Trojan
+	// activation signal: ON for DutyOnEpochs, OFF for DutyOffEpochs,
+	// repeating. Both zero means always on.
+	DutyOnEpochs, DutyOffEpochs int
+	// ActivateAfterEpochs keeps the Trojans dormant for the first K
+	// epochs: the hacker's agents send the first activating CONFIG_CMD
+	// broadcast only once the chip has been running — which also gives
+	// history-based detectors a clean observation window.
+	ActivateAfterEpochs int
+}
+
+// MixScenario builds the standard campaign for a Table III mix: every
+// application gets threads cores, attackers first (matching the contiguous
+// agent ranges the Trojans are configured with).
+func MixScenario(mix workload.Mix, threads int) (Scenario, error) {
+	if err := mix.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	if threads < 1 {
+		return Scenario{}, errors.New("core: threads must be positive")
+	}
+	var sc Scenario
+	for _, name := range mix.Attackers {
+		sc.Apps = append(sc.Apps, AppSpec{Name: name, Threads: threads, Role: RoleAttacker})
+	}
+	for _, name := range mix.Victims {
+		sc.Apps = append(sc.Apps, AppSpec{Name: name, Threads: threads, Role: RoleVictim})
+	}
+	return sc, nil
+}
+
+// Validate reports scenario errors.
+func (s Scenario) Validate() error {
+	if len(s.Apps) == 0 {
+		return errors.New("core: scenario needs at least one application")
+	}
+	for _, a := range s.Apps {
+		if _, err := workload.ByName(a.Name); err != nil {
+			return err
+		}
+		if a.Threads < 1 {
+			return fmt.Errorf("core: app %s needs at least one thread", a.Name)
+		}
+		if a.Role != RoleNeutral && a.Role != RoleAttacker && a.Role != RoleVictim {
+			return fmt.Errorf("core: app %s has invalid role", a.Name)
+		}
+		if a.PhasePeriodEpochs < 0 {
+			return fmt.Errorf("core: app %s has negative phase period", a.Name)
+		}
+	}
+	if s.DutyOnEpochs < 0 || s.DutyOffEpochs < 0 || s.ActivateAfterEpochs < 0 {
+		return errors.New("core: duty cycle epochs must be nonnegative")
+	}
+	if s.DutyOffEpochs > 0 && s.DutyOnEpochs == 0 {
+		return errors.New("core: duty cycle needs a positive ON phase")
+	}
+	switch s.Mode {
+	case 0, trojan.ModeFalseData, trojan.ModeDrop, trojan.ModeLoopback:
+	default:
+		return fmt.Errorf("core: invalid trojan mode %d", int(s.Mode))
+	}
+	return nil
+}
+
+// HasTrojans reports whether the scenario implants any Trojans.
+func (s Scenario) HasTrojans() bool { return s.Trojans.Size() > 0 }
+
+// WithoutTrojans returns the clean-baseline copy of the scenario.
+func (s Scenario) WithoutTrojans() Scenario {
+	c := s
+	c.Trojans = attack.Placement{}
+	return c
+}

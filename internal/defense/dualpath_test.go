@@ -1,0 +1,131 @@
+package defense
+
+import (
+	"testing"
+
+	"repro/internal/noc"
+)
+
+func TestVoterPairsAndRepairs(t *testing.T) {
+	v := NewDualPathVoter()
+	// First copy: tampered down to 990.
+	_, _, ready, _ := v.Observe(3, 990, true)
+	if ready {
+		t.Fatal("single copy must not be ready")
+	}
+	// Second copy: clean 3960.
+	final, tamperedAny, ready, mismatch := v.Observe(3, 3960, false)
+	if !ready || !mismatch {
+		t.Fatalf("ready=%v mismatch=%v, want true/true", ready, mismatch)
+	}
+	if final != 3960 {
+		t.Errorf("repaired value = %d, want the larger copy 3960", final)
+	}
+	if !tamperedAny {
+		t.Error("tamperedAny must carry the first copy's bit")
+	}
+	if v.Pairs != 1 || v.Mismatches != 1 {
+		t.Errorf("counters = %d/%d, want 1/1", v.Pairs, v.Mismatches)
+	}
+}
+
+func TestVoterAgreementIsNotMismatch(t *testing.T) {
+	v := NewDualPathVoter()
+	v.Observe(3, 3960, false)
+	_, _, ready, mismatch := v.Observe(3, 3960, false)
+	if !ready || mismatch {
+		t.Fatalf("identical copies: ready=%v mismatch=%v", ready, mismatch)
+	}
+	if v.Mismatches != 0 {
+		t.Error("agreement must not count as mismatch")
+	}
+}
+
+func TestVoterBlindWhenBothPathsTampered(t *testing.T) {
+	// Both copies rewritten to the same value: invisible, by design.
+	v := NewDualPathVoter()
+	v.Observe(3, 990, true)
+	final, _, ready, mismatch := v.Observe(3, 990, true)
+	if !ready || mismatch {
+		t.Fatalf("equal tampered copies: ready=%v mismatch=%v", ready, mismatch)
+	}
+	if final != 990 {
+		t.Errorf("final = %d, want the (tampered) agreed value", final)
+	}
+}
+
+func TestVoterFlushUnpaired(t *testing.T) {
+	v := NewDualPathVoter()
+	v.Observe(3, 990, true)
+	v.Observe(7, 3960, false)
+	left := v.Flush()
+	if len(left) != 2 {
+		t.Fatalf("flush = %d entries, want 2", len(left))
+	}
+	if left[0].Core != 3 || left[1].Core != 7 {
+		t.Errorf("flush order = %v, want sorted by core", left)
+	}
+	if v.Unpaired != 2 {
+		t.Errorf("Unpaired = %d, want 2", v.Unpaired)
+	}
+	if got := v.Flush(); got != nil {
+		t.Error("second flush must be empty")
+	}
+}
+
+func TestVoterIndependentCores(t *testing.T) {
+	v := NewDualPathVoter()
+	v.Observe(1, 100, false)
+	if _, _, ready, _ := v.Observe(2, 200, false); ready {
+		t.Fatal("copies from different cores must not pair")
+	}
+}
+
+func TestDualPathDetectionRateCases(t *testing.T) {
+	m := noc.Mesh{Width: 8, Height: 8}
+	gm := m.Center() // (3,3) = node 27
+	if got := DualPathDetectionRate(m, gm, nil, nil); got != 0 {
+		t.Errorf("no trojans rate = %v, want 0", got)
+	}
+	// One HT off both axes of the manager: sources whose XY path crosses
+	// it but whose YX path does not (and vice versa) are detectable.
+	ht := m.ID(noc.Coord{X: 1, Y: 3})
+	infected := map[noc.NodeID]bool{ht: true}
+	rate := DualPathDetectionRate(m, gm, infected, nil)
+	if rate <= 0 {
+		t.Fatalf("detection rate = %v, want > 0", rate)
+	}
+	// Cross-check one known-detectable source: (1,5). XY goes east along
+	// y=5 then... no: XY from (1,5) to (3,3): X first along y=5 to x=3,
+	// then north along x=3 — misses (1,3). YX: north along x=1 through
+	// (1,3) — hit. Exactly one path infected: detectable.
+	src := m.ID(noc.Coord{X: 1, Y: 5})
+	if got := DualPathDetectionRate(m, gm, infected, []noc.NodeID{src}); got != 1 {
+		t.Errorf("source (1,5) detection = %v, want 1", got)
+	}
+	// A source on the same row as both HT and manager: XY and YX paths
+	// coincide — undetectable.
+	src = m.ID(noc.Coord{X: 0, Y: 3})
+	if got := DualPathDetectionRate(m, gm, infected, []noc.NodeID{src}); got != 0 {
+		t.Errorf("same-row source detection = %v, want 0", got)
+	}
+}
+
+func TestDualPathDetectionRateManagerRouterUndetectable(t *testing.T) {
+	// An HT in the manager's own router infects BOTH paths of every source
+	// identically: full infection, zero detection. The voter's blind spot.
+	m := noc.Mesh{Width: 8, Height: 8}
+	gm := m.Center()
+	infected := map[noc.NodeID]bool{gm: true}
+	if got := DualPathDetectionRate(m, gm, infected, nil); got != 0 {
+		t.Errorf("manager-router HT detection = %v, want 0", got)
+	}
+}
+
+func TestDualPathDetectionRateEmptySources(t *testing.T) {
+	m := noc.Mesh{Width: 4, Height: 4}
+	infected := map[noc.NodeID]bool{1: true}
+	if got := DualPathDetectionRate(m, 5, infected, []noc.NodeID{}); got != 0 {
+		t.Errorf("empty sources rate = %v, want 0", got)
+	}
+}

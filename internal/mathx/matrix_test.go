@@ -1,0 +1,238 @@
+package mathx
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewMatrixFromRows(t *testing.T) {
+	m, err := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatalf("NewMatrixFromRows: %v", err)
+	}
+	if m.Rows() != 2 || m.Cols() != 2 {
+		t.Fatalf("shape = %dx%d, want 2x2", m.Rows(), m.Cols())
+	}
+	if m.At(1, 0) != 3 {
+		t.Errorf("At(1,0) = %v, want 3", m.At(1, 0))
+	}
+}
+
+func TestNewMatrixFromRowsRagged(t *testing.T) {
+	if _, err := NewMatrixFromRows([][]float64{{1, 2}, {3}}); !errors.Is(err, ErrDimension) {
+		t.Fatalf("err = %v, want ErrDimension", err)
+	}
+}
+
+func TestNewMatrixFromRowsEmpty(t *testing.T) {
+	if _, err := NewMatrixFromRows(nil); !errors.Is(err, ErrDimension) {
+		t.Fatalf("err = %v, want ErrDimension", err)
+	}
+}
+
+func TestMatrixSetAt(t *testing.T) {
+	m := NewMatrix(3, 4)
+	m.Set(2, 3, 7.5)
+	if m.At(2, 3) != 7.5 {
+		t.Errorf("At(2,3) = %v, want 7.5", m.At(2, 3))
+	}
+	if m.At(0, 0) != 0 {
+		t.Errorf("zero value not preserved")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m, _ := NewMatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.Transpose()
+	if tr.Rows() != 3 || tr.Cols() != 2 {
+		t.Fatalf("shape = %dx%d, want 3x2", tr.Rows(), tr.Cols())
+	}
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMul(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := NewMatrixFromRows([][]float64{{5, 6}, {7, 8}})
+	c, err := a.Mul(b)
+	if err != nil {
+		t.Fatalf("Mul: %v", err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if c.At(i, j) != want[i][j] {
+				t.Errorf("c(%d,%d) = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMulDimensionMismatch(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(2, 3)
+	if _, err := a.Mul(b); !errors.Is(err, ErrDimension) {
+		t.Fatalf("err = %v, want ErrDimension", err)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	v, err := a.MulVec([]float64{1, 1})
+	if err != nil {
+		t.Fatalf("MulVec: %v", err)
+	}
+	if v[0] != 3 || v[1] != 7 {
+		t.Errorf("MulVec = %v, want [3 7]", v)
+	}
+}
+
+func TestMulVecDimensionMismatch(t *testing.T) {
+	a := NewMatrix(2, 3)
+	if _, err := a.MulVec([]float64{1}); !errors.Is(err, ErrDimension) {
+		t.Fatalf("err = %v, want ErrDimension", err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	c := a.Clone()
+	c.Set(0, 0, 99)
+	if a.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestSolveLeastSquaresExact(t *testing.T) {
+	// Square full-rank system: exact solution.
+	a, _ := NewMatrixFromRows([][]float64{{2, 0}, {0, 3}})
+	x, err := SolveLeastSquares(a, []float64{4, 9})
+	if err != nil {
+		t.Fatalf("SolveLeastSquares: %v", err)
+	}
+	if !almostEqual(x[0], 2, 1e-9) || !almostEqual(x[1], 3, 1e-9) {
+		t.Errorf("x = %v, want [2 3]", x)
+	}
+}
+
+func TestSolveLeastSquaresOverdetermined(t *testing.T) {
+	// y = 2t + 1 sampled with no noise; fit line through 4 points.
+	a, _ := NewMatrixFromRows([][]float64{{0, 1}, {1, 1}, {2, 1}, {3, 1}})
+	x, err := SolveLeastSquares(a, []float64{1, 3, 5, 7})
+	if err != nil {
+		t.Fatalf("SolveLeastSquares: %v", err)
+	}
+	if !almostEqual(x[0], 2, 1e-9) || !almostEqual(x[1], 1, 1e-9) {
+		t.Errorf("x = %v, want [2 1]", x)
+	}
+}
+
+func TestSolveLeastSquaresSingular(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	if _, err := SolveLeastSquares(a, []float64{1, 2, 3}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveLeastSquaresUnderdetermined(t *testing.T) {
+	a := NewMatrix(1, 2)
+	if _, err := SolveLeastSquares(a, []float64{1}); !errors.Is(err, ErrDimension) {
+		t.Fatalf("err = %v, want ErrDimension", err)
+	}
+}
+
+func TestSolveLeastSquaresBadB(t *testing.T) {
+	a := NewMatrix(3, 2)
+	if _, err := SolveLeastSquares(a, []float64{1}); !errors.Is(err, ErrDimension) {
+		t.Fatalf("err = %v, want ErrDimension", err)
+	}
+}
+
+// Property: for any well-conditioned random system Ax = b with known x,
+// SolveLeastSquares recovers x.
+func TestSolveLeastSquaresRecoversKnownSolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 8, 3
+		a := NewMatrix(rows, cols)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+		}
+		// Diagonal boost keeps the system well conditioned.
+		for j := 0; j < cols; j++ {
+			a.Set(j, j, a.At(j, j)+5)
+		}
+		want := make([]float64, cols)
+		for j := range want {
+			want[j] = rng.NormFloat64()
+		}
+		b, err := a.MulVec(want)
+		if err != nil {
+			return false
+		}
+		got, err := SolveLeastSquares(a, b)
+		if err != nil {
+			return false
+		}
+		for j := range want {
+			if !almostEqual(got[j], want[j], 1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: (AB)ᵀ = BᵀAᵀ for random matrices.
+func TestTransposeOfProduct(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := NewMatrix(3, 4)
+		b := NewMatrix(4, 2)
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 4; j++ {
+				a.Set(i, j, rng.Float64())
+			}
+		}
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 2; j++ {
+				b.Set(i, j, rng.Float64())
+			}
+		}
+		ab, err := a.Mul(b)
+		if err != nil {
+			return false
+		}
+		left := ab.Transpose()
+		right, err := b.Transpose().Mul(a.Transpose())
+		if err != nil {
+			return false
+		}
+		for i := 0; i < left.Rows(); i++ {
+			for j := 0; j < left.Cols(); j++ {
+				if !almostEqual(left.At(i, j), right.At(i, j), 1e-9) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

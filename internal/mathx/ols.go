@@ -1,0 +1,54 @@
+package mathx
+
+import "fmt"
+
+// OLSResult holds a fitted ordinary-least-squares linear model
+// y ≈ Coeffs·x + Intercept.
+type OLSResult struct {
+	// Coeffs are the slope coefficients, one per feature column.
+	Coeffs []float64
+	// Intercept is the constant term a₀.
+	Intercept float64
+	// R2 is the coefficient of determination on the training data.
+	R2 float64
+}
+
+// FitOLS fits y ≈ Xβ + a₀ by least squares. Each row of x is one
+// observation; y has one entry per row. An intercept column is added
+// internally.
+func FitOLS(x [][]float64, y []float64) (*OLSResult, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, fmt.Errorf("mathx: ols %d observations, %d targets: %w", len(x), len(y), ErrDimension)
+	}
+	nFeat := len(x[0])
+	design := NewMatrix(len(x), nFeat+1)
+	for i, row := range x {
+		if len(row) != nFeat {
+			return nil, fmt.Errorf("mathx: ols row %d has %d features, want %d: %w", i, len(row), nFeat, ErrDimension)
+		}
+		for j, v := range row {
+			design.Set(i, j, v)
+		}
+		design.Set(i, nFeat, 1) // intercept column
+	}
+	beta, err := SolveLeastSquares(design, y)
+	if err != nil {
+		return nil, fmt.Errorf("mathx: ols solve: %w", err)
+	}
+	res := &OLSResult{Coeffs: beta[:nFeat], Intercept: beta[nFeat]}
+	preds := make([]float64, len(y))
+	for i, row := range x {
+		preds[i] = res.Predict(row)
+	}
+	res.R2 = RSquared(y, preds)
+	return res, nil
+}
+
+// Predict evaluates the fitted model at feature vector row.
+func (r *OLSResult) Predict(row []float64) float64 {
+	s := r.Intercept
+	for j, v := range row {
+		s += r.Coeffs[j] * v
+	}
+	return s
+}

@@ -1,0 +1,160 @@
+// Package mem implements the shared-memory substrate of Table I: private
+// per-tile L1 caches, an address-interleaved shared L2 (one slice per
+// node), a MESI directory protocol whose messages travel on the NoC, and a
+// flat main-memory model with 200-cycle latency.
+//
+// Addresses throughout the package are cache-line numbers at L1 (32-byte)
+// granularity; the L2 tag store is keyed at 64-byte granularity, matching
+// the Table I line sizes.
+package mem
+
+// LineState is a MESI cache-line state.
+type LineState int
+
+// MESI states. Invalid is deliberately the zero value.
+const (
+	Invalid LineState = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+// String implements fmt.Stringer.
+func (s LineState) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	default:
+		return "?"
+	}
+}
+
+type cacheLine struct {
+	tag     uint64
+	state   LineState
+	lastUse uint64
+}
+
+// Cache is a set-associative, LRU-replacement tag store. Only tags and MESI
+// states are modelled; data contents never matter to the experiments.
+type Cache struct {
+	sets  int
+	ways  int
+	lines []cacheLine // sets × ways, row-major
+}
+
+// NewCache builds a cache with the given geometry. sets and ways must be
+// positive.
+func NewCache(sets, ways int) *Cache {
+	if sets <= 0 || ways <= 0 {
+		panic("mem: cache geometry must be positive")
+	}
+	return &Cache{sets: sets, ways: ways, lines: make([]cacheLine, sets*ways)}
+}
+
+// L1DGeometry returns the Table I L1-D geometry: 16 KB, 2-way, 32 B lines →
+// 256 sets.
+func L1DGeometry() (sets, ways int) { return 256, 2 }
+
+// L2SliceGeometry returns the Table I per-node L2 slice geometry: 64 KB,
+// modelled 4-way, 64 B lines → 256 sets.
+func L2SliceGeometry() (sets, ways int) { return 256, 4 }
+
+func (c *Cache) set(addr uint64) []cacheLine {
+	s := int(addr % uint64(c.sets))
+	return c.lines[s*c.ways : (s+1)*c.ways]
+}
+
+// Lookup returns the state of addr, or Invalid if absent.
+func (c *Cache) Lookup(addr uint64) LineState {
+	for i := range c.set(addr) {
+		l := &c.set(addr)[i]
+		if l.state != Invalid && l.tag == addr {
+			return l.state
+		}
+	}
+	return Invalid
+}
+
+// Touch refreshes the LRU stamp of addr if present.
+func (c *Cache) Touch(addr uint64, now uint64) {
+	set := c.set(addr)
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == addr {
+			set[i].lastUse = now
+			return
+		}
+	}
+}
+
+// SetState changes the MESI state of a resident line; it is a no-op for an
+// absent line.
+func (c *Cache) SetState(addr uint64, st LineState) {
+	set := c.set(addr)
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == addr {
+			set[i].state = st
+			return
+		}
+	}
+}
+
+// Insert installs addr with state st, evicting the LRU way if the set is
+// full. It returns the evicted line's address and state when an eviction
+// happened.
+func (c *Cache) Insert(addr uint64, st LineState, now uint64) (evictedAddr uint64, evictedState LineState, evicted bool) {
+	set := c.set(addr)
+	// Already present: state upgrade in place.
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == addr {
+			set[i].state = st
+			set[i].lastUse = now
+			return 0, Invalid, false
+		}
+	}
+	victim := 0
+	for i := range set {
+		if set[i].state == Invalid {
+			victim = i
+			evicted = false
+			set[victim] = cacheLine{tag: addr, state: st, lastUse: now}
+			return 0, Invalid, false
+		}
+		if set[i].lastUse < set[victim].lastUse {
+			victim = i
+		}
+	}
+	evictedAddr, evictedState, evicted = set[victim].tag, set[victim].state, true
+	set[victim] = cacheLine{tag: addr, state: st, lastUse: now}
+	return evictedAddr, evictedState, evicted
+}
+
+// Invalidate removes addr and returns its prior state.
+func (c *Cache) Invalidate(addr uint64) LineState {
+	set := c.set(addr)
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == addr {
+			prev := set[i].state
+			set[i] = cacheLine{}
+			return prev
+		}
+	}
+	return Invalid
+}
+
+// Occupancy returns the number of valid lines, for tests and debugging.
+func (c *Cache) Occupancy() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].state != Invalid {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,133 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/noc"
+)
+
+// checkCoherenceInvariant asserts the MESI single-writer/multi-reader
+// property across all L1 caches: for any line, at most one cache holds it
+// Exclusive or Modified, and if one does, no other cache holds it at all.
+func checkCoherenceInvariant(t *testing.T, sys *System, addrs []uint64) {
+	t.Helper()
+	for _, addr := range addrs {
+		owners := 0
+		sharers := 0
+		for _, ns := range sys.nodes {
+			switch ns.l1.Lookup(addr) {
+			case Exclusive, Modified:
+				owners++
+			case Shared:
+				sharers++
+			}
+		}
+		if owners > 1 {
+			t.Fatalf("line %d has %d exclusive owners", addr, owners)
+		}
+		if owners == 1 && sharers > 0 {
+			t.Fatalf("line %d has an owner and %d sharers", addr, sharers)
+		}
+	}
+}
+
+// TestCoherenceInvariantUnderRandomOps drives random reads and writes from
+// all cores over a small hot set and checks the single-writer invariant
+// after every quiesced round. This is the deepest protocol property test:
+// any lost invalidation, stale grant, or race in the home serialisation
+// shows up here.
+func TestCoherenceInvariantUnderRandomOps(t *testing.T) {
+	sys, env := newTestSystem(t)
+	rng := rand.New(rand.NewSource(21))
+	hotSet := make([]uint64, 12)
+	for i := range hotSet {
+		hotSet[i] = uint64(1000 + i)
+	}
+	for round := 0; round < 80; round++ {
+		for n := 0; n < 16; n++ {
+			addr := hotSet[rng.Intn(len(hotSet))]
+			sys.Issue(noc.NodeID(n), addr, rng.Float64() < 0.4)
+		}
+		env.run(t)
+		checkCoherenceInvariant(t, sys, hotSet)
+	}
+}
+
+// TestDirectoryMatchesCaches cross-checks the directory's view against the
+// actual L1 contents after a randomised run: a dirOwned entry's owner must
+// really hold the line (or have silently evicted it — never a *different*
+// node owning it).
+func TestDirectoryMatchesCaches(t *testing.T) {
+	sys, env := newTestSystem(t)
+	rng := rand.New(rand.NewSource(22))
+	hotSet := make([]uint64, 8)
+	for i := range hotSet {
+		hotSet[i] = uint64(2000 + i)
+	}
+	for round := 0; round < 60; round++ {
+		for n := 0; n < 16; n++ {
+			addr := hotSet[rng.Intn(len(hotSet))]
+			sys.Issue(noc.NodeID(n), addr, rng.Float64() < 0.5)
+		}
+		env.run(t)
+	}
+	for _, addr := range hotSet {
+		home := sys.Home(addr)
+		entry, ok := sys.nodes[home].dir[addr]
+		if !ok {
+			continue
+		}
+		if entry.state != dirOwned {
+			continue
+		}
+		for nid, ns := range sys.nodes {
+			st := ns.l1.Lookup(addr)
+			if (st == Exclusive || st == Modified) && noc.NodeID(nid) != entry.owner {
+				t.Fatalf("line %d: directory says node %d owns it, but node %d holds %v",
+					addr, entry.owner, nid, st)
+			}
+		}
+	}
+}
+
+// TestWriterReadsOwnWrites is the fundamental memory-ordering sanity check:
+// a node that wrote a line can always read it afterwards without traffic.
+func TestWriterReadsOwnWrites(t *testing.T) {
+	sys, env := newTestSystem(t)
+	sys.Issue(4, 3000, true)
+	env.run(t)
+	sent := len(env.sent)
+	if !sys.Issue(4, 3000, false) {
+		t.Fatal("read-after-write rejected")
+	}
+	if len(env.sent) != sent {
+		t.Fatal("read of owned line generated traffic")
+	}
+}
+
+// TestPingPongOwnership bounces one line's ownership between two writers
+// and verifies that every transfer invalidates the previous owner.
+func TestPingPongOwnership(t *testing.T) {
+	sys, env := newTestSystem(t)
+	const addr = 4000
+	writers := []noc.NodeID{2, 9}
+	for i := 0; i < 10; i++ {
+		w := writers[i%2]
+		other := writers[(i+1)%2]
+		if !sys.Issue(w, addr, true) {
+			t.Fatalf("round %d: write rejected", i)
+		}
+		env.run(t)
+		if got := sys.nodes[w].l1.Lookup(addr); got != Modified {
+			t.Fatalf("round %d: writer holds %v, want M", i, got)
+		}
+		if got := sys.nodes[other].l1.Lookup(addr); got != Invalid {
+			t.Fatalf("round %d: previous owner still holds %v", i, got)
+		}
+	}
+	// 9 ownership transfers → at least 9 invalidations on the wire.
+	if env.countSent(noc.TypeCohInvalidate) < 9 {
+		t.Errorf("invalidations = %d, want ≥ 9", env.countSent(noc.TypeCohInvalidate))
+	}
+}

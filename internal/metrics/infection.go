@@ -1,0 +1,107 @@
+package metrics
+
+import "repro/internal/noc"
+
+// InfectionRateXY is the closed-form infection-rate predictor for
+// deterministic XY routing: the fraction of source nodes whose power
+// requests cross at least one infected router on the way to the global
+// manager. Sources defaults to every node except the manager when nil.
+// Both endpoints count: an HT in the source's own router or in the
+// manager's router sees the packet at its RC stage.
+func InfectionRateXY(m noc.Mesh, gm noc.NodeID, infected map[noc.NodeID]bool, sources []noc.NodeID) float64 {
+	if len(infected) == 0 {
+		return 0
+	}
+	if sources == nil {
+		sources = make([]noc.NodeID, 0, m.Nodes()-1)
+		for id := noc.NodeID(0); id < noc.NodeID(m.Nodes()); id++ {
+			if id != gm {
+				sources = append(sources, id)
+			}
+		}
+	}
+	if len(sources) == 0 {
+		return 0
+	}
+	hit := 0
+	for _, src := range sources {
+		if pathCrossesInfected(m, src, gm, infected) {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(sources))
+}
+
+// pathCrossesInfected walks the XY path without materialising it.
+func pathCrossesInfected(m noc.Mesh, src, dst noc.NodeID, infected map[noc.NodeID]bool) bool {
+	cs, cd := m.Coord(src), m.Coord(dst)
+	c := cs
+	if infected[m.ID(c)] {
+		return true
+	}
+	for c.X != cd.X {
+		if c.X < cd.X {
+			c.X++
+		} else {
+			c.X--
+		}
+		if infected[m.ID(c)] {
+			return true
+		}
+	}
+	for c.Y != cd.Y {
+		if c.Y < cd.Y {
+			c.Y++
+		} else {
+			c.Y--
+		}
+		if infected[m.ID(c)] {
+			return true
+		}
+	}
+	return false
+}
+
+// InfectionCounter measures the realised infection rate from a simulation:
+// the fraction of delivered POWER_REQ packets that crossed an active Trojan
+// (HTSeen). Packets whose payload was actually rewritten are counted
+// separately in Tampered.
+type InfectionCounter struct {
+	// Delivered counts POWER_REQ packets that reached the manager.
+	Delivered uint64
+	// Infected counts those that crossed at least one active Trojan.
+	Infected uint64
+	// Tampered counts those whose payload was modified.
+	Tampered uint64
+}
+
+// Observe records one delivered power-request packet.
+func (c *InfectionCounter) Observe(p *noc.Packet) {
+	if p.Type != noc.TypePowerReq {
+		return
+	}
+	c.Delivered++
+	if p.HTSeen {
+		c.Infected++
+	}
+	if p.Tampered {
+		c.Tampered++
+	}
+}
+
+// Rate returns the measured infection rate, or 0 before any delivery.
+func (c *InfectionCounter) Rate() float64 {
+	if c.Delivered == 0 {
+		return 0
+	}
+	return float64(c.Infected) / float64(c.Delivered)
+}
+
+// TamperRate returns the fraction of delivered requests whose payload was
+// rewritten.
+func (c *InfectionCounter) TamperRate() float64 {
+	if c.Delivered == 0 {
+		return 0
+	}
+	return float64(c.Tampered) / float64(c.Delivered)
+}

@@ -1,0 +1,137 @@
+// Package metrics implements the paper's measurement framework, Section IV
+// Definitions 1–8: application performance θ, performance change Θ, attack
+// effect Q, power-budget sensitivity φ/Φ, the Trojan fleet's virtual center
+// ω, its distance ρ to the global manager, its density η, and the infection
+// rate of power-request traffic.
+package metrics
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/noc"
+)
+
+// ErrNoNodes is returned when a geometric measure is requested for an empty
+// node set.
+var ErrNoNodes = errors.New("metrics: empty node set")
+
+// AppPerformance is Definition 1: θ_k = Σ_{j∈C_k} IPC(j,k,f_j)·f_j, the sum
+// over application k's cores of per-core throughput. Callers pass the
+// per-core throughput values (instructions per nanosecond).
+func AppPerformance(coreThroughputs []float64) float64 {
+	s := 0.0
+	for _, v := range coreThroughputs {
+		s += v
+	}
+	return s
+}
+
+// PerformanceChange is Definition 2: Θ_k = θ_k / Λ_k, the application's
+// performance with Trojans over its performance without. It returns 0 when
+// the baseline is zero.
+func PerformanceChange(withHT, withoutHT float64) float64 {
+	if withoutHT == 0 {
+		return 0
+	}
+	return withHT / withoutHT
+}
+
+// AttackEffectQ is Definition 3:
+//
+//	Q(Δ,Γ) = (V · Σ_{a∈Δ} Θ_a) / (A · Σ_{v∈Γ} Θ_v)
+//
+// where Δ are the attacker applications' performance changes and Γ the
+// victims'. V and A are the victim and attacker counts. It returns +Inf
+// when the victims' performance collapsed to zero and 0 for empty inputs.
+func AttackEffectQ(attackerChanges, victimChanges []float64) float64 {
+	a := float64(len(attackerChanges))
+	v := float64(len(victimChanges))
+	if a == 0 || v == 0 {
+		return 0
+	}
+	var sumA, sumV float64
+	for _, x := range attackerChanges {
+		sumA += x
+	}
+	for _, x := range victimChanges {
+		sumV += x
+	}
+	if sumV == 0 {
+		return math.Inf(1)
+	}
+	return (v * sumA) / (a * sumV)
+}
+
+// CoreSensitivity is Definition 4: φ(j,z) = Σ_i |P(τ_i) − P(τ_{i+1})| /
+// (τ_i − τ_{i+1}) over adjacent frequency levels, where P is the core's
+// performance at each level. perfAtLevel must align with freqsGHz.
+func CoreSensitivity(freqsGHz, perfAtLevel []float64) float64 {
+	if len(freqsGHz) != len(perfAtLevel) {
+		return 0
+	}
+	s := 0.0
+	for i := 0; i+1 < len(freqsGHz); i++ {
+		d := freqsGHz[i] - freqsGHz[i+1]
+		if d == 0 {
+			continue
+		}
+		s += math.Abs((perfAtLevel[i] - perfAtLevel[i+1]) / d)
+	}
+	return s
+}
+
+// AppSensitivity is Definition 5: Φ_k = Σ_{i∈C_k} φ(i,k) / |C_k|, the mean
+// core sensitivity over the application's cores.
+func AppSensitivity(coreSensitivities []float64) float64 {
+	if len(coreSensitivities) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range coreSensitivities {
+		s += v
+	}
+	return s / float64(len(coreSensitivities))
+}
+
+// VirtualCenter is Definition 6: the mean coordinate (ω_X, ω_Y) of the
+// malicious nodes.
+func VirtualCenter(m noc.Mesh, nodes []noc.NodeID) (ox, oy float64, err error) {
+	if len(nodes) == 0 {
+		return 0, 0, ErrNoNodes
+	}
+	for _, id := range nodes {
+		c := m.Coord(id)
+		ox += float64(c.X)
+		oy += float64(c.Y)
+	}
+	n := float64(len(nodes))
+	return ox / n, oy / n, nil
+}
+
+// DistanceRho is Definition 7: ρ = MD(O, Ω), the Manhattan distance between
+// the global manager O and the Trojans' virtual center Ω (real-valued).
+func DistanceRho(m noc.Mesh, gm noc.NodeID, nodes []noc.NodeID) (float64, error) {
+	ox, oy, err := VirtualCenter(m, nodes)
+	if err != nil {
+		return 0, err
+	}
+	c := m.Coord(gm)
+	return math.Abs(float64(c.X)-ox) + math.Abs(float64(c.Y)-oy), nil
+}
+
+// DensityEta is Definition 8: η = Σ_i MD(Ω, M_i) / m, the mean Manhattan
+// distance between the virtual center and each malicious node. Despite the
+// paper's name, smaller η means a tighter (denser) cluster.
+func DensityEta(m noc.Mesh, nodes []noc.NodeID) (float64, error) {
+	ox, oy, err := VirtualCenter(m, nodes)
+	if err != nil {
+		return 0, err
+	}
+	s := 0.0
+	for _, id := range nodes {
+		c := m.Coord(id)
+		s += math.Abs(float64(c.X)-ox) + math.Abs(float64(c.Y)-oy)
+	}
+	return s / float64(len(nodes)), nil
+}

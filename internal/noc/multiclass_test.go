@@ -1,0 +1,211 @@
+package noc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func dualClassConfig() Config {
+	cfg := DefaultConfig()
+	cfg.AltRouting = YXRouting{}
+	return cfg
+}
+
+func TestYXRoutePathShape(t *testing.T) {
+	m := Mesh{Width: 8, Height: 8}
+	src := m.ID(Coord{X: 1, Y: 2})
+	dst := m.ID(Coord{X: 5, Y: 6})
+	path := m.PathYX(src, dst)
+	if len(path) != m.ManhattanDistance(src, dst)+1 {
+		t.Fatalf("path length = %d", len(path))
+	}
+	if path[0] != src || path[len(path)-1] != dst {
+		t.Fatal("endpoints wrong")
+	}
+	// YX: all Y movement before any X movement.
+	seenX := false
+	for i := 1; i < len(path); i++ {
+		prev, cur := m.Coord(path[i-1]), m.Coord(path[i])
+		if prev.X != cur.X {
+			seenX = true
+		}
+		if prev.Y != cur.Y && seenX {
+			t.Fatal("Y movement after X movement violates YX routing")
+		}
+	}
+}
+
+// Property: for src/dst differing in both coordinates, the XY and YX paths
+// share only their endpoints — the route-diversity guarantee the dual-path
+// defense depends on.
+func TestXYAndYXDisjointInteriors(t *testing.T) {
+	m := Mesh{Width: 9, Height: 7}
+	f := func(a, b uint8) bool {
+		src := NodeID(int(a) % m.Nodes())
+		dst := NodeID(int(b) % m.Nodes())
+		cs, cd := m.Coord(src), m.Coord(dst)
+		if cs.X == cd.X || cs.Y == cd.Y {
+			return true // degenerate: both paths identical by construction
+		}
+		xy := m.PathXY(src, dst)
+		yx := m.PathYX(src, dst)
+		inXY := make(map[NodeID]bool, len(xy))
+		for _, r := range xy[1 : len(xy)-1] {
+			inXY[r] = true
+		}
+		for _, r := range yx[1 : len(yx)-1] {
+			if inXY[r] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidateAltRouting(t *testing.T) {
+	cfg := dualClassConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("dual-class config invalid: %v", err)
+	}
+	cfg.VCs = 1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("alt routing with one VC must fail")
+	}
+}
+
+func TestClassVCPartitioning(t *testing.T) {
+	cfg := dualClassConfig() // 4 VCs
+	lo0, hi0 := cfg.classVCRange(0)
+	lo1, hi1 := cfg.classVCRange(1)
+	if lo0 != 0 || hi0 != 2 || lo1 != 2 || hi1 != 4 {
+		t.Fatalf("partitions = [%d,%d) [%d,%d), want [0,2) [2,4)", lo0, hi0, lo1, hi1)
+	}
+	single := DefaultConfig()
+	lo, hi := single.classVCRange(0)
+	if lo != 0 || hi != 4 {
+		t.Fatalf("single class owns [%d,%d), want [0,4)", lo, hi)
+	}
+}
+
+func TestClassRejectedWithoutAltRouting(t *testing.T) {
+	n := newTestNetwork(t, 4, 4)
+	if err := n.Inject(&Packet{Src: 0, Dst: 3, Type: TypePowerReq, Class: 1}); err == nil {
+		t.Fatal("class-1 packet must be rejected without AltRouting")
+	}
+	if err := n.Inject(&Packet{Src: 0, Dst: 3, Type: TypePowerReq, Class: 7}); err == nil {
+		t.Fatal("invalid class must be rejected")
+	}
+}
+
+func TestDualClassDelivery(t *testing.T) {
+	n, err := New(Mesh{Width: 6, Height: 6}, dualClassConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var class0, class1 int
+	n.Attach(35, func(p *Packet) {
+		if p.Class == 0 {
+			class0++
+		} else {
+			class1++
+		}
+	})
+	for i := 0; i < 10; i++ {
+		if err := n.Inject(&Packet{Src: 0, Dst: 35, Type: TypePowerReq, Class: i % 2}); err != nil {
+			t.Fatalf("Inject: %v", err)
+		}
+	}
+	if _, drained := n.RunUntilIdle(100000); !drained {
+		t.Fatal("dual-class network did not drain")
+	}
+	if class0 != 5 || class1 != 5 {
+		t.Fatalf("deliveries = %d/%d, want 5/5", class0, class1)
+	}
+}
+
+// classRecorder captures which routers each class's packets traverse.
+type classRecorder struct {
+	visits [2]map[NodeID]bool
+}
+
+func (cr *classRecorder) InspectRC(r NodeID, p *Packet) Verdict {
+	if cr.visits[p.Class] == nil {
+		cr.visits[p.Class] = make(map[NodeID]bool)
+	}
+	cr.visits[p.Class][r] = true
+	return VerdictForward
+}
+
+func TestClassesFollowTheirOwnPaths(t *testing.T) {
+	n, err := New(Mesh{Width: 8, Height: 8}, dualClassConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &classRecorder{}
+	n.SetInspector(rec)
+	src := n.Mesh().ID(Coord{X: 1, Y: 1})
+	dst := n.Mesh().ID(Coord{X: 6, Y: 6})
+	n.Attach(dst, func(p *Packet) {})
+	for class := 0; class < 2; class++ {
+		if err := n.Inject(&Packet{Src: src, Dst: dst, Type: TypePowerReq, Class: class}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, drained := n.RunUntilIdle(10000); !drained {
+		t.Fatal("network did not drain")
+	}
+	wantXY := n.Mesh().PathXY(src, dst)
+	wantYX := n.Mesh().PathYX(src, dst)
+	for _, r := range wantXY {
+		if !rec.visits[0][r] {
+			t.Fatalf("class 0 missed XY router %d", r)
+		}
+	}
+	for _, r := range wantYX {
+		if !rec.visits[1][r] {
+			t.Fatalf("class 1 missed YX router %d", r)
+		}
+	}
+	if len(rec.visits[0]) != len(wantXY) || len(rec.visits[1]) != len(wantYX) {
+		t.Fatal("classes strayed off their minimal paths")
+	}
+}
+
+func TestDualClassHeavyLoadNoDeadlock(t *testing.T) {
+	// Both classes hammer the same hotspot: the VC partitions must keep
+	// XY and YX from deadlocking each other.
+	n, err := New(Mesh{Width: 6, Height: 6}, dualClassConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm := n.Mesh().Center()
+	delivered := 0
+	n.Attach(gm, func(p *Packet) { delivered++ })
+	rng := rand.New(rand.NewSource(13))
+	injected := 0
+	for round := 0; round < 6; round++ {
+		for id := NodeID(0); id < NodeID(n.Mesh().Nodes()); id++ {
+			if id == gm {
+				continue
+			}
+			typ := TypePowerReq
+			if rng.Intn(3) == 0 {
+				typ = TypeMemReadReply // 5-flit packets stress the VCs
+			}
+			if err := n.Inject(&Packet{Src: id, Dst: gm, Type: typ, Class: rng.Intn(2)}); err != nil {
+				t.Fatal(err)
+			}
+			injected++
+		}
+	}
+	if _, drained := n.RunUntilIdle(3_000_000); !drained {
+		t.Fatalf("dual-class hotspot deadlock: %d of %d delivered", delivered, injected)
+	}
+	if delivered != injected {
+		t.Fatalf("delivered %d of %d", delivered, injected)
+	}
+}

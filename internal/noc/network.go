@@ -1,0 +1,606 @@
+package noc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Config holds the NoC parameters of Table I.
+type Config struct {
+	// VCs is the number of virtual channels per input port (Table I: 4).
+	VCs int
+	// BufDepth is the per-VC flit buffer depth (Table I: 5).
+	BufDepth int
+	// RouterCycles is the router pipeline latency (Table I: 2).
+	RouterCycles int
+	// LinkCycles is the link traversal latency (Table I: 1).
+	LinkCycles int
+	// Routing selects the routing algorithm (Table I: XY).
+	Routing RoutingAlgorithm
+	// AltRouting optionally enables a second traffic class with its own
+	// routing algorithm on its own half of the virtual channels. Packets
+	// select the class through Packet.Class. VC partitioning keeps the two
+	// classes from waiting on each other, so a deadlock-free pair such as
+	// XY + YX stays deadlock-free combined. Nil disables the second class.
+	AltRouting RoutingAlgorithm
+}
+
+// DefaultConfig returns the Table I on-chip-network configuration.
+func DefaultConfig() Config {
+	return Config{
+		VCs:          4,
+		BufDepth:     5,
+		RouterCycles: 2,
+		LinkCycles:   1,
+		Routing:      XYRouting{},
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.VCs < 1:
+		return errors.New("noc: config needs at least one virtual channel")
+	case c.BufDepth < 1:
+		return errors.New("noc: config needs buffer depth of at least one flit")
+	case c.RouterCycles < 1 || c.LinkCycles < 0:
+		return errors.New("noc: config has invalid pipeline latencies")
+	case c.Routing == nil:
+		return errors.New("noc: config needs a routing algorithm")
+	case c.AltRouting != nil && c.VCs < 2:
+		return errors.New("noc: a second traffic class needs at least two virtual channels")
+	}
+	return nil
+}
+
+// classVCRange returns the [lo, hi) input-VC indices packets of the given
+// class may occupy. Without an alternate class, class 0 owns every VC.
+func (c Config) classVCRange(class int) (lo, hi int) {
+	if c.AltRouting == nil {
+		return 0, c.VCs
+	}
+	half := c.VCs / 2
+	if class == 0 {
+		return 0, half
+	}
+	return half, c.VCs
+}
+
+// classRouting returns the routing algorithm for a class.
+func (c Config) classRouting(class int) RoutingAlgorithm {
+	if class == 1 && c.AltRouting != nil {
+		return c.AltRouting
+	}
+	return c.Routing
+}
+
+// Verdict is an inspector's decision about a packet at the RC stage.
+type Verdict int
+
+// Inspection verdicts. VerdictForward is deliberately the zero value: a
+// packet the inspector ignores proceeds normally.
+const (
+	// VerdictForward routes the packet normally.
+	VerdictForward Verdict = iota
+	// VerdictDrop silently discards the packet — the "packet drop attack"
+	// class of Section II-B.
+	VerdictDrop
+	// VerdictLoopback rewrites the destination to the source, bouncing the
+	// packet home — the "routing loop attack" class of Section II-B.
+	VerdictLoopback
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictForward:
+		return "forward"
+	case VerdictDrop:
+		return "drop"
+	case VerdictLoopback:
+		return "loopback"
+	default:
+		return fmt.Sprintf("verdict(%d)", int(v))
+	}
+}
+
+// Inspector is the hardware-Trojan hook. InspectRC is invoked for every
+// packet whose head flit sits in router's input buffer immediately before
+// routing computation — the exact circuit position of Fig 2(b). The
+// inspector may mutate the packet's payload (the paper's false-data
+// attack) and/or return a non-forward verdict (the drop and routing-loop
+// attack classes of Section II-B).
+type Inspector interface {
+	InspectRC(router NodeID, p *Packet) Verdict
+}
+
+// Handler receives packets fully ejected at a node.
+type Handler func(p *Packet)
+
+// vcState is one input virtual channel of a router.
+type vcState struct {
+	fifo []*Flit
+	// owner is the packet holding this VC (wormhole allocation). It is set
+	// when an upstream VC allocation reserves this channel and cleared when
+	// the packet's tail flit departs the fifo.
+	owner *Packet
+	// inflight counts flits sent toward this VC that have not yet arrived.
+	inflight int
+
+	// Per-packet routing state for the packet at the head of the fifo.
+	route       Direction
+	routeValid  bool
+	outVC       int
+	outVCValid  bool
+	inspected   bool
+	dropping    bool     // consume this packet's flits instead of routing them
+	reservedDst *vcState // downstream VC reserved by VC allocation
+}
+
+func (v *vcState) reset() {
+	v.owner = nil
+	v.route = Local
+	v.routeValid = false
+	v.outVC = 0
+	v.outVCValid = false
+	v.inspected = false
+	v.dropping = false
+	v.reservedDst = nil
+}
+
+// free reports whether the VC can accept a new packet's head flit.
+func (v *vcState) free() bool { return v.owner == nil && len(v.fifo) == 0 && v.inflight == 0 }
+
+// space reports whether one more flit fits (buffer + in-flight).
+func (v *vcState) space(depth int) bool { return len(v.fifo)+v.inflight < depth }
+
+type router struct {
+	id     NodeID
+	inputs [numDirections][]*vcState
+	// saPtr is the round-robin switch-allocation pointer per output port,
+	// indexing the flattened (input port, VC) candidate list.
+	saPtr [numDirections]int
+}
+
+// inflightFlit is a flit traversing the router pipeline + link toward a
+// downstream input VC. Latency is constant, so a FIFO keeps arrival order.
+type inflightFlit struct {
+	arriveAt uint64
+	flit     *Flit
+	dst      *vcState
+}
+
+// nodeNI is the per-node network interface: an unbounded injection queue
+// (source queue) plus reassembly state for ejection.
+type nodeNI struct {
+	queue   []*Flit
+	injVC   *vcState // VC currently allocated to the head-of-queue packet
+	rxFlits map[uint64]int
+}
+
+// Stats aggregates network-level counters.
+type Stats struct {
+	Injected         uint64
+	Delivered        uint64
+	HopSum           uint64
+	DeliveredBy      map[PacketType]uint64
+	LatencySumBy     map[PacketType]uint64
+	TamperedPowerReq uint64 // POWER_REQ packets delivered with Tampered set
+	DroppedPackets   uint64 // packets discarded by a VerdictDrop
+	LoopedBack       uint64 // packets delivered to their own source
+}
+
+// AvgLatency returns the mean injection-to-delivery latency in cycles for
+// packets of type t, or 0 if none were delivered.
+func (s *Stats) AvgLatency(t PacketType) float64 {
+	n := s.DeliveredBy[t]
+	if n == 0 {
+		return 0
+	}
+	return float64(s.LatencySumBy[t]) / float64(n)
+}
+
+// Network is the cycle-stepped NoC. It is not safe for concurrent use; one
+// simulation owns one network.
+type Network struct {
+	mesh      Mesh
+	cfg       Config
+	now       uint64
+	nextID    uint64
+	routers   []*router
+	nis       []*nodeNI
+	inflight  []inflightFlit
+	handlers  []Handler
+	inspector Inspector
+	stats     Stats
+}
+
+// New constructs a network over mesh with the given configuration.
+func New(mesh Mesh, cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if mesh.Nodes() == 0 {
+		return nil, errors.New("noc: empty mesh")
+	}
+	n := &Network{
+		mesh:     mesh,
+		cfg:      cfg,
+		routers:  make([]*router, mesh.Nodes()),
+		nis:      make([]*nodeNI, mesh.Nodes()),
+		handlers: make([]Handler, mesh.Nodes()),
+	}
+	n.stats.DeliveredBy = make(map[PacketType]uint64)
+	n.stats.LatencySumBy = make(map[PacketType]uint64)
+	for i := range n.routers {
+		r := &router{id: NodeID(i)}
+		for d := 0; d < int(numDirections); d++ {
+			r.inputs[d] = make([]*vcState, cfg.VCs)
+			for v := range r.inputs[d] {
+				r.inputs[d][v] = &vcState{}
+			}
+		}
+		n.routers[i] = r
+		n.nis[i] = &nodeNI{rxFlits: make(map[uint64]int)}
+	}
+	return n, nil
+}
+
+// Mesh returns the network topology.
+func (n *Network) Mesh() Mesh { return n.mesh }
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Now returns the network cycle counter.
+func (n *Network) Now() uint64 { return n.now }
+
+// Stats returns a snapshot copy of the accumulated statistics.
+func (n *Network) Stats() Stats {
+	s := n.stats
+	s.DeliveredBy = make(map[PacketType]uint64, len(n.stats.DeliveredBy))
+	for k, v := range n.stats.DeliveredBy {
+		s.DeliveredBy[k] = v
+	}
+	s.LatencySumBy = make(map[PacketType]uint64, len(n.stats.LatencySumBy))
+	for k, v := range n.stats.LatencySumBy {
+		s.LatencySumBy[k] = v
+	}
+	return s
+}
+
+// Attach registers the delivery handler for node id, replacing any previous
+// handler.
+func (n *Network) Attach(id NodeID, h Handler) { n.handlers[id] = h }
+
+// SetInspector installs the hardware-Trojan inspection hook (nil clears).
+func (n *Network) SetInspector(i Inspector) { n.inspector = i }
+
+// Inject queues p for transmission from p.Src. The source queue is
+// unbounded, so injection never fails for a valid packet.
+func (n *Network) Inject(p *Packet) error {
+	if !n.mesh.Contains(n.mesh.Coord(p.Src)) || !n.mesh.Contains(n.mesh.Coord(p.Dst)) {
+		return fmt.Errorf("noc: inject %v->%v outside %dx%d mesh", p.Src, p.Dst, n.mesh.Width, n.mesh.Height)
+	}
+	if p.Type == TypeInvalid || p.Type >= numPacketTypes {
+		return fmt.Errorf("noc: inject packet with invalid type %d", p.Type)
+	}
+	if p.Class < 0 || p.Class > 1 {
+		return fmt.Errorf("noc: inject packet with invalid class %d", p.Class)
+	}
+	if p.Class == 1 && n.cfg.AltRouting == nil {
+		return fmt.Errorf("noc: class-1 packet without an alternate routing class")
+	}
+	n.nextID++
+	p.ID = n.nextID
+	p.InjectedAt = n.now
+	p.OriginalPayload = p.Payload
+	n.nis[p.Src].queue = append(n.nis[p.Src].queue, Flits(p)...)
+	n.stats.Injected++
+	return nil
+}
+
+// Busy reports whether any flit remains anywhere in the network.
+func (n *Network) Busy() bool {
+	if len(n.inflight) > 0 {
+		return true
+	}
+	for i, ni := range n.nis {
+		if len(ni.queue) > 0 {
+			return true
+		}
+		r := n.routers[i]
+		for d := 0; d < int(numDirections); d++ {
+			for _, vc := range r.inputs[d] {
+				if len(vc.fifo) > 0 {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// Step advances the network by one cycle.
+func (n *Network) Step() {
+	n.now++
+	n.deliverArrivals()
+	n.injectFromNIs()
+	n.routeCompute()
+	n.vcAllocate()
+	n.switchTraversal()
+}
+
+// RunUntilIdle steps until no flits remain or maxCycles elapse. It returns
+// the number of cycles stepped and whether the network drained.
+func (n *Network) RunUntilIdle(maxCycles uint64) (uint64, bool) {
+	var c uint64
+	for ; c < maxCycles; c++ {
+		if !n.Busy() {
+			return c, true
+		}
+		n.Step()
+	}
+	return c, !n.Busy()
+}
+
+// deliverArrivals moves link-pipeline flits whose latency elapsed into their
+// destination input VCs.
+func (n *Network) deliverArrivals() {
+	i := 0
+	for ; i < len(n.inflight); i++ {
+		f := n.inflight[i]
+		if f.arriveAt > n.now {
+			break // FIFO: constant latency keeps arrivals ordered
+		}
+		f.dst.fifo = append(f.dst.fifo, f.flit)
+		f.dst.inflight--
+	}
+	if i > 0 {
+		n.inflight = n.inflight[i:]
+		if len(n.inflight) == 0 {
+			n.inflight = nil
+		}
+	}
+}
+
+// injectFromNIs moves at most one flit per node from the source queue into
+// the router's local input port.
+func (n *Network) injectFromNIs() {
+	for id, ni := range n.nis {
+		if len(ni.queue) == 0 {
+			continue
+		}
+		f := ni.queue[0]
+		r := n.routers[id]
+		if f.IsHead() {
+			// Allocate a free local input VC within the packet's class.
+			lo, hi := n.cfg.classVCRange(f.Packet.Class)
+			var target *vcState
+			for _, vc := range r.inputs[Local][lo:hi] {
+				if vc.free() {
+					target = vc
+					break
+				}
+			}
+			if target == nil {
+				continue // all local VCs of this class busy this cycle
+			}
+			target.owner = f.Packet
+			ni.injVC = target
+		}
+		if ni.injVC == nil || !ni.injVC.space(n.cfg.BufDepth) {
+			continue
+		}
+		ni.injVC.fifo = append(ni.injVC.fifo, f)
+		ni.queue = ni.queue[1:]
+		if len(ni.queue) == 0 {
+			ni.queue = nil
+		}
+		if f.IsTail() {
+			ni.injVC = nil
+		}
+	}
+}
+
+// routeCompute runs the RC stage: for every input VC whose head-of-line
+// flit opens a packet and has no route yet, inspect (Trojan hook) and route.
+func (n *Network) routeCompute() {
+	for _, r := range n.routers {
+		for d := 0; d < int(numDirections); d++ {
+			for _, vc := range r.inputs[d] {
+				if vc.dropping {
+					n.consumeDropped(vc)
+					continue
+				}
+				if len(vc.fifo) == 0 || vc.routeValid {
+					continue
+				}
+				head := vc.fifo[0]
+				if !head.IsHead() {
+					continue
+				}
+				p := head.Packet
+				if !vc.inspected {
+					// Fig 2(b): the HT sits between the input buffer and
+					// the routing-computation module.
+					if n.inspector != nil {
+						switch n.inspector.InspectRC(r.id, p) {
+						case VerdictDrop:
+							vc.dropping = true
+							vc.inspected = true
+							n.consumeDropped(vc)
+							continue
+						case VerdictLoopback:
+							// The malicious router bounces the packet back
+							// to its source; the route below targets the
+							// rewritten destination.
+							p.Dst = p.Src
+							p.LoopedBack = true
+						}
+					}
+					vc.inspected = true
+					p.Hops++
+				}
+				free := func(dir Direction) bool { return n.downstreamHasFreeVC(r.id, dir, p.Class) }
+				vc.route = n.cfg.classRouting(p.Class).Route(n.mesh, r.id, p.Dst, free)
+				vc.routeValid = true
+			}
+		}
+	}
+}
+
+// consumeDropped discards buffered flits of a packet condemned by a
+// VerdictDrop, releasing the VC once the tail has been eaten. Upstream
+// flits still in the link pipeline arrive later and are eaten on
+// subsequent cycles.
+func (n *Network) consumeDropped(vc *vcState) {
+	for len(vc.fifo) > 0 {
+		f := vc.fifo[0]
+		vc.fifo = vc.fifo[1:]
+		if len(vc.fifo) == 0 {
+			vc.fifo = nil
+		}
+		if f.IsTail() {
+			n.stats.DroppedPackets++
+			vc.reset()
+			return
+		}
+	}
+}
+
+// downstreamHasFreeVC reports whether the neighbour of id in direction dir
+// has any completely free input VC in the packet's class — the congestion
+// signal used by the adaptive routing algorithm.
+func (n *Network) downstreamHasFreeVC(id NodeID, dir Direction, class int) bool {
+	nb, ok := n.mesh.Neighbor(id, dir)
+	if !ok {
+		return false
+	}
+	in := dir.Opposite()
+	lo, hi := n.cfg.classVCRange(class)
+	for _, vc := range n.routers[nb].inputs[in][lo:hi] {
+		if vc.free() {
+			return true
+		}
+	}
+	return false
+}
+
+// vcAllocate runs the VA stage: routed head packets reserve a free VC in
+// the downstream router's input port.
+func (n *Network) vcAllocate() {
+	for _, r := range n.routers {
+		for d := 0; d < int(numDirections); d++ {
+			for _, vc := range r.inputs[d] {
+				if !vc.routeValid || vc.outVCValid || vc.route == Local {
+					continue
+				}
+				if len(vc.fifo) == 0 || !vc.fifo[0].IsHead() {
+					continue
+				}
+				nb, ok := n.mesh.Neighbor(r.id, vc.route)
+				if !ok {
+					// Routing algorithms never route off-mesh; defensive.
+					continue
+				}
+				in := vc.route.Opposite()
+				lo, hi := n.cfg.classVCRange(vc.fifo[0].Packet.Class)
+				for outIdx, dvc := range n.routers[nb].inputs[in][lo:hi] {
+					if dvc.free() {
+						dvc.owner = vc.fifo[0].Packet
+						vc.outVC = lo + outIdx
+						vc.outVCValid = true
+						vc.reservedDst = dvc
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+// switchTraversal runs SA+ST: per output port, one flit crosses the switch,
+// respecting one-flit-per-input-port bandwidth, then either ejects locally
+// or enters the link pipeline.
+func (n *Network) switchTraversal() {
+	for _, r := range n.routers {
+		var usedInput [numDirections]bool
+		for out := 0; out < int(numDirections); out++ {
+			n.arbitrateOutput(r, Direction(out), &usedInput)
+		}
+	}
+}
+
+// arbitrateOutput picks one eligible (input, VC) for output port out using
+// a round-robin pointer and moves its head-of-line flit.
+func (n *Network) arbitrateOutput(r *router, out Direction, usedInput *[numDirections]bool) {
+	total := int(numDirections) * n.cfg.VCs
+	start := r.saPtr[out]
+	for k := 0; k < total; k++ {
+		idx := (start + k) % total
+		d := Direction(idx / n.cfg.VCs)
+		vc := r.inputs[d][idx%n.cfg.VCs]
+		if usedInput[d] || len(vc.fifo) == 0 || !vc.routeValid || vc.route != out {
+			continue
+		}
+		if out != Local {
+			if !vc.outVCValid || !vc.reservedDst.space(n.cfg.BufDepth) {
+				continue
+			}
+		}
+		f := vc.fifo[0]
+		vc.fifo = vc.fifo[1:]
+		if len(vc.fifo) == 0 {
+			vc.fifo = nil
+		}
+		usedInput[d] = true
+		r.saPtr[out] = (idx + 1) % total
+
+		if out == Local {
+			n.eject(r.id, f)
+		} else {
+			vc.reservedDst.inflight++
+			n.inflight = append(n.inflight, inflightFlit{
+				arriveAt: n.now + uint64(n.cfg.RouterCycles+n.cfg.LinkCycles),
+				flit:     f,
+				dst:      vc.reservedDst,
+			})
+		}
+		if f.IsTail() {
+			vc.reset()
+		}
+		return
+	}
+}
+
+// eject consumes a flit at its destination; delivering the tail flit
+// completes the packet and fires the node handler.
+func (n *Network) eject(id NodeID, f *Flit) {
+	ni := n.nis[id]
+	p := f.Packet
+	ni.rxFlits[p.ID]++
+	if !f.IsTail() {
+		return
+	}
+	if ni.rxFlits[p.ID] != p.FlitCount() {
+		// Wormhole routing delivers flits of one packet in order on one
+		// path; a mismatch indicates a simulator bug.
+		panic(fmt.Sprintf("noc: packet %d ejected %d of %d flits", p.ID, ni.rxFlits[p.ID], p.FlitCount()))
+	}
+	delete(ni.rxFlits, p.ID)
+	p.DeliveredAt = n.now
+	n.stats.Delivered++
+	n.stats.HopSum += uint64(p.Hops)
+	n.stats.DeliveredBy[p.Type]++
+	n.stats.LatencySumBy[p.Type] += p.DeliveredAt - p.InjectedAt
+	if p.Type == TypePowerReq && p.Tampered {
+		n.stats.TamperedPowerReq++
+	}
+	if p.LoopedBack {
+		n.stats.LoopedBack++
+	}
+	if h := n.handlers[id]; h != nil {
+		h(p)
+	}
+}

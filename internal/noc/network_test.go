@@ -1,0 +1,417 @@
+package noc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func newTestNetwork(t *testing.T, w, h int) *Network {
+	t.Helper()
+	n, err := New(Mesh{Width: w, Height: h}, DefaultConfig())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return n
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+		wantOK bool
+	}{
+		{name: "default ok", mutate: func(*Config) {}, wantOK: true},
+		{name: "zero VCs", mutate: func(c *Config) { c.VCs = 0 }},
+		{name: "zero depth", mutate: func(c *Config) { c.BufDepth = 0 }},
+		{name: "zero router cycles", mutate: func(c *Config) { c.RouterCycles = 0 }},
+		{name: "negative link", mutate: func(c *Config) { c.LinkCycles = -1 }},
+		{name: "nil routing", mutate: func(c *Config) { c.Routing = nil }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tt.mutate(&cfg)
+			err := cfg.Validate()
+			if tt.wantOK && err != nil {
+				t.Errorf("Validate: %v", err)
+			}
+			if !tt.wantOK && err == nil {
+				t.Error("Validate should fail")
+			}
+		})
+	}
+}
+
+func TestDefaultConfigMatchesTableI(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.VCs != 4 {
+		t.Errorf("VCs = %d, want 4 (Table I)", cfg.VCs)
+	}
+	if cfg.BufDepth != 5 {
+		t.Errorf("BufDepth = %d, want 5 (Table I)", cfg.BufDepth)
+	}
+	if cfg.RouterCycles != 2 || cfg.LinkCycles != 1 {
+		t.Errorf("latencies = %d/%d, want 2/1 (Table I)", cfg.RouterCycles, cfg.LinkCycles)
+	}
+	if cfg.Routing.Name() != "xy" {
+		t.Errorf("routing = %q, want xy (Table I)", cfg.Routing.Name())
+	}
+}
+
+func TestSinglePacketDelivery(t *testing.T) {
+	n := newTestNetwork(t, 4, 4)
+	var got *Packet
+	n.Attach(15, func(p *Packet) { got = p })
+	p := &Packet{Src: 0, Dst: 15, Type: TypePowerReq, Payload: 1234}
+	if err := n.Inject(p); err != nil {
+		t.Fatalf("Inject: %v", err)
+	}
+	if _, drained := n.RunUntilIdle(1000); !drained {
+		t.Fatal("network did not drain")
+	}
+	if got == nil {
+		t.Fatal("packet not delivered")
+	}
+	if got.Payload != 1234 {
+		t.Errorf("payload = %d, want 1234", got.Payload)
+	}
+	// 4x4 mesh corner to corner: 6 links, 7 routers traversed.
+	if got.Hops != 7 {
+		t.Errorf("hops = %d, want 7", got.Hops)
+	}
+	if got.DeliveredAt <= got.InjectedAt {
+		t.Error("delivery time must be after injection")
+	}
+}
+
+func TestSelfDelivery(t *testing.T) {
+	n := newTestNetwork(t, 2, 2)
+	var got *Packet
+	n.Attach(1, func(p *Packet) { got = p })
+	if err := n.Inject(&Packet{Src: 1, Dst: 1, Type: TypePowerGrant, Payload: 9}); err != nil {
+		t.Fatalf("Inject: %v", err)
+	}
+	n.RunUntilIdle(100)
+	if got == nil || got.Payload != 9 {
+		t.Fatal("self-addressed packet not delivered")
+	}
+}
+
+func TestInjectValidation(t *testing.T) {
+	n := newTestNetwork(t, 2, 2)
+	if err := n.Inject(&Packet{Src: 0, Dst: 99, Type: TypePowerReq}); err == nil {
+		t.Error("off-mesh destination should fail")
+	}
+	if err := n.Inject(&Packet{Src: 0, Dst: 1, Type: TypeInvalid}); err == nil {
+		t.Error("invalid type should fail")
+	}
+}
+
+func TestDataPacketDelivery(t *testing.T) {
+	n := newTestNetwork(t, 4, 4)
+	delivered := 0
+	n.Attach(12, func(p *Packet) { delivered++ })
+	if err := n.Inject(&Packet{Src: 3, Dst: 12, Type: TypeMemReadReply}); err != nil {
+		t.Fatalf("Inject: %v", err)
+	}
+	if _, drained := n.RunUntilIdle(1000); !drained {
+		t.Fatal("network did not drain")
+	}
+	if delivered != 1 {
+		t.Fatalf("delivered = %d, want 1", delivered)
+	}
+}
+
+func TestManyToOneDelivery(t *testing.T) {
+	// Every node sends a power request to the centre: the Fig 3/4 traffic
+	// pattern. All must arrive exactly once.
+	n := newTestNetwork(t, 8, 8)
+	gm := n.Mesh().Center()
+	got := make(map[NodeID]int)
+	n.Attach(gm, func(p *Packet) { got[p.Src]++ })
+	for id := NodeID(0); id < NodeID(n.Mesh().Nodes()); id++ {
+		if id == gm {
+			continue
+		}
+		if err := n.Inject(&Packet{Src: id, Dst: gm, Type: TypePowerReq, Payload: uint32(id)}); err != nil {
+			t.Fatalf("Inject %d: %v", id, err)
+		}
+	}
+	if _, drained := n.RunUntilIdle(100000); !drained {
+		t.Fatal("network did not drain")
+	}
+	if len(got) != n.Mesh().Nodes()-1 {
+		t.Fatalf("sources delivered = %d, want %d", len(got), n.Mesh().Nodes()-1)
+	}
+	for src, count := range got {
+		if count != 1 {
+			t.Errorf("source %d delivered %d times", src, count)
+		}
+	}
+	s := n.Stats()
+	if s.Delivered != uint64(n.Mesh().Nodes()-1) {
+		t.Errorf("stats delivered = %d", s.Delivered)
+	}
+	if s.AvgLatency(TypePowerReq) <= 0 {
+		t.Error("average latency must be positive")
+	}
+}
+
+func TestRandomTrafficAllDelivered(t *testing.T) {
+	n := newTestNetwork(t, 6, 6)
+	rng := rand.New(rand.NewSource(42))
+	want := 500
+	delivered := 0
+	for id := NodeID(0); id < NodeID(n.Mesh().Nodes()); id++ {
+		n.Attach(id, func(p *Packet) { delivered++ })
+	}
+	types := []PacketType{TypePowerReq, TypeMemReadReq, TypeMemReadReply, TypeMemWriteReq, TypeCohInvalidate}
+	injected := 0
+	for cycle := 0; injected < want; cycle++ {
+		// Inject a few random packets per cycle to create contention.
+		for k := 0; k < 4 && injected < want; k++ {
+			src := NodeID(rng.Intn(n.Mesh().Nodes()))
+			dst := NodeID(rng.Intn(n.Mesh().Nodes()))
+			typ := types[rng.Intn(len(types))]
+			if err := n.Inject(&Packet{Src: src, Dst: dst, Type: typ, Payload: uint32(injected)}); err != nil {
+				t.Fatalf("Inject: %v", err)
+			}
+			injected++
+		}
+		n.Step()
+	}
+	if _, drained := n.RunUntilIdle(1_000_000); !drained {
+		t.Fatalf("network did not drain: delivered %d of %d", delivered, want)
+	}
+	if delivered != want {
+		t.Fatalf("delivered = %d, want %d", delivered, want)
+	}
+}
+
+func TestWormholeFlitConservation(t *testing.T) {
+	// Data packets between random pairs under the adaptive router: the
+	// ejection-side assertion in eject() catches lost or duplicated flits.
+	cfg := DefaultConfig()
+	cfg.Routing = WestFirstRouting{}
+	n, err := New(Mesh{Width: 5, Height: 5}, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	delivered := 0
+	for id := NodeID(0); id < NodeID(n.Mesh().Nodes()); id++ {
+		n.Attach(id, func(p *Packet) { delivered++ })
+	}
+	rng := rand.New(rand.NewSource(7))
+	const count = 300
+	for i := 0; i < count; i++ {
+		src := NodeID(rng.Intn(25))
+		dst := NodeID(rng.Intn(25))
+		if err := n.Inject(&Packet{Src: src, Dst: dst, Type: TypeMemWriteReq}); err != nil {
+			t.Fatalf("Inject: %v", err)
+		}
+		if i%3 == 0 {
+			n.Step()
+		}
+	}
+	if _, drained := n.RunUntilIdle(1_000_000); !drained {
+		t.Fatal("network did not drain")
+	}
+	if delivered != count {
+		t.Fatalf("delivered = %d, want %d", delivered, count)
+	}
+}
+
+func TestHotspotContentionDoesNotDeadlock(t *testing.T) {
+	// Saturating a single ejection port exercises VC backpressure.
+	n := newTestNetwork(t, 4, 4)
+	delivered := 0
+	n.Attach(5, func(p *Packet) { delivered++ })
+	count := 0
+	for id := NodeID(0); id < 16; id++ {
+		if id == 5 {
+			continue
+		}
+		for k := 0; k < 10; k++ {
+			if err := n.Inject(&Packet{Src: id, Dst: 5, Type: TypeMemReadReply}); err != nil {
+				t.Fatalf("Inject: %v", err)
+			}
+			count++
+		}
+	}
+	if _, drained := n.RunUntilIdle(2_000_000); !drained {
+		t.Fatalf("hotspot deadlock: delivered %d of %d", delivered, count)
+	}
+	if delivered != count {
+		t.Fatalf("delivered = %d, want %d", delivered, count)
+	}
+}
+
+type recordingInspector struct {
+	visits map[NodeID]int
+}
+
+func (ri *recordingInspector) InspectRC(r NodeID, p *Packet) Verdict {
+	if ri.visits == nil {
+		ri.visits = make(map[NodeID]int)
+	}
+	ri.visits[r]++
+	return VerdictForward
+}
+
+func TestInspectorSeesEveryRouterOnPath(t *testing.T) {
+	n := newTestNetwork(t, 8, 8)
+	ri := &recordingInspector{}
+	n.SetInspector(ri)
+	src, dst := NodeID(0), NodeID(63)
+	n.Attach(dst, func(p *Packet) {})
+	if err := n.Inject(&Packet{Src: src, Dst: dst, Type: TypePowerReq, Payload: 7}); err != nil {
+		t.Fatalf("Inject: %v", err)
+	}
+	n.RunUntilIdle(10000)
+	path := n.Mesh().PathXY(src, dst)
+	if len(ri.visits) != len(path) {
+		t.Fatalf("inspected %d routers, want %d", len(ri.visits), len(path))
+	}
+	for _, r := range path {
+		if ri.visits[r] != 1 {
+			t.Errorf("router %d inspected %d times, want 1", r, ri.visits[r])
+		}
+	}
+}
+
+type tamperInspector struct {
+	at NodeID
+}
+
+func (ti tamperInspector) InspectRC(r NodeID, p *Packet) Verdict {
+	if r == ti.at && p.Type == TypePowerReq {
+		p.Payload = 0
+		p.Tampered = true
+	}
+	return VerdictForward
+}
+
+func TestInspectorCanTamperPayload(t *testing.T) {
+	n := newTestNetwork(t, 4, 4)
+	// Node 1 is on the XY path 0 -> 3 (same row).
+	n.SetInspector(tamperInspector{at: 1})
+	var got *Packet
+	n.Attach(3, func(p *Packet) { got = p })
+	if err := n.Inject(&Packet{Src: 0, Dst: 3, Type: TypePowerReq, Payload: 5000}); err != nil {
+		t.Fatalf("Inject: %v", err)
+	}
+	n.RunUntilIdle(1000)
+	if got == nil {
+		t.Fatal("packet lost")
+	}
+	if !got.Tampered || got.Payload != 0 {
+		t.Errorf("payload = %d tampered = %v, want 0/true", got.Payload, got.Tampered)
+	}
+	if got.OriginalPayload != 5000 {
+		t.Errorf("original payload = %d, want 5000", got.OriginalPayload)
+	}
+	if n.Stats().TamperedPowerReq != 1 {
+		t.Errorf("tampered count = %d, want 1", n.Stats().TamperedPowerReq)
+	}
+}
+
+func TestInspectorOffPathDoesNotTamper(t *testing.T) {
+	n := newTestNetwork(t, 4, 4)
+	// Node 13 is not on the XY path 0 -> 3.
+	n.SetInspector(tamperInspector{at: 13})
+	var got *Packet
+	n.Attach(3, func(p *Packet) { got = p })
+	if err := n.Inject(&Packet{Src: 0, Dst: 3, Type: TypePowerReq, Payload: 5000}); err != nil {
+		t.Fatalf("Inject: %v", err)
+	}
+	n.RunUntilIdle(1000)
+	if got == nil || got.Tampered {
+		t.Fatal("off-path inspector must not tamper")
+	}
+}
+
+func TestXYLatencyUncontended(t *testing.T) {
+	// A lone meta packet: latency ≈ hops × (router+link cycles) plus
+	// injection/ejection overhead; sanity-check the pipeline constant.
+	n := newTestNetwork(t, 8, 1)
+	var got *Packet
+	n.Attach(7, func(p *Packet) { got = p })
+	if err := n.Inject(&Packet{Src: 0, Dst: 7, Type: TypePowerReq}); err != nil {
+		t.Fatalf("Inject: %v", err)
+	}
+	n.RunUntilIdle(1000)
+	if got == nil {
+		t.Fatal("not delivered")
+	}
+	lat := got.DeliveredAt - got.InjectedAt
+	// 7 links × 3 cycles each + ~2 cycles inject/eject.
+	if lat < 21 || lat > 25 {
+		t.Errorf("latency = %d, want about 23", lat)
+	}
+}
+
+func TestStatsSnapshotIsCopy(t *testing.T) {
+	n := newTestNetwork(t, 2, 2)
+	s := n.Stats()
+	s.DeliveredBy[TypePowerReq] = 999
+	if n.Stats().DeliveredBy[TypePowerReq] == 999 {
+		t.Error("Stats must return a defensive copy")
+	}
+}
+
+func TestBusyLifecycle(t *testing.T) {
+	n := newTestNetwork(t, 3, 3)
+	if n.Busy() {
+		t.Error("fresh network should be idle")
+	}
+	n.Attach(8, func(p *Packet) {})
+	if err := n.Inject(&Packet{Src: 0, Dst: 8, Type: TypePowerReq}); err != nil {
+		t.Fatalf("Inject: %v", err)
+	}
+	if !n.Busy() {
+		t.Error("network with queued packet should be busy")
+	}
+	n.RunUntilIdle(1000)
+	if n.Busy() {
+		t.Error("drained network should be idle")
+	}
+}
+
+func TestRoutingByName(t *testing.T) {
+	for _, name := range []string{"xy", "west-first", "adaptive"} {
+		if _, err := RoutingByName(name); err != nil {
+			t.Errorf("RoutingByName(%q): %v", name, err)
+		}
+	}
+	if _, err := RoutingByName("nope"); err == nil {
+		t.Error("unknown routing name should fail")
+	}
+}
+
+func TestWestFirstDeliversUnderLoad(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Routing = WestFirstRouting{}
+	n, err := New(Mesh{Width: 8, Height: 8}, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	gm := n.Mesh().Center()
+	delivered := 0
+	n.Attach(gm, func(p *Packet) { delivered++ })
+	count := 0
+	for id := NodeID(0); id < 64; id++ {
+		if id == gm {
+			continue
+		}
+		if err := n.Inject(&Packet{Src: id, Dst: gm, Type: TypePowerReq}); err != nil {
+			t.Fatalf("Inject: %v", err)
+		}
+		count++
+	}
+	if _, drained := n.RunUntilIdle(1_000_000); !drained {
+		t.Fatal("west-first network did not drain")
+	}
+	if delivered != count {
+		t.Fatalf("delivered = %d, want %d", delivered, count)
+	}
+}

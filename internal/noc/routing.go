@@ -1,0 +1,130 @@
+package noc
+
+import "fmt"
+
+// RoutingAlgorithm decides the output port for a packet at a router.
+// Implementations must be deadlock-free on a 2D mesh.
+type RoutingAlgorithm interface {
+	// Route returns the output direction for a packet at router cur headed
+	// to dst. free reports, for each candidate direction, whether the
+	// downstream buffer currently has room — adaptive algorithms may use
+	// it, deterministic ones ignore it.
+	Route(m Mesh, cur, dst NodeID, free func(Direction) bool) Direction
+	// Name identifies the algorithm in reports and benchmarks.
+	Name() string
+}
+
+// XYRouting is the Table I default: route fully in X, then in Y.
+// It is deterministic, minimal, and deadlock-free.
+type XYRouting struct{}
+
+var _ RoutingAlgorithm = XYRouting{}
+
+// Name implements RoutingAlgorithm.
+func (XYRouting) Name() string { return "xy" }
+
+// Route implements RoutingAlgorithm.
+func (XYRouting) Route(m Mesh, cur, dst NodeID, _ func(Direction) bool) Direction {
+	cc, cd := m.Coord(cur), m.Coord(dst)
+	switch {
+	case cc.X < cd.X:
+		return East
+	case cc.X > cd.X:
+		return West
+	case cc.Y < cd.Y:
+		return South
+	case cc.Y > cd.Y:
+		return North
+	default:
+		return Local
+	}
+}
+
+// YXRouting routes fully in Y first, then in X — the mirror of XY. On its
+// own VC class it is deadlock-free, and because an XY and a YX path between
+// the same pair share only their endpoints (when src and dst differ in both
+// coordinates), the pair forms the route-diverse channel the dual-path
+// request-verification defense is built on.
+type YXRouting struct{}
+
+var _ RoutingAlgorithm = YXRouting{}
+
+// Name implements RoutingAlgorithm.
+func (YXRouting) Name() string { return "yx" }
+
+// Route implements RoutingAlgorithm.
+func (YXRouting) Route(m Mesh, cur, dst NodeID, _ func(Direction) bool) Direction {
+	cc, cd := m.Coord(cur), m.Coord(dst)
+	switch {
+	case cc.Y < cd.Y:
+		return South
+	case cc.Y > cd.Y:
+		return North
+	case cc.X < cd.X:
+		return East
+	case cc.X > cd.X:
+		return West
+	default:
+		return Local
+	}
+}
+
+// WestFirstRouting is the minimal adaptive west-first turn-model router used
+// as the "adaptive routing" ablation of Section V-A. Westward hops are taken
+// first and exclusively; among the remaining permitted minimal directions it
+// prefers one with downstream buffer space.
+type WestFirstRouting struct{}
+
+var _ RoutingAlgorithm = WestFirstRouting{}
+
+// Name implements RoutingAlgorithm.
+func (WestFirstRouting) Name() string { return "west-first" }
+
+// Route implements RoutingAlgorithm.
+func (WestFirstRouting) Route(m Mesh, cur, dst NodeID, free func(Direction) bool) Direction {
+	cc, cd := m.Coord(cur), m.Coord(dst)
+	if cc == cd {
+		return Local
+	}
+	// West-first: if any westward progress is required it must happen
+	// before any other turn.
+	if cc.X > cd.X {
+		return West
+	}
+	var candidates []Direction
+	if cc.X < cd.X {
+		candidates = append(candidates, East)
+	}
+	if cc.Y < cd.Y {
+		candidates = append(candidates, South)
+	} else if cc.Y > cd.Y {
+		candidates = append(candidates, North)
+	}
+	if len(candidates) == 1 {
+		return candidates[0]
+	}
+	// Adaptive choice between the two minimal productive directions:
+	// prefer a direction whose downstream has space.
+	if free != nil {
+		for _, d := range candidates {
+			if free(d) {
+				return d
+			}
+		}
+	}
+	return candidates[0]
+}
+
+// RoutingByName returns the named algorithm, for CLI flag parsing.
+func RoutingByName(name string) (RoutingAlgorithm, error) {
+	switch name {
+	case "xy":
+		return XYRouting{}, nil
+	case "yx":
+		return YXRouting{}, nil
+	case "west-first", "westfirst", "adaptive":
+		return WestFirstRouting{}, nil
+	default:
+		return nil, fmt.Errorf("noc: unknown routing algorithm %q", name)
+	}
+}

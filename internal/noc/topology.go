@@ -1,0 +1,207 @@
+// Package noc implements the on-chip network substrate of the reproduction:
+// a 2D-mesh, wormhole-switched, virtual-channel network with the Table I
+// parameters of the paper (4 VCs, 5-flit buffers, 2-cycle routers, 1-cycle
+// links, XY routing by default, adaptive west-first as ablation).
+//
+// The hardware-Trojan hook of the paper sits exactly where Fig 2(b) places
+// it: between a router's input buffer and its routing-computation module.
+// The network exposes that point as the Inspector interface.
+package noc
+
+import "fmt"
+
+// NodeID identifies one tile (core + caches + router) in the mesh.
+type NodeID int
+
+// Coord is a mesh coordinate. X grows eastward, Y grows southward.
+type Coord struct {
+	X, Y int
+}
+
+// Mesh describes a Width×Height 2D mesh.
+type Mesh struct {
+	Width, Height int
+}
+
+// MeshForSize returns the most-square mesh with Width ≥ Height whose node
+// count is exactly n. It matches the paper's configurations: 64 → 8×8,
+// 128 → 16×8, 256 → 16×16, 512 → 32×16.
+func MeshForSize(n int) (Mesh, error) {
+	if n <= 0 {
+		return Mesh{}, fmt.Errorf("noc: invalid system size %d", n)
+	}
+	best := Mesh{}
+	for h := 1; h*h <= n; h++ {
+		if n%h == 0 {
+			best = Mesh{Width: n / h, Height: h}
+		}
+	}
+	if best.Width == 0 {
+		return Mesh{}, fmt.Errorf("noc: size %d has no mesh factorisation", n)
+	}
+	return best, nil
+}
+
+// Nodes returns the total node count.
+func (m Mesh) Nodes() int { return m.Width * m.Height }
+
+// Contains reports whether c lies inside the mesh.
+func (m Mesh) Contains(c Coord) bool {
+	return c.X >= 0 && c.X < m.Width && c.Y >= 0 && c.Y < m.Height
+}
+
+// ID maps a coordinate to its node ID (row-major).
+func (m Mesh) ID(c Coord) NodeID { return NodeID(c.Y*m.Width + c.X) }
+
+// Coord maps a node ID back to its coordinate.
+func (m Mesh) Coord(id NodeID) Coord {
+	return Coord{X: int(id) % m.Width, Y: int(id) / m.Width}
+}
+
+// Center returns the node closest to the geometric center of the mesh.
+func (m Mesh) Center() NodeID {
+	return m.ID(Coord{X: (m.Width - 1) / 2, Y: (m.Height - 1) / 2})
+}
+
+// Corner returns the node at the north-west corner (0, 0).
+func (m Mesh) Corner() NodeID { return m.ID(Coord{}) }
+
+// ManhattanDistance returns the Manhattan (hop) distance between two nodes.
+func (m Mesh) ManhattanDistance(a, b NodeID) int {
+	ca, cb := m.Coord(a), m.Coord(b)
+	return abs(ca.X-cb.X) + abs(ca.Y-cb.Y)
+}
+
+// Direction identifies a router port. Local is deliberately the zero value:
+// a default-initialised route targets the local ejection port, which is the
+// only port that is always legal.
+type Direction int
+
+// Router port directions. North is toward smaller Y, South toward larger Y,
+// East toward larger X, West toward smaller X.
+const (
+	Local Direction = iota
+	North
+	East
+	South
+	West
+	numDirections
+)
+
+// String implements fmt.Stringer for debugging output.
+func (d Direction) String() string {
+	switch d {
+	case Local:
+		return "local"
+	case North:
+		return "north"
+	case East:
+		return "east"
+	case South:
+		return "south"
+	case West:
+		return "west"
+	default:
+		return fmt.Sprintf("direction(%d)", int(d))
+	}
+}
+
+// Opposite returns the port on which a neighbour receives flits sent out of
+// d. Local has no opposite and maps to Local.
+func (d Direction) Opposite() Direction {
+	switch d {
+	case North:
+		return South
+	case South:
+		return North
+	case East:
+		return West
+	case West:
+		return East
+	default:
+		return Local
+	}
+}
+
+// Neighbor returns the node adjacent to id in direction d and true, or
+// (0, false) at a mesh edge or for Local.
+func (m Mesh) Neighbor(id NodeID, d Direction) (NodeID, bool) {
+	c := m.Coord(id)
+	switch d {
+	case North:
+		c.Y--
+	case South:
+		c.Y++
+	case East:
+		c.X++
+	case West:
+		c.X--
+	default:
+		return 0, false
+	}
+	if !m.Contains(c) {
+		return 0, false
+	}
+	return m.ID(c), true
+}
+
+// PathXY returns the sequence of routers an XY-routed packet traverses from
+// src to dst, inclusive of both endpoints. This is the closed-form path
+// model used by the fast infection-rate predictor.
+func (m Mesh) PathXY(src, dst NodeID) []NodeID {
+	cs, cd := m.Coord(src), m.Coord(dst)
+	path := make([]NodeID, 0, abs(cs.X-cd.X)+abs(cs.Y-cd.Y)+1)
+	c := cs
+	path = append(path, m.ID(c))
+	for c.X != cd.X {
+		if c.X < cd.X {
+			c.X++
+		} else {
+			c.X--
+		}
+		path = append(path, m.ID(c))
+	}
+	for c.Y != cd.Y {
+		if c.Y < cd.Y {
+			c.Y++
+		} else {
+			c.Y--
+		}
+		path = append(path, m.ID(c))
+	}
+	return path
+}
+
+// PathYX returns the routers a YX-routed packet traverses from src to dst,
+// inclusive of both endpoints — the alternate-class path of the dual-path
+// defense.
+func (m Mesh) PathYX(src, dst NodeID) []NodeID {
+	cs, cd := m.Coord(src), m.Coord(dst)
+	path := make([]NodeID, 0, abs(cs.X-cd.X)+abs(cs.Y-cd.Y)+1)
+	c := cs
+	path = append(path, m.ID(c))
+	for c.Y != cd.Y {
+		if c.Y < cd.Y {
+			c.Y++
+		} else {
+			c.Y--
+		}
+		path = append(path, m.ID(c))
+	}
+	for c.X != cd.X {
+		if c.X < cd.X {
+			c.X++
+		} else {
+			c.X--
+		}
+		path = append(path, m.ID(c))
+	}
+	return path
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,190 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMeshForSize(t *testing.T) {
+	tests := []struct {
+		give  int
+		wantW int
+		wantH int
+	}{
+		{give: 64, wantW: 8, wantH: 8},
+		{give: 128, wantW: 16, wantH: 8},
+		{give: 256, wantW: 16, wantH: 16},
+		{give: 512, wantW: 32, wantH: 16},
+		{give: 1, wantW: 1, wantH: 1},
+	}
+	for _, tt := range tests {
+		m, err := MeshForSize(tt.give)
+		if err != nil {
+			t.Fatalf("MeshForSize(%d): %v", tt.give, err)
+		}
+		if m.Width != tt.wantW || m.Height != tt.wantH {
+			t.Errorf("MeshForSize(%d) = %dx%d, want %dx%d", tt.give, m.Width, m.Height, tt.wantW, tt.wantH)
+		}
+	}
+}
+
+func TestMeshForSizeInvalid(t *testing.T) {
+	if _, err := MeshForSize(0); err == nil {
+		t.Error("MeshForSize(0) should fail")
+	}
+	if _, err := MeshForSize(-4); err == nil {
+		t.Error("MeshForSize(-4) should fail")
+	}
+}
+
+func TestIDCoordRoundTrip(t *testing.T) {
+	m := Mesh{Width: 7, Height: 5}
+	for id := NodeID(0); id < NodeID(m.Nodes()); id++ {
+		if got := m.ID(m.Coord(id)); got != id {
+			t.Fatalf("round trip for %d gave %d", id, got)
+		}
+	}
+}
+
+func TestContains(t *testing.T) {
+	m := Mesh{Width: 4, Height: 3}
+	tests := []struct {
+		give Coord
+		want bool
+	}{
+		{Coord{0, 0}, true},
+		{Coord{3, 2}, true},
+		{Coord{4, 0}, false},
+		{Coord{0, 3}, false},
+		{Coord{-1, 0}, false},
+	}
+	for _, tt := range tests {
+		if got := m.Contains(tt.give); got != tt.want {
+			t.Errorf("Contains(%v) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestCenterAndCorner(t *testing.T) {
+	m := Mesh{Width: 16, Height: 16}
+	if c := m.Coord(m.Center()); c.X != 7 || c.Y != 7 {
+		t.Errorf("Center of 16x16 = %v, want (7,7)", c)
+	}
+	if m.Corner() != 0 {
+		t.Errorf("Corner = %d, want 0", m.Corner())
+	}
+}
+
+func TestManhattanDistance(t *testing.T) {
+	m := Mesh{Width: 8, Height: 8}
+	a := m.ID(Coord{1, 1})
+	b := m.ID(Coord{4, 6})
+	if got := m.ManhattanDistance(a, b); got != 8 {
+		t.Errorf("distance = %d, want 8", got)
+	}
+	if got := m.ManhattanDistance(a, a); got != 0 {
+		t.Errorf("self distance = %d, want 0", got)
+	}
+}
+
+func TestNeighbor(t *testing.T) {
+	m := Mesh{Width: 3, Height: 3}
+	mid := m.ID(Coord{1, 1})
+	tests := []struct {
+		dir  Direction
+		want Coord
+	}{
+		{North, Coord{1, 0}},
+		{South, Coord{1, 2}},
+		{East, Coord{2, 1}},
+		{West, Coord{0, 1}},
+	}
+	for _, tt := range tests {
+		nb, ok := m.Neighbor(mid, tt.dir)
+		if !ok {
+			t.Fatalf("Neighbor(%v) missing", tt.dir)
+		}
+		if m.Coord(nb) != tt.want {
+			t.Errorf("Neighbor(%v) = %v, want %v", tt.dir, m.Coord(nb), tt.want)
+		}
+	}
+	// Edges.
+	if _, ok := m.Neighbor(m.ID(Coord{0, 0}), North); ok {
+		t.Error("north neighbour of top row should not exist")
+	}
+	if _, ok := m.Neighbor(m.ID(Coord{0, 0}), West); ok {
+		t.Error("west neighbour of left column should not exist")
+	}
+	if _, ok := m.Neighbor(mid, Local); ok {
+		t.Error("Local has no neighbour")
+	}
+}
+
+func TestDirectionOppositeAndString(t *testing.T) {
+	pairs := map[Direction]Direction{North: South, South: North, East: West, West: East, Local: Local}
+	for d, want := range pairs {
+		if d.Opposite() != want {
+			t.Errorf("%v.Opposite() = %v, want %v", d, d.Opposite(), want)
+		}
+	}
+	for _, d := range []Direction{Local, North, East, South, West} {
+		if d.String() == "" {
+			t.Errorf("empty String for %d", int(d))
+		}
+	}
+}
+
+func TestPathXYShape(t *testing.T) {
+	m := Mesh{Width: 8, Height: 8}
+	src := m.ID(Coord{1, 2})
+	dst := m.ID(Coord{5, 6})
+	path := m.PathXY(src, dst)
+	if len(path) != m.ManhattanDistance(src, dst)+1 {
+		t.Fatalf("path length = %d, want %d", len(path), m.ManhattanDistance(src, dst)+1)
+	}
+	if path[0] != src || path[len(path)-1] != dst {
+		t.Fatal("path endpoints wrong")
+	}
+	// XY: all X movement happens before any Y movement.
+	seenY := false
+	for i := 1; i < len(path); i++ {
+		prev, cur := m.Coord(path[i-1]), m.Coord(path[i])
+		if prev.Y != cur.Y {
+			seenY = true
+		}
+		if prev.X != cur.X && seenY {
+			t.Fatal("X movement after Y movement violates XY routing")
+		}
+	}
+}
+
+func TestPathXYSelf(t *testing.T) {
+	m := Mesh{Width: 4, Height: 4}
+	path := m.PathXY(5, 5)
+	if len(path) != 1 || path[0] != 5 {
+		t.Fatalf("self path = %v, want [5]", path)
+	}
+}
+
+// Property: every consecutive pair in an XY path is mesh-adjacent and the
+// path never leaves the mesh.
+func TestPathXYAdjacency(t *testing.T) {
+	m := Mesh{Width: 9, Height: 6}
+	f := func(a, b uint8) bool {
+		src := NodeID(int(a) % m.Nodes())
+		dst := NodeID(int(b) % m.Nodes())
+		path := m.PathXY(src, dst)
+		for i := 1; i < len(path); i++ {
+			if m.ManhattanDistance(path[i-1], path[i]) != 1 {
+				return false
+			}
+			if !m.Contains(m.Coord(path[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

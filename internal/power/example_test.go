@@ -1,0 +1,21 @@
+package power_test
+
+import (
+	"fmt"
+
+	"repro/internal/power"
+)
+
+// A core granted 2 W runs at the highest DVFS level that fits; a core whose
+// request was zeroed by a Trojan is pinned at the floor.
+func ExampleModel_LevelForBudget() {
+	m := power.DefaultModel()
+	level, ok := m.LevelForBudget(2.0)
+	fmt.Printf("2.0 W -> level %d (%.1f GHz), fits=%v\n", level, m.Freq(level), ok)
+
+	starved, ok := m.LevelForBudget(0.0)
+	fmt.Printf("0.0 W -> level %d (%.1f GHz), fits=%v\n", starved, m.Freq(starved), ok)
+	// Output:
+	// 2.0 W -> level 2 (1.5 GHz), fits=true
+	// 0.0 W -> level 0 (0.5 GHz), fits=false
+}

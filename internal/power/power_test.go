@@ -1,0 +1,119 @@
+package power
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultModelValid(t *testing.T) {
+	if err := DefaultModel().Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateRejectsBadModels(t *testing.T) {
+	tests := []struct {
+		name string
+		give *Model
+	}{
+		{name: "no levels", give: &Model{CeffNF: 1}},
+		{name: "zero freq", give: &Model{Levels: []VFLevel{{FreqGHz: 0, VoltV: 1}}, CeffNF: 1}},
+		{name: "zero volt", give: &Model{Levels: []VFLevel{{FreqGHz: 1, VoltV: 0}}, CeffNF: 1}},
+		{name: "not ascending", give: &Model{Levels: []VFLevel{{2, 1}, {1, 1}}, CeffNF: 1}},
+		{name: "zero ceff", give: &Model{Levels: DefaultLevels(), CeffNF: 0}},
+		{name: "negative static", give: &Model{Levels: DefaultLevels(), CeffNF: 1, StaticW: -1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.give.Validate(); err == nil {
+				t.Error("Validate should fail")
+			}
+		})
+	}
+}
+
+func TestPowerMonotonicInLevel(t *testing.T) {
+	m := DefaultModel()
+	for i := 1; i < m.NumLevels(); i++ {
+		if m.Power(i) <= m.Power(i-1) {
+			t.Errorf("Power(%d)=%v not > Power(%d)=%v", i, m.Power(i), i-1, m.Power(i-1))
+		}
+	}
+}
+
+func TestPowerFormula(t *testing.T) {
+	m := &Model{Levels: []VFLevel{{FreqGHz: 2, VoltV: 1}}, CeffNF: 0.5, StaticW: 0.25}
+	// 0.25 + 0.5·1²·2 = 1.25 W
+	if got := m.Power(0); got != 1.25 {
+		t.Errorf("Power = %v, want 1.25", got)
+	}
+	if got := m.PowerMW(0); got != 1250 {
+		t.Errorf("PowerMW = %v, want 1250", got)
+	}
+}
+
+func TestDefaultModelRange(t *testing.T) {
+	m := DefaultModel()
+	if m.MinPower() < 0.5 || m.MinPower() > 1.0 {
+		t.Errorf("MinPower = %v, want within [0.5, 1.0] W", m.MinPower())
+	}
+	if m.MaxPower() < 3.5 || m.MaxPower() > 4.5 {
+		t.Errorf("MaxPower = %v, want within [3.5, 4.5] W", m.MaxPower())
+	}
+}
+
+func TestLevelForBudget(t *testing.T) {
+	m := DefaultModel()
+	tests := []struct {
+		name      string
+		budget    float64
+		wantLevel int
+		wantOK    bool
+	}{
+		{name: "huge budget tops out", budget: 100, wantLevel: m.NumLevels() - 1, wantOK: true},
+		{name: "exact max", budget: m.MaxPower(), wantLevel: m.NumLevels() - 1, wantOK: true},
+		{name: "just under max", budget: m.MaxPower() - 0.001, wantLevel: m.NumLevels() - 2, wantOK: true},
+		{name: "exact min", budget: m.MinPower(), wantLevel: 0, wantOK: true},
+		{name: "starved", budget: 0.01, wantLevel: 0, wantOK: false},
+		{name: "zero", budget: 0, wantLevel: 0, wantOK: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			level, ok := m.LevelForBudget(tt.budget)
+			if level != tt.wantLevel || ok != tt.wantOK {
+				t.Errorf("LevelForBudget(%v) = (%d,%v), want (%d,%v)", tt.budget, level, ok, tt.wantLevel, tt.wantOK)
+			}
+		})
+	}
+}
+
+// Property: for any budget, the selected level's power fits the budget
+// whenever ok is true, and the next level up (if any) would exceed it.
+func TestLevelForBudgetIsMaximal(t *testing.T) {
+	m := DefaultModel()
+	f := func(raw uint16) bool {
+		budget := float64(raw) / 10000 * m.MaxPower() * 1.2
+		level, ok := m.LevelForBudget(budget)
+		if ok {
+			if m.Power(level) > budget {
+				return false
+			}
+			if level+1 < m.NumLevels() && m.Power(level+1) <= budget {
+				return false
+			}
+		} else if m.Power(0) <= budget {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreqAccessor(t *testing.T) {
+	m := DefaultModel()
+	if m.Freq(0) != 0.5 || m.Freq(m.NumLevels()-1) != 3.0 {
+		t.Errorf("Freq endpoints = %v..%v, want 0.5..3.0", m.Freq(0), m.Freq(m.NumLevels()-1))
+	}
+}

@@ -1,0 +1,133 @@
+// Package sim provides the deterministic discrete-event kernel that drives
+// every simulation in this repository. Time is measured in clock cycles of
+// the NoC clock domain (uint64). Events scheduled for the same cycle fire in
+// scheduling order, which makes runs fully reproducible for a fixed seed.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"math/rand"
+)
+
+// ErrStopped is returned by Run when the kernel was stopped explicitly
+// before the horizon was reached.
+var ErrStopped = errors.New("sim: stopped")
+
+// Event is a callback scheduled to fire at a specific cycle.
+type Event func()
+
+type scheduledEvent struct {
+	at  uint64
+	seq uint64 // tie-break: FIFO among same-cycle events
+	fn  Event
+}
+
+type eventQueue []*scheduledEvent
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*scheduledEvent)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Kernel is a discrete-event simulation kernel. The zero value is not
+// usable; construct with NewKernel.
+type Kernel struct {
+	now     uint64
+	seq     uint64
+	queue   eventQueue
+	rng     *rand.Rand
+	stopped bool
+}
+
+// NewKernel returns a kernel whose random stream is seeded with seed.
+// The same seed always produces the same simulation.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulation cycle.
+func (k *Kernel) Now() uint64 { return k.now }
+
+// RNG returns the kernel's deterministic random stream.
+func (k *Kernel) RNG() *rand.Rand { return k.rng }
+
+// Pending reports the number of events still queued.
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// Schedule enqueues fn to fire delay cycles from now. A zero delay fires
+// later in the current cycle, after all previously scheduled events for
+// this cycle.
+func (k *Kernel) Schedule(delay uint64, fn Event) {
+	k.seq++
+	heap.Push(&k.queue, &scheduledEvent{at: k.now + delay, seq: k.seq, fn: fn})
+}
+
+// ScheduleAt enqueues fn for an absolute cycle. Scheduling in the past is
+// coerced to the current cycle.
+func (k *Kernel) ScheduleAt(cycle uint64, fn Event) {
+	if cycle < k.now {
+		cycle = k.now
+	}
+	k.seq++
+	heap.Push(&k.queue, &scheduledEvent{at: cycle, seq: k.seq, fn: fn})
+}
+
+// Stop makes the current Run return after the in-flight event completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run executes events until the queue drains or the horizon cycle is
+// passed (events at cycle == horizon still fire). It returns ErrStopped if
+// Stop was called, otherwise nil.
+func (k *Kernel) Run(horizon uint64) error {
+	k.stopped = false
+	for len(k.queue) > 0 {
+		next := k.queue[0]
+		if next.at > horizon {
+			k.now = horizon
+			return nil
+		}
+		heap.Pop(&k.queue)
+		k.now = next.at
+		next.fn()
+		if k.stopped {
+			return ErrStopped
+		}
+	}
+	if k.now < horizon {
+		k.now = horizon
+	}
+	return nil
+}
+
+// Drain executes all remaining events regardless of cycle. It returns
+// ErrStopped if Stop was called.
+func (k *Kernel) Drain() error {
+	k.stopped = false
+	for len(k.queue) > 0 {
+		next := heap.Pop(&k.queue).(*scheduledEvent)
+		k.now = next.at
+		next.fn()
+		if k.stopped {
+			return ErrStopped
+		}
+	}
+	return nil
+}

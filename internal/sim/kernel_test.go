@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleAndRunOrder(t *testing.T) {
+	k := NewKernel(1)
+	var order []int
+	k.Schedule(10, func() { order = append(order, 2) })
+	k.Schedule(5, func() { order = append(order, 1) })
+	k.Schedule(20, func() { order = append(order, 3) })
+	if err := k.Run(100); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSameCycleFIFO(t *testing.T) {
+	k := NewKernel(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.Schedule(7, func() { order = append(order, i) })
+	}
+	if err := k.Run(10); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("same-cycle events fired out of order: %v", order)
+		}
+	}
+}
+
+func TestNowAdvances(t *testing.T) {
+	k := NewKernel(1)
+	var at uint64
+	k.Schedule(42, func() { at = k.Now() })
+	if err := k.Run(100); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if at != 42 {
+		t.Errorf("Now inside event = %d, want 42", at)
+	}
+	if k.Now() != 100 {
+		t.Errorf("Now after Run = %d, want horizon 100", k.Now())
+	}
+}
+
+func TestHorizonLeavesFutureEvents(t *testing.T) {
+	k := NewKernel(1)
+	fired := false
+	k.Schedule(50, func() { fired = true })
+	if err := k.Run(49); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired {
+		t.Error("event past horizon fired")
+	}
+	if k.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", k.Pending())
+	}
+	if err := k.Run(50); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !fired {
+		t.Error("event at horizon should fire")
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	k := NewKernel(1)
+	var hits []uint64
+	k.Schedule(1, func() {
+		hits = append(hits, k.Now())
+		k.Schedule(2, func() { hits = append(hits, k.Now()) })
+	})
+	if err := k.Run(10); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(hits) != 2 || hits[0] != 1 || hits[1] != 3 {
+		t.Errorf("hits = %v, want [1 3]", hits)
+	}
+}
+
+func TestStop(t *testing.T) {
+	k := NewKernel(1)
+	count := 0
+	k.Schedule(1, func() { count++; k.Stop() })
+	k.Schedule(2, func() { count++ })
+	if err := k.Run(10); !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+	if count != 1 {
+		t.Errorf("count = %d, want 1 (second event must not fire)", count)
+	}
+}
+
+func TestScheduleAtPastCoerced(t *testing.T) {
+	k := NewKernel(1)
+	var at uint64 = 999
+	k.Schedule(10, func() {
+		k.ScheduleAt(3, func() { at = k.Now() }) // in the past: coerced to now
+	})
+	if err := k.Run(20); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if at != 10 {
+		t.Errorf("past-scheduled event fired at %d, want 10", at)
+	}
+}
+
+func TestDrain(t *testing.T) {
+	k := NewKernel(1)
+	count := 0
+	k.Schedule(1_000_000, func() { count++ })
+	k.Schedule(2_000_000, func() { count++ })
+	if err := k.Drain(); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if count != 2 {
+		t.Errorf("count = %d, want 2", count)
+	}
+	if k.Now() != 2_000_000 {
+		t.Errorf("Now = %d, want 2000000", k.Now())
+	}
+}
+
+func TestDeterministicRNG(t *testing.T) {
+	a := NewKernel(7).RNG().Int63()
+	b := NewKernel(7).RNG().Int63()
+	if a != b {
+		t.Error("same seed should produce same random stream")
+	}
+	c := NewKernel(8).RNG().Int63()
+	if a == c {
+		t.Error("different seeds should (almost surely) differ")
+	}
+}
+
+// Property: any randomly generated schedule fires in nondecreasing time
+// order with FIFO tie-breaking preserved.
+func TestRunOrderProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := NewKernel(seed)
+		type stamp struct {
+			at  uint64
+			seq int
+		}
+		var fired []stamp
+		n := 50
+		for i := 0; i < n; i++ {
+			i := i
+			at := uint64(rng.Intn(20))
+			k.Schedule(at, func() { fired = append(fired, stamp{at: k.Now(), seq: i}) })
+		}
+		if err := k.Run(100); err != nil {
+			return false
+		}
+		if len(fired) != n {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i].at < fired[i-1].at {
+				return false
+			}
+			if fired[i].at == fired[i-1].at && fired[i].seq < fired[i-1].seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,82 @@
+package trojan
+
+// Section III-D area and power accounting. The constants are the paper's
+// published synthesis results (Synopsys Design Compiler, TSMC 45 nm for the
+// HT; DSENT for the router); this file reproduces the bookkeeping built on
+// top of them, including the headline "0.017 % of a router" stealth ratios.
+const (
+	// HTAreaUm2 is one Trojan's area (µm², Section III-D).
+	HTAreaUm2 = 12.1716
+	// HTPowerUW is one Trojan's power (µW, Section III-D).
+	HTPowerUW = 0.55018
+	// RouterAreaUm2 is the area of one 4-VC, 5-flit-FIFO router (µm²,
+	// DSENT, Section III-D).
+	RouterAreaUm2 = 71814.0
+	// RouterPowerUW is the power of the same router (µW, Section III-D).
+	RouterPowerUW = 31881.0
+)
+
+// CircuitInventory is the gate-level content of one HT per Fig 2(a): three
+// comparators and two registers wedged between the input buffer and the
+// routing-computation module.
+type CircuitInventory struct {
+	// Comparators counts the match comparators (config-command, attacker
+	// agent, global manager).
+	Comparators int
+	// ComparatorBits is the width of each comparator.
+	ComparatorBits int
+	// Registers counts the configuration registers (attacker ID, global
+	// manager ID + activation).
+	Registers int
+	// RegisterBits is the width of each register.
+	RegisterBits int
+}
+
+// DefaultInventory returns the Fig 2(a) circuit: 3 comparators and 2
+// registers, 16 bits each (the packet address-field width).
+func DefaultInventory() CircuitInventory {
+	return CircuitInventory{Comparators: 3, ComparatorBits: 16, Registers: 2, RegisterBits: 16}
+}
+
+// TransistorEstimate returns a rough transistor count: ~10 transistors per
+// comparator bit (XNOR + AND tree share) and ~12 per register bit (D
+// flip-flop). It documents why the HT is "extremely hard to detect": a few
+// hundred transistors against a billion-transistor chip.
+func (c CircuitInventory) TransistorEstimate() int {
+	return c.Comparators*c.ComparatorBits*10 + c.Registers*c.RegisterBits*12
+}
+
+// AreaPowerReport is the Section III-D comparison for a fleet of nHTs
+// Trojans on a chip with nodes routers.
+type AreaPowerReport struct {
+	HTs   int
+	Nodes int
+	// TotalHTAreaUm2 is nHTs × HTAreaUm2.
+	TotalHTAreaUm2 float64
+	// TotalHTPowerUW is nHTs × HTPowerUW.
+	TotalHTPowerUW float64
+	// AreaFractionOfRouter is one HT's area over one router's area.
+	AreaFractionOfRouter float64
+	// PowerFractionOfRouter is one HT's power over one router's power.
+	PowerFractionOfRouter float64
+	// AreaFractionOfAllRouters is the fleet's area over all routers' area.
+	AreaFractionOfAllRouters float64
+	// PowerFractionOfAllRouters is the fleet's power over all routers'
+	// power.
+	PowerFractionOfAllRouters float64
+}
+
+// Report computes the Section III-D table for nHTs Trojans on an
+// nodes-router chip.
+func Report(nHTs, nodes int) AreaPowerReport {
+	return AreaPowerReport{
+		HTs:                       nHTs,
+		Nodes:                     nodes,
+		TotalHTAreaUm2:            float64(nHTs) * HTAreaUm2,
+		TotalHTPowerUW:            float64(nHTs) * HTPowerUW,
+		AreaFractionOfRouter:      HTAreaUm2 / RouterAreaUm2,
+		PowerFractionOfRouter:     HTPowerUW / RouterPowerUW,
+		AreaFractionOfAllRouters:  float64(nHTs) * HTAreaUm2 / (float64(nodes) * RouterAreaUm2),
+		PowerFractionOfAllRouters: float64(nHTs) * HTPowerUW / (float64(nodes) * RouterPowerUW),
+	}
+}

@@ -1,0 +1,49 @@
+package trojan_test
+
+import (
+	"fmt"
+
+	"repro/internal/noc"
+	"repro/internal/trojan"
+)
+
+// A Trojan fleet is configured by a CONFIG_CMD broadcast and then rewrites
+// victim power requests headed to the global manager.
+func Example() {
+	fleet, err := trojan.NewFleet([]noc.NodeID{5}, trojan.ZeroStrategy{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	// The hacker (core 7) broadcasts: manager is node 12, activate now.
+	config := &noc.Packet{
+		Src: 7, Dst: 5, Type: noc.TypeConfigCmd,
+		Payload: noc.ConfigWord(12, true),
+	}
+	fleet.InspectRC(5, config)
+
+	// A victim's request crosses the infected router.
+	request := &noc.Packet{Src: 3, Dst: 12, Type: noc.TypePowerReq, Payload: 3960}
+	fleet.InspectRC(5, request)
+	fmt.Printf("payload after crossing HT: %d mW (tampered=%v)\n", request.Payload, request.Tampered)
+
+	// The hacker agent's own request passes untouched.
+	agent := &noc.Packet{Src: 7, Dst: 12, Type: noc.TypePowerReq, Payload: 3960}
+	fleet.InspectRC(5, agent)
+	fmt.Printf("agent payload: %d mW (tampered=%v)\n", agent.Payload, agent.Tampered)
+	// Output:
+	// payload after crossing HT: 0 mW (tampered=true)
+	// agent payload: 3960 mW (tampered=false)
+}
+
+// Section III-D's stealth arithmetic.
+func ExampleReport() {
+	r := trojan.Report(60, 512)
+	fmt.Printf("60 HTs: %.3f um^2, %.4f uW\n", r.TotalHTAreaUm2, r.TotalHTPowerUW)
+	fmt.Printf("fraction of all routers: %.4f%% area, %.5f%% power\n",
+		r.AreaFractionOfAllRouters*100, r.PowerFractionOfAllRouters*100)
+	// Output:
+	// 60 HTs: 730.296 um^2, 33.0108 uW
+	// fraction of all routers: 0.0020% area, 0.00020% power
+}

@@ -1,0 +1,72 @@
+package trojan
+
+import "fmt"
+
+// Strategy is the Trojan's functional module: the payload rewrite applied
+// to power requests. Section III-C's circuit rewrites a victim's request
+// "to a smaller value" (the diagram shows 0…0); the introduction also
+// describes attacker requests being increased. Both behaviours are
+// parameterised here so ablations can compare them.
+type Strategy interface {
+	// TamperVictim rewrites a victim's power request (milliwatts).
+	TamperVictim(requestMW uint32) uint32
+	// TamperAttacker optionally rewrites an attacker agent's own request;
+	// ok is false when the strategy leaves attacker requests alone.
+	TamperAttacker(requestMW uint32) (modified uint32, ok bool)
+	// Name identifies the strategy in reports.
+	Name() string
+}
+
+// ZeroStrategy rewrites victim requests to all-zero, exactly as the Fig 2
+// circuit draws, and leaves attacker requests alone.
+type ZeroStrategy struct{}
+
+var _ Strategy = ZeroStrategy{}
+
+// Name implements Strategy.
+func (ZeroStrategy) Name() string { return "zero" }
+
+// TamperVictim implements Strategy.
+func (ZeroStrategy) TamperVictim(uint32) uint32 { return 0 }
+
+// TamperAttacker implements Strategy.
+func (ZeroStrategy) TamperAttacker(r uint32) (uint32, bool) { return r, false }
+
+// ScaleStrategy multiplies victim requests by VictimFactor (< 1) and, when
+// BoostFactor > 1, attacker requests by BoostFactor.
+type ScaleStrategy struct {
+	// VictimFactor scales victim requests down; must be in [0, 1).
+	VictimFactor float64
+	// BoostFactor scales attacker requests up; values ≤ 1 disable boosting.
+	BoostFactor float64
+}
+
+var _ Strategy = ScaleStrategy{}
+
+// DefaultStrategy is the configuration used by the headline experiments:
+// victims are cut to a quarter of their ask and attackers boosted by half.
+func DefaultStrategy() ScaleStrategy {
+	return ScaleStrategy{VictimFactor: 0.25, BoostFactor: 1.5}
+}
+
+// Name implements Strategy.
+func (s ScaleStrategy) Name() string {
+	return fmt.Sprintf("scale(v=%.2f,b=%.2f)", s.VictimFactor, s.BoostFactor)
+}
+
+// TamperVictim implements Strategy.
+func (s ScaleStrategy) TamperVictim(r uint32) uint32 {
+	return uint32(float64(r) * s.VictimFactor)
+}
+
+// TamperAttacker implements Strategy.
+func (s ScaleStrategy) TamperAttacker(r uint32) (uint32, bool) {
+	if s.BoostFactor <= 1 {
+		return r, false
+	}
+	boosted := float64(r) * s.BoostFactor
+	if boosted > float64(^uint32(0)) {
+		return ^uint32(0), true
+	}
+	return uint32(boosted), true
+}

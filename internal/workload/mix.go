@@ -1,0 +1,65 @@
+package workload
+
+import "fmt"
+
+// Mix is one attacker/victim benchmark combination from Table III.
+type Mix struct {
+	// Name is "mix-1" … "mix-4".
+	Name string
+	// Attackers are the benchmarks run by the hacker's agents.
+	Attackers []string
+	// Victims are the legitimate benchmarks.
+	Victims []string
+}
+
+// mixes reproduces Table III verbatim.
+var mixes = []Mix{
+	{Name: "mix-1", Attackers: []string{"barnes", "canneal"}, Victims: []string{"blackscholes", "raytrace"}},
+	{Name: "mix-2", Attackers: []string{"freqmine", "swaptions"}, Victims: []string{"raytrace", "vips"}},
+	{Name: "mix-3", Attackers: []string{"canneal"}, Victims: []string{"barnes", "vips", "dedup"}},
+	{Name: "mix-4", Attackers: []string{"barnes", "streamcluster", "freqmine"}, Victims: []string{"raytrace"}},
+}
+
+// Mixes returns the Table III combinations in order.
+func Mixes() []Mix {
+	out := make([]Mix, len(mixes))
+	copy(out, mixes)
+	return out
+}
+
+// MixByName returns the named Table III combination.
+func MixByName(name string) (Mix, error) {
+	for _, m := range mixes {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Mix{}, fmt.Errorf("workload: unknown mix %q", name)
+}
+
+// Apps returns all benchmark names in the mix, attackers first.
+func (m Mix) Apps() []string {
+	out := make([]string, 0, len(m.Attackers)+len(m.Victims))
+	out = append(out, m.Attackers...)
+	out = append(out, m.Victims...)
+	return out
+}
+
+// Validate checks that every benchmark in the mix exists in Table II and
+// that no benchmark appears on both sides.
+func (m Mix) Validate() error {
+	seen := make(map[string]bool, len(m.Attackers)+len(m.Victims))
+	for _, name := range m.Apps() {
+		if _, err := ByName(name); err != nil {
+			return fmt.Errorf("workload: mix %s: %w", m.Name, err)
+		}
+		if seen[name] {
+			return fmt.Errorf("workload: mix %s lists %s twice", m.Name, name)
+		}
+		seen[name] = true
+	}
+	if len(m.Attackers) == 0 || len(m.Victims) == 0 {
+		return fmt.Errorf("workload: mix %s needs at least one attacker and one victim", m.Name)
+	}
+	return nil
+}
