@@ -41,6 +41,7 @@ func run(args []string) error {
 		epochs   = fs.Int("epochs", 10, "budgeting epochs")
 		mem      = fs.Bool("mem", false, "enable cache-hierarchy background traffic")
 		seed     = fs.Int64("seed", 1, "random seed")
+		parallel = fs.Int("parallel", 0, "campaign workers (0 = one per CPU; results identical for any count)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -50,6 +51,7 @@ func run(args []string) error {
 	cfg.Epochs = *epochs
 	cfg.MemTraffic = *mem
 	cfg.Seed = *seed
+	cfg.Workers = *parallel
 
 	mixNames := []string{"mix-1", "mix-2", "mix-3", "mix-4"}
 	if *mixName != "" {

@@ -35,6 +35,7 @@ func run(args []string) error {
 		hts       = fs.Int("hts", 16, "Trojan count (paper: 16)")
 		samples   = fs.Int("samples", 16, "random placements used to fit Eqn 9")
 		seed      = fs.Int64("seed", 1, "random seed")
+		parallel  = fs.Int("parallel", 0, "campaign workers (0 = one per CPU; results identical for any count)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -44,7 +45,7 @@ func run(args []string) error {
 		printAreaPower()
 		return nil
 	case *optimize:
-		return runOptimize(*mixName, *threads, *size, *hts, *samples, *seed)
+		return runOptimize(*mixName, *threads, *size, *hts, *samples, *seed, *parallel)
 	default:
 		return fmt.Errorf("need -areapower or -optimize")
 	}
@@ -65,11 +66,12 @@ func printAreaPower() {
 	}
 }
 
-func runOptimize(mixName string, threads, size, hts, samples int, seed int64) error {
+func runOptimize(mixName string, threads, size, hts, samples int, seed int64, workers int) error {
 	cfg := core.DefaultConfig()
 	cfg.Cores = size
 	cfg.MemTraffic = false
 	cfg.Seed = seed
+	cfg.Workers = workers
 	fmt.Printf("Section V-C: optimal vs random placement (%s, %d HTs, %d training samples)\n",
 		mixName, hts, samples)
 	study, err := core.OptimalVsRandom(cfg, mixName, threads, hts, samples, seed)

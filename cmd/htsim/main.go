@@ -48,6 +48,7 @@ func run(args []string) error {
 		dualPath    = fs.Bool("dualpath", false, "enable the dual-path request-verification defense")
 		trace       = fs.Bool("trace", false, "print the per-epoch trace")
 		seed        = fs.Int64("seed", 1, "random seed")
+		parallel    = fs.Int("parallel", 0, "campaign workers (0 = one per CPU; 1 = sequential; results identical)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -60,6 +61,7 @@ func run(args []string) error {
 	cfg.MemTraffic = *memTraffic
 	cfg.DualPathRequests = *dualPath
 	cfg.Seed = *seed
+	cfg.Workers = *parallel
 	alloc, err := budget.ByName(*allocName)
 	if err != nil {
 		return err

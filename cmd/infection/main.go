@@ -28,17 +28,18 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("infection", flag.ContinueOnError)
 	var (
-		fig    = fs.String("fig", "", "figure to regenerate: 3a, 3b, 4a, 4b")
-		all    = fs.Bool("all", false, "regenerate every figure")
-		trials = fs.Int("trials", 50, "random placements averaged per point")
-		seed   = fs.Int64("seed", 1, "random seed")
+		fig      = fs.String("fig", "", "figure to regenerate: 3a, 3b, 4a, 4b")
+		all      = fs.Bool("all", false, "regenerate every figure")
+		trials   = fs.Int("trials", 50, "random placements averaged per point")
+		seed     = fs.Int64("seed", 1, "random seed")
+		parallel = fs.Int("parallel", 0, "trial workers (0 = one per CPU; results are identical for any count)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *all {
 		for _, f := range []string{"3a", "3b", "4a", "4b"} {
-			if err := emit(f, *trials, *seed); err != nil {
+			if err := emit(f, *trials, *seed, *parallel); err != nil {
 				return err
 			}
 			fmt.Println()
@@ -48,19 +49,19 @@ func run(args []string) error {
 	if *fig == "" {
 		return fmt.Errorf("need -fig or -all")
 	}
-	return emit(*fig, *trials, *seed)
+	return emit(*fig, *trials, *seed, *parallel)
 }
 
-func emit(fig string, trials int, seed int64) error {
+func emit(fig string, trials int, seed int64, workers int) error {
 	switch fig {
 	case "3a":
-		return fig3(64, counts(30, 7), trials, seed)
+		return fig3(64, counts(30, 7), trials, seed, workers)
 	case "3b":
-		return fig3(512, counts(60, 7), trials, seed)
+		return fig3(512, counts(60, 7), trials, seed, workers)
 	case "4a":
-		return fig4(16, trials, seed)
+		return fig4(16, trials, seed, workers)
 	case "4b":
-		return fig4(8, trials, seed)
+		return fig4(8, trials, seed, workers)
 	default:
 		return fmt.Errorf("unknown figure %q (want 3a, 3b, 4a, 4b)", fig)
 	}
@@ -75,13 +76,13 @@ func counts(max, n int) []int {
 	return out
 }
 
-func fig3(size int, htCounts []int, trials int, seed int64) error {
+func fig3(size int, htCounts []int, trials int, seed int64, workers int) error {
 	fmt.Printf("Fig 3 (system size %d): infection rate vs number of HTs\n", size)
-	center, err := core.InfectionVsHTCount(size, core.GMCenter, htCounts, trials, seed)
+	center, err := core.InfectionVsHTCountN(size, core.GMCenter, htCounts, trials, seed, workers)
 	if err != nil {
 		return err
 	}
-	corner, err := core.InfectionVsHTCount(size, core.GMCorner, htCounts, trials, seed)
+	corner, err := core.InfectionVsHTCountN(size, core.GMCorner, htCounts, trials, seed, workers)
 	if err != nil {
 		return err
 	}
@@ -92,12 +93,12 @@ func fig3(size int, htCounts []int, trials int, seed int64) error {
 	return nil
 }
 
-func fig4(denominator, trials int, seed int64) error {
+func fig4(denominator, trials int, seed int64, workers int) error {
 	sizes := []int{64, 128, 256, 512}
 	fmt.Printf("Fig 4 (HTs = size/%d): infection rate vs system size\n", denominator)
 	series := make(map[core.Distribution][]core.DistributionPoint)
 	for _, dist := range []core.Distribution{core.DistCenter, core.DistRandom, core.DistCorner} {
-		pts, err := core.InfectionByDistribution(dist, sizes, denominator, trials, seed)
+		pts, err := core.InfectionByDistributionN(dist, sizes, denominator, trials, seed, workers)
 		if err != nil {
 			return err
 		}

@@ -45,6 +45,25 @@ type Allocator interface {
 	Name() string
 }
 
+// StatefulAllocator is implemented by allocators that carry state across
+// Allocate calls (the PI controller); CloneAllocator hands each independent
+// run a fresh copy so concurrent campaigns never share mutable state.
+type StatefulAllocator interface {
+	Allocator
+	// CloneAllocator returns an equivalent allocator with fresh state.
+	CloneAllocator() Allocator
+}
+
+// CloneAllocator returns an allocator safe to drive an independent run:
+// stateful allocators are copied with fresh state, stateless ones are
+// returned as-is.
+func CloneAllocator(a Allocator) Allocator {
+	if s, ok := a.(StatefulAllocator); ok {
+		return s.CloneAllocator()
+	}
+	return a
+}
+
 // ByName returns the named allocator with default parameters.
 func ByName(name string) (Allocator, error) {
 	switch name {

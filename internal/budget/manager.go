@@ -38,6 +38,25 @@ type RequestFilter interface {
 	Name() string
 }
 
+// StatefulFilter is implemented by request filters that learn state from
+// the request stream (the history guard); CloneFilter hands each
+// independent run a fresh copy so concurrent campaigns never share it.
+type StatefulFilter interface {
+	RequestFilter
+	// CloneFilter returns an equivalent filter with fresh state.
+	CloneFilter() RequestFilter
+}
+
+// CloneFilter returns a filter safe to drive an independent run: stateful
+// filters are copied with fresh state, stateless ones are returned as-is.
+// A nil filter stays nil.
+func CloneFilter(f RequestFilter) RequestFilter {
+	if s, ok := f.(StatefulFilter); ok {
+		return s.CloneFilter()
+	}
+	return f
+}
+
 // Manager is the global manager core (Section II-A): it collects POWER_REQ
 // packets during an epoch and runs the allocator at the epoch boundary.
 type Manager struct {

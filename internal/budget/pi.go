@@ -27,6 +27,10 @@ func (*PIController) Name() string { return "pi" }
 // Reset clears the controller state.
 func (c *PIController) Reset() { c.prev = make(map[int]float64) }
 
+// CloneAllocator implements StatefulAllocator: each independent run gets a
+// controller with the same gain and fresh tracking state.
+func (c *PIController) CloneAllocator() Allocator { return NewPIController(c.Kp) }
+
 // Allocate implements Allocator.
 func (c *PIController) Allocate(budgetMW uint64, reqs []Request) []uint32 {
 	grants := make([]uint32, len(reqs))

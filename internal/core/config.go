@@ -67,6 +67,13 @@ type Config struct {
 	BaselineMemLatencyNs float64
 	// Seed drives every random stream in the simulation.
 	Seed int64
+	// Workers caps the worker pool used by the fan-out experiment drivers
+	// (OptimalVsRandom, DoSVariantStudy, DefenseStudy) and by RunPair's
+	// paired attacked/baseline runs. Zero or negative means one worker per
+	// available CPU; 1 forces sequential execution. Results are
+	// bit-identical for every setting — trials derive their random streams
+	// from (Seed, trial index), never from a shared RNG.
+	Workers int
 }
 
 // DefaultConfig returns the Table I configuration: 256 cores on a 16×16

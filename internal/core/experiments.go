@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"repro/internal/attack"
+	"repro/internal/exp"
 	"repro/internal/mathx"
 	"repro/internal/metrics"
 	"repro/internal/noc"
@@ -27,8 +28,17 @@ type InfectionPoint struct {
 // position. The infection rate of a placement under XY routing is exact
 // (closed form), matching the simulator (cross-validated in tests), so no
 // cycle simulation is needed here — exactly like the paper's
-// infrastructure-only experiment.
+// infrastructure-only experiment. Trials fan out over one worker per CPU;
+// use InfectionVsHTCountN to pick the worker count.
 func InfectionVsHTCount(size int, gm GMPlacement, htCounts []int, trials int, seed int64) ([]InfectionPoint, error) {
+	return InfectionVsHTCountN(size, gm, htCounts, trials, seed, 0)
+}
+
+// InfectionVsHTCountN is InfectionVsHTCount with an explicit worker count
+// (0 means one per CPU). Every (HT count, trial) cell of the campaign grid
+// seeds its own RNG from the campaign seed and its flat trial index, so
+// the returned rates are bit-identical for every worker count.
+func InfectionVsHTCountN(size int, gm GMPlacement, htCounts []int, trials int, seed int64, workers int) ([]InfectionPoint, error) {
 	mesh, err := noc.MeshForSize(size)
 	if err != nil {
 		return nil, err
@@ -45,20 +55,26 @@ func InfectionVsHTCount(size int, gm GMPlacement, htCounts []int, trials int, se
 	if trials < 1 {
 		return nil, fmt.Errorf("core: need at least one trial")
 	}
-	rng := rand.New(rand.NewSource(seed))
-	out := make([]InfectionPoint, 0, len(htCounts))
-	for _, m := range htCounts {
+	rates, err := exp.Run(workers, len(htCounts)*trials, func(trial int) (float64, error) {
+		m := htCounts[trial/trials]
 		if m == 0 {
-			out = append(out, InfectionPoint{HTs: 0, Rate: 0})
-			continue
+			return 0, nil
 		}
+		rng := rand.New(rand.NewSource(exp.TrialSeed(seed, trial)))
+		p, err := attack.RandomPlacement(mesh, m, rng, manager)
+		if err != nil {
+			return 0, err
+		}
+		return metrics.InfectionRateXY(mesh, manager, p.Infected(), nil), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]InfectionPoint, 0, len(htCounts))
+	for pi, m := range htCounts {
 		sum := 0.0
-		for trial := 0; trial < trials; trial++ {
-			p, err := attack.RandomPlacement(mesh, m, rng, manager)
-			if err != nil {
-				return nil, err
-			}
-			sum += metrics.InfectionRateXY(mesh, manager, p.Infected(), nil)
+		for t := 0; t < trials; t++ {
+			sum += rates[pi*trials+t]
 		}
 		out = append(out, InfectionPoint{HTs: m, Rate: sum / float64(trials)})
 	}
@@ -84,48 +100,64 @@ type DistributionPoint struct {
 // InfectionByDistribution regenerates one series of Fig 4: infection rate
 // versus system size for a given HT distribution, with the HT count equal
 // to size/denominator (the paper uses 16 and 8) and the manager at the
-// center. Random placements are averaged over trials.
+// center. Random placements are averaged over trials, which fan out over
+// one worker per CPU; use InfectionByDistributionN to pick the count.
 func InfectionByDistribution(dist Distribution, sizes []int, denominator, trials int, seed int64) ([]DistributionPoint, error) {
+	return InfectionByDistributionN(dist, sizes, denominator, trials, seed, 0)
+}
+
+// InfectionByDistributionN is InfectionByDistribution with an explicit
+// worker count (0 means one per CPU). Every (size, trial) cell seeds its
+// own RNG from the campaign seed and its flat trial index, so the returned
+// rates are bit-identical for every worker count.
+func InfectionByDistributionN(dist Distribution, sizes []int, denominator, trials int, seed int64, workers int) ([]DistributionPoint, error) {
 	if denominator < 1 {
 		return nil, fmt.Errorf("core: invalid denominator %d", denominator)
 	}
-	rng := rand.New(rand.NewSource(seed))
-	out := make([]DistributionPoint, 0, len(sizes))
-	for _, size := range sizes {
+	switch dist {
+	case DistCenter, DistCorner, DistRandom:
+	default:
+		return nil, fmt.Errorf("core: unknown distribution %q", dist)
+	}
+	if trials < 1 {
+		trials = 1
+	}
+	rates, err := exp.Run(workers, len(sizes)*trials, func(trial int) (float64, error) {
+		size := sizes[trial/trials]
 		mesh, err := noc.MeshForSize(size)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		manager := mesh.Center()
 		m := size / denominator
 		if m < 1 {
 			m = 1
 		}
-		if trials < 1 {
-			trials = 1
+		rng := rand.New(rand.NewSource(exp.TrialSeed(seed, trial)))
+		var p attack.Placement
+		switch dist {
+		case DistCenter:
+			p, err = attack.CenterCluster(mesh, m, rng, manager)
+		case DistCorner:
+			p, err = attack.CornerCluster(mesh, m, rng, manager)
+		default:
+			p, err = attack.RandomPlacement(mesh, m, rng, manager)
 		}
-		draw := func() (attack.Placement, error) {
-			switch dist {
-			case DistCenter:
-				return attack.CenterCluster(mesh, m, rng, manager)
-			case DistCorner:
-				return attack.CornerCluster(mesh, m, rng, manager)
-			case DistRandom:
-				return attack.RandomPlacement(mesh, m, rng, manager)
-			default:
-				return attack.Placement{}, fmt.Errorf("core: unknown distribution %q", dist)
-			}
+		if err != nil {
+			return 0, err
 		}
+		return metrics.InfectionRateXY(mesh, manager, p.Infected(), nil), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DistributionPoint, 0, len(sizes))
+	for si, size := range sizes {
 		sum := 0.0
-		for trial := 0; trial < trials; trial++ {
-			p, err := draw()
-			if err != nil {
-				return nil, err
-			}
-			sum += metrics.InfectionRateXY(mesh, manager, p.Infected(), nil)
+		for t := 0; t < trials; t++ {
+			sum += rates[si*trials+t]
 		}
-		rate := sum / float64(trials)
-		out = append(out, DistributionPoint{SystemSize: size, Rate: rate})
+		out = append(out, DistributionPoint{SystemSize: size, Rate: sum / float64(trials)})
 	}
 	return out, nil
 }
@@ -258,7 +290,10 @@ type PlacementStudy struct {
 // OptimalVsRandom regenerates the Section V-C experiment for one mix:
 // sample random fleets, fit the Eqn 9 model on the measured Q values,
 // solve Eqn 10 by enumeration, simulate the winning placement, and compare
-// against the random mean.
+// against the random mean. The training and shortlist campaigns — the
+// expensive cycle simulations — fan out over cfg.Workers; every random
+// fleet is drawn from its own (seed, sample index) RNG, so the study is
+// bit-identical for every worker count.
 func OptimalVsRandom(cfg Config, mixName string, threads, nHTs, samples int, seed int64) (*PlacementStudy, error) {
 	if samples < 4 {
 		return nil, fmt.Errorf("core: need at least 4 samples to fit Eqn 9")
@@ -281,41 +316,20 @@ func OptimalVsRandom(cfg Config, mixName string, threads, nHTs, samples int, see
 	}
 	mesh := sys.Mesh()
 	gm := sys.ManagerNode()
-	rng := rand.New(rand.NewSource(seed))
 
 	// The training set mixes uniformly random fleets (the paper's baseline,
 	// and the set the improvement is measured against) with structured ring
 	// clusters at varying distance and spread — random fleets alone barely
 	// vary in ρ and η, and a model fitted on them extrapolates wildly.
-	var (
-		trainingSamples []attack.Sample
-		qValues         []float64 // random-placement subset only
-	)
 	gmCoord := mesh.Coord(gm)
-	evaluate := func(placement attack.Placement, isRandom bool) error {
-		sc.Trojans = placement
-		attacked, err := sys.Run(sc)
-		if err != nil {
-			return err
-		}
-		cmp, err := Compare(attacked, baseline)
-		if err != nil {
-			return err
-		}
-		trainingSamples = append(trainingSamples, attack.Sample{Features: cmp.Features, Q: cmp.Q})
-		if isRandom {
-			qValues = append(qValues, cmp.Q)
-		}
-		return nil
-	}
+	placements := make([]attack.Placement, 0, samples+12)
 	for i := 0; i < samples; i++ {
+		rng := rand.New(rand.NewSource(exp.TrialSeed(seed, i)))
 		placement, err := attack.RandomPlacement(mesh, nHTs, rng, gm)
 		if err != nil {
 			return nil, err
 		}
-		if err := evaluate(placement, true); err != nil {
-			return nil, err
-		}
+		placements = append(placements, placement)
 	}
 	offsets := []int{0, 2, 4, 6}
 	radii := []float64{0, 2, 4}
@@ -326,9 +340,30 @@ func OptimalVsRandom(cfg Config, mixName string, threads, nHTs, samples int, see
 			if err != nil {
 				return nil, err
 			}
-			if err := evaluate(placement, false); err != nil {
-				return nil, err
-			}
+			placements = append(placements, placement)
+		}
+	}
+	simulateQ := func(placement attack.Placement) (*Comparison, error) {
+		psc := sc
+		psc.Trojans = placement
+		attacked, err := sys.Run(psc)
+		if err != nil {
+			return nil, err
+		}
+		return Compare(attacked, baseline)
+	}
+	cmps, err := exp.Run(cfg.Workers, len(placements), func(i int) (*Comparison, error) {
+		return simulateQ(placements[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	trainingSamples := make([]attack.Sample, len(cmps))
+	qValues := make([]float64, samples) // random-placement subset only
+	for i, cmp := range cmps {
+		trainingSamples[i] = attack.Sample{Features: cmp.Features, Q: cmp.Q}
+		if i < samples {
+			qValues[i] = cmp.Q
 		}
 	}
 	model, err := attack.FitEffectModel(trainingSamples)
@@ -352,17 +387,14 @@ func OptimalVsRandom(cfg Config, mixName string, threads, nHTs, samples int, see
 	if err != nil {
 		return nil, fmt.Errorf("core: Eqn 10 enumeration: %w", err)
 	}
+	topCmps, err := exp.Run(cfg.Workers, len(top), func(i int) (*Comparison, error) {
+		return simulateQ(top[i].Placement)
+	})
+	if err != nil {
+		return nil, err
+	}
 	bestQ := mathx.Max(nil) // -Inf
-	for _, cand := range top {
-		sc.Trojans = cand.Placement
-		attacked, err := sys.Run(sc)
-		if err != nil {
-			return nil, err
-		}
-		cmp, err := Compare(attacked, baseline)
-		if err != nil {
-			return nil, err
-		}
+	for _, cmp := range topCmps {
 		if cmp.Q > bestQ {
 			bestQ = cmp.Q
 		}

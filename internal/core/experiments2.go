@@ -6,6 +6,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/budget"
 	"repro/internal/defense"
+	"repro/internal/exp"
 	"repro/internal/trojan"
 	"repro/internal/workload"
 )
@@ -32,7 +33,8 @@ type VariantResult struct {
 // DoSVariantStudy runs the same mix, placement, and chip under each of the
 // three Section II-B attack classes implemented by the Trojan, comparing
 // their attack effects. The false-data attack is the paper's contribution;
-// drop and loopback are the taxonomy baselines.
+// drop and loopback are the taxonomy baselines. The three campaigns share
+// one clean baseline and fan out over cfg.Workers.
 func DoSVariantStudy(cfg Config, mixName string, threads int, placement attack.Placement) ([]VariantResult, error) {
 	mix, err := workload.MixByName(mixName)
 	if err != nil {
@@ -50,17 +52,19 @@ func DoSVariantStudy(cfg Config, mixName string, threads int, placement attack.P
 	if err != nil {
 		return nil, err
 	}
-	out := make([]VariantResult, 0, 3)
-	for _, mode := range []trojan.Mode{trojan.ModeFalseData, trojan.ModeDrop, trojan.ModeLoopback} {
-		sc.Trojans = placement
-		sc.Mode = mode
-		attacked, err := sys.Run(sc)
+	modes := []trojan.Mode{trojan.ModeFalseData, trojan.ModeDrop, trojan.ModeLoopback}
+	return exp.Run(cfg.Workers, len(modes), func(i int) (VariantResult, error) {
+		mode := modes[i]
+		vsc := sc
+		vsc.Trojans = placement
+		vsc.Mode = mode
+		attacked, err := sys.Run(vsc)
 		if err != nil {
-			return nil, fmt.Errorf("core: variant %v: %w", mode, err)
+			return VariantResult{}, fmt.Errorf("core: variant %v: %w", mode, err)
 		}
 		cmp, err := Compare(attacked, baseline)
 		if err != nil {
-			return nil, err
+			return VariantResult{}, err
 		}
 		res := VariantResult{
 			Mode:    mode,
@@ -85,9 +89,8 @@ func DoSVariantStudy(cfg Config, mixName string, threads int, placement attack.P
 		if nA > 0 {
 			res.AttackerChange /= float64(nA)
 		}
-		out = append(out, res)
-	}
-	return out, nil
+		return res, nil
+	})
 }
 
 // DefenseResult is one row of the defense study.
@@ -147,22 +150,25 @@ func DefenseStudy(cfg Config, mixName string, threads int, placement attack.Plac
 		{name: "dual-path", dualPath: true},
 		{name: "dual-path+range", filter: rangeGuard, dualPath: true},
 	}
-	out := make([]DefenseResult, 0, len(filters))
-	for _, f := range filters {
+	// Every filter configuration is an independent chip: fan out over
+	// cfg.Workers. Stateful filters are cloned per run inside setup, so
+	// concurrent configurations never share detector state.
+	return exp.Run(cfg.Workers, len(filters), func(i int) (DefenseResult, error) {
+		f := filters[i]
 		c := cfg
 		c.Filter = f.filter
 		c.DualPathRequests = f.dualPath
 		sys, err := NewSystem(c)
 		if err != nil {
-			return nil, err
+			return DefenseResult{}, err
 		}
 		attacked, baseline, err := sys.RunPair(baseScenario)
 		if err != nil {
-			return nil, fmt.Errorf("core: defense %s: %w", f.name, err)
+			return DefenseResult{}, fmt.Errorf("core: defense %s: %w", f.name, err)
 		}
 		cmp, err := Compare(attacked, baseline)
 		if err != nil {
-			return nil, err
+			return DefenseResult{}, err
 		}
 		res := DefenseResult{
 			Defense:        f.name,
@@ -174,7 +180,6 @@ func DefenseStudy(cfg Config, mixName string, threads int, placement attack.Plac
 		if f.dualPath {
 			res.Flagged += attacked.DualPathMismatches
 		}
-		out = append(out, res)
-	}
-	return out, nil
+		return res, nil
+	})
 }

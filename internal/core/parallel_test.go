@@ -1,0 +1,192 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/budget"
+	"repro/internal/defense"
+)
+
+// The parallel-runner determinism contract: every experiment driver must
+// return bit-identical results for one worker and for many, because trials
+// derive their random streams from (seed, trial index) rather than a
+// shared RNG, and per-run mutable state (allocators, filters) is cloned.
+
+func TestInfectionVsHTCountParallelDeterminism(t *testing.T) {
+	counts := []int{0, 4, 8, 16}
+	seq, err := InfectionVsHTCountN(64, GMCorner, counts, 12, 7, 1)
+	if err != nil {
+		t.Fatalf("workers=1: %v", err)
+	}
+	for _, workers := range []int{2, 8} {
+		par, err := InfectionVsHTCountN(64, GMCorner, counts, 12, 7, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range seq {
+			if par[i] != seq[i] {
+				t.Fatalf("workers=%d: point %d = %+v, want %+v (not bit-identical)",
+					workers, i, par[i], seq[i])
+			}
+		}
+	}
+}
+
+func TestInfectionByDistributionParallelDeterminism(t *testing.T) {
+	sizes := []int{64, 128}
+	for _, dist := range []Distribution{DistCenter, DistRandom, DistCorner} {
+		seq, err := InfectionByDistributionN(dist, sizes, 16, 8, 3, 1)
+		if err != nil {
+			t.Fatalf("%s workers=1: %v", dist, err)
+		}
+		par, err := InfectionByDistributionN(dist, sizes, 16, 8, 3, 8)
+		if err != nil {
+			t.Fatalf("%s workers=8: %v", dist, err)
+		}
+		for i := range seq {
+			if par[i] != seq[i] {
+				t.Fatalf("%s: point %d = %+v, want %+v", dist, i, par[i], seq[i])
+			}
+		}
+	}
+}
+
+func TestRunPairParallelDeterminism(t *testing.T) {
+	run := func(workers int) (*Comparison, error) {
+		cfg := fastConfig()
+		cfg.Workers = workers
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			return nil, err
+		}
+		sc := fastScenario(t, campaignPlacement(t, sys))
+		attacked, baseline, err := sys.RunPair(sc)
+		if err != nil {
+			return nil, err
+		}
+		return Compare(attacked, baseline)
+	}
+	seq, err := run(1)
+	if err != nil {
+		t.Fatalf("workers=1: %v", err)
+	}
+	par, err := run(4)
+	if err != nil {
+		t.Fatalf("workers=4: %v", err)
+	}
+	if seq.Q != par.Q || seq.InfectionMeasured != par.InfectionMeasured {
+		t.Fatalf("RunPair diverges: sequential Q=%v inf=%v, parallel Q=%v inf=%v",
+			seq.Q, seq.InfectionMeasured, par.Q, par.InfectionMeasured)
+	}
+	for i := range seq.PerApp {
+		if seq.PerApp[i] != par.PerApp[i] {
+			t.Fatalf("app %d diverges: %+v vs %+v", i, seq.PerApp[i], par.PerApp[i])
+		}
+	}
+}
+
+func TestDoSVariantStudyParallelDeterminism(t *testing.T) {
+	run := func(workers int) []VariantResult {
+		cfg := fastConfig()
+		cfg.Workers = workers
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results, err := DoSVariantStudy(cfg, "mix-1", 16, campaignPlacement(t, sys))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return results
+	}
+	seq, par := run(1), run(8)
+	if len(seq) != len(par) {
+		t.Fatalf("result counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("variant %d diverges:\nsequential %+v\nparallel   %+v", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestDefenseStudyParallelDeterminism(t *testing.T) {
+	run := func(workers int) []DefenseResult {
+		cfg := fastConfig()
+		cfg.Epochs = 8
+		cfg.Workers = workers
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results, err := DefenseStudy(cfg, "mix-1", 16, campaignPlacement(t, sys))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return results
+	}
+	seq, par := run(1), run(8)
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("defense %q diverges:\nsequential %+v\nparallel   %+v",
+				seq[i].Defense, seq[i], par[i])
+		}
+	}
+}
+
+func TestOptimalVsRandomParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full placement study in -short mode")
+	}
+	run := func(workers int) *PlacementStudy {
+		cfg := fastConfig()
+		cfg.Workers = workers
+		study, err := OptimalVsRandom(cfg, "mix-1", 8, 8, 6, 3)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return study
+	}
+	seq, par := run(1), run(8)
+	if *seq != *par {
+		t.Fatalf("study diverges:\nsequential %+v\nparallel   %+v", seq, par)
+	}
+}
+
+// TestStatefulCloning pins the cloning contract the concurrent runners
+// depend on: stateful allocators and filters are copied with fresh state,
+// stateless ones pass through.
+func TestStatefulCloning(t *testing.T) {
+	pi := budget.NewPIController(0.5)
+	clone, ok := budget.CloneAllocator(pi).(*budget.PIController)
+	if !ok {
+		t.Fatal("PI clone lost its type")
+	}
+	if clone == pi {
+		t.Fatal("PI controller must clone to a fresh instance")
+	}
+	fair := budget.FairShare{}
+	if budget.CloneAllocator(fair) != budget.Allocator(fair) {
+		t.Error("stateless allocator should pass through")
+	}
+
+	hg := defense.NewHistoryGuard(0.3, 0.4)
+	hgClone, ok := budget.CloneFilter(hg).(*defense.HistoryGuard)
+	if !ok {
+		t.Fatal("history-guard clone lost its type")
+	}
+	if hgClone == hg {
+		t.Fatal("history guard must clone to a fresh instance")
+	}
+	chain := defense.NewChain(hg)
+	chainClone, ok := budget.CloneFilter(chain).(defense.Chain)
+	if !ok {
+		t.Fatal("chain clone lost its type")
+	}
+	if chainClone.Filters[0] == budget.RequestFilter(hg) {
+		t.Fatal("chain must clone its stateful stages")
+	}
+	if budget.CloneFilter(nil) != nil {
+		t.Error("nil filter must stay nil")
+	}
+}

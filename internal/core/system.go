@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/budget"
 	"repro/internal/defense"
+	"repro/internal/exp"
 	"repro/internal/mem"
 	"repro/internal/metrics"
 	"repro/internal/noc"
@@ -131,17 +132,33 @@ func (s *System) Run(sc Scenario) (*Report, error) {
 }
 
 // RunPair runs the scenario and its clean baseline under identical
-// configuration and seeds, returning (attacked, baseline).
+// configuration and seeds, returning (attacked, baseline). The two runs
+// are independent simulations (setup clones any stateful allocator or
+// filter), so they fan out over the worker pool; Config.Workers = 1 forces
+// the sequential order and produces bit-identical reports.
 func (s *System) RunPair(sc Scenario) (*Report, *Report, error) {
-	attacked, err := s.Run(sc)
-	if err != nil {
-		return nil, nil, fmt.Errorf("core: attacked run: %w", err)
+	workers := exp.Workers(s.cfg.Workers)
+	if workers > 2 {
+		workers = 2
 	}
-	baseline, err := s.Run(sc.WithoutTrojans())
+	reports, err := exp.Run(workers, 2, func(i int) (*Report, error) {
+		if i == 0 {
+			attacked, err := s.Run(sc)
+			if err != nil {
+				return nil, fmt.Errorf("core: attacked run: %w", err)
+			}
+			return attacked, nil
+		}
+		baseline, err := s.Run(sc.WithoutTrojans())
+		if err != nil {
+			return nil, fmt.Errorf("core: baseline run: %w", err)
+		}
+		return baseline, nil
+	})
 	if err != nil {
-		return nil, nil, fmt.Errorf("core: baseline run: %w", err)
+		return nil, nil, err
 	}
-	return attacked, baseline, nil
+	return reports[0], reports[1], nil
 }
 
 // PlaceApps computes the scenario's thread-to-core assignment without
@@ -193,7 +210,10 @@ func (s *System) setup(sc Scenario) (*run, error) {
 	if err != nil {
 		return nil, err
 	}
-	manager, err := budget.NewManager(s.gm, s.cfg.Allocator, s.cfg.ChipBudgetMW())
+	// Stateful allocators and filters are cloned per run: runs stay
+	// independent (no cross-run contamination between an attacked run and
+	// its baseline) and RunPair may execute them concurrently.
+	manager, err := budget.NewManager(s.gm, budget.CloneAllocator(s.cfg.Allocator), s.cfg.ChipBudgetMW())
 	if err != nil {
 		return nil, err
 	}
@@ -284,7 +304,7 @@ func (s *System) setup(sc Scenario) (*run, error) {
 		net.SetInspector(r.fleet)
 	}
 	if s.cfg.Filter != nil {
-		manager.SetFilter(s.cfg.Filter)
+		manager.SetFilter(budget.CloneFilter(s.cfg.Filter))
 	}
 	if s.cfg.DualPathRequests {
 		r.voter = defense.NewDualPathVoter()

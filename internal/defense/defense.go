@@ -93,6 +93,12 @@ func (*HistoryGuard) Name() string { return "history-guard" }
 // Reset clears the per-core history.
 func (g *HistoryGuard) Reset() { g.ewma = make(map[noc.NodeID]float64) }
 
+// CloneFilter implements budget.StatefulFilter: each independent run gets
+// a guard with the same parameters and an empty history.
+func (g *HistoryGuard) CloneFilter() budget.RequestFilter {
+	return NewHistoryGuard(g.Alpha, g.Tolerance)
+}
+
 // FilterRequest implements budget.RequestFilter.
 func (g *HistoryGuard) FilterRequest(core noc.NodeID, mw uint32) (uint32, bool) {
 	prev, seen := g.ewma[core]
@@ -131,6 +137,16 @@ func (c Chain) Name() string {
 		names[i] = f.Name()
 	}
 	return strings.Join(names, "+")
+}
+
+// CloneFilter implements budget.StatefulFilter: every stage is cloned, so
+// a chain containing a stateful stage is itself safely clonable.
+func (c Chain) CloneFilter() budget.RequestFilter {
+	cloned := make([]budget.RequestFilter, len(c.Filters))
+	for i, f := range c.Filters {
+		cloned[i] = budget.CloneFilter(f)
+	}
+	return Chain{Filters: cloned}
 }
 
 // FilterRequest implements budget.RequestFilter.

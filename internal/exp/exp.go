@@ -1,0 +1,79 @@
+// Package exp provides the deterministic parallel trial runner behind the
+// campaign experiments. Every figure of the paper is an average over many
+// independent trials (random Trojan placements, attack variants, defense
+// configurations); this package fans those trials out over a worker pool
+// while keeping results bit-identical for any worker count.
+//
+// Determinism rests on two rules the experiment layer must follow:
+//
+//  1. Every trial derives its own random stream from the campaign seed and
+//     its trial index (TrialSeed), never from a shared RNG, so the values a
+//     trial consumes do not depend on which worker ran it or in what order.
+//  2. Trial functions share no mutable state; results are written into a
+//     slice slot owned exclusively by the trial's index.
+package exp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: values above zero are used as
+// given, anything else means one worker per available CPU.
+func Workers(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// TrialSeed derives the RNG seed for one trial of a campaign. Seeding by
+// offset keeps every trial's stream independent of worker count and
+// schedule while staying reproducible from the single campaign seed.
+func TrialSeed(base int64, trial int) int64 { return base + int64(trial) }
+
+// Run executes fn(trial) for every trial in [0, trials) on a pool of
+// workers (see Workers for how the count is resolved) and returns the
+// results indexed by trial. All trials run to completion even when some
+// fail; the error of the lowest-indexed failing trial is returned, so the
+// reported error is as deterministic as the results.
+func Run[T any](workers, trials int, fn func(trial int) (T, error)) ([]T, error) {
+	if trials <= 0 {
+		return nil, nil
+	}
+	results := make([]T, trials)
+	errs := make([]error, trials)
+	workers = Workers(workers)
+	if workers > trials {
+		workers = trials
+	}
+	if workers == 1 {
+		for i := 0; i < trials; i++ {
+			results[i], errs[i] = fn(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= trials {
+						return
+					}
+					results[i], errs[i] = fn(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,102 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Errorf("Workers(3) = %d", got)
+	}
+	if got := Workers(0); got < 1 {
+		t.Errorf("Workers(0) = %d, want >= 1", got)
+	}
+	if got := Workers(-2); got < 1 {
+		t.Errorf("Workers(-2) = %d, want >= 1", got)
+	}
+}
+
+func TestRunCollectsInTrialOrder(t *testing.T) {
+	out, err := Run(4, 100, func(trial int) (int, error) { return trial * trial, nil })
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(out) != 100 {
+		t.Fatalf("results = %d, want 100", len(out))
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestRunZeroTrials(t *testing.T) {
+	out, err := Run(4, 0, func(int) (int, error) { t.Fatal("fn must not run"); return 0, nil })
+	if err != nil || out != nil {
+		t.Fatalf("Run(0 trials) = %v, %v", out, err)
+	}
+}
+
+func TestRunReturnsLowestIndexedError(t *testing.T) {
+	bad := map[int]bool{17: true, 41: true, 80: true}
+	_, err := Run(8, 100, func(trial int) (int, error) {
+		if bad[trial] {
+			return 0, fmt.Errorf("trial %d failed", trial)
+		}
+		return trial, nil
+	})
+	if err == nil || err.Error() != "trial 17 failed" {
+		t.Fatalf("err = %v, want trial 17's error", err)
+	}
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	// The canonical usage pattern: each trial seeds its own RNG from the
+	// trial index. Results must be identical for any worker count.
+	campaign := func(workers int) []float64 {
+		out, err := Run(workers, 64, func(trial int) (float64, error) {
+			rng := rand.New(rand.NewSource(TrialSeed(99, trial)))
+			sum := 0.0
+			for i := 0; i < 100; i++ {
+				sum += rng.Float64()
+			}
+			return sum, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return out
+	}
+	want := campaign(1)
+	for _, w := range []int{2, 4, 8, 16} {
+		got := campaign(w)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: trial %d = %v, want %v (not bit-identical)", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRunAllTrialsCompleteDespiteError(t *testing.T) {
+	ran := make([]bool, 32)
+	_, err := Run(4, 32, func(trial int) (int, error) {
+		ran[trial] = true
+		if trial == 0 {
+			return 0, errors.New("boom")
+		}
+		return trial, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	for i, r := range ran {
+		if !r {
+			t.Fatalf("trial %d never ran", i)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package noc
 import (
 	"errors"
 	"fmt"
+	"slices"
 )
 
 // Config holds the NoC parameters of Table I.
@@ -117,9 +118,15 @@ type Inspector interface {
 // Handler receives packets fully ejected at a node.
 type Handler func(p *Packet)
 
-// vcState is one input virtual channel of a router.
+// vcState is one input virtual channel of a router. The flit buffer is a
+// fixed-capacity ring (capacity BufDepth), so steady-state traffic neither
+// re-slices nor reallocates.
 type vcState struct {
-	fifo []*Flit
+	rt   *router // owning router, for buffered-flit accounting
+	buf  []*Flit // ring storage, len == BufDepth
+	head int
+	n    int
+
 	// owner is the packet holding this VC (wormhole allocation). It is set
 	// when an upstream VC allocation reserves this channel and cleared when
 	// the packet's tail flit departs the fifo.
@@ -148,18 +155,29 @@ func (v *vcState) reset() {
 	v.reservedDst = nil
 }
 
+// peek returns the head-of-line flit; the caller must know n > 0.
+func (v *vcState) peek() *Flit { return v.buf[v.head] }
+
 // free reports whether the VC can accept a new packet's head flit.
-func (v *vcState) free() bool { return v.owner == nil && len(v.fifo) == 0 && v.inflight == 0 }
+func (v *vcState) free() bool { return v.owner == nil && v.n == 0 && v.inflight == 0 }
 
 // space reports whether one more flit fits (buffer + in-flight).
-func (v *vcState) space(depth int) bool { return len(v.fifo)+v.inflight < depth }
+func (v *vcState) space(depth int) bool { return v.n+v.inflight < depth }
 
+// router is one mesh router. Input VCs are flattened into a single slice —
+// the VC for (input port d, channel v) sits at index d*VCs+v — which is
+// both the cache-friendly layout for the per-cycle scans and exactly the
+// candidate order of the round-robin switch allocator.
 type router struct {
-	id     NodeID
-	inputs [numDirections][]*vcState
+	id  NodeID
+	vcs []vcState
 	// saPtr is the round-robin switch-allocation pointer per output port,
 	// indexing the flattened (input port, VC) candidate list.
 	saPtr [numDirections]int
+	// buffered counts flits currently held in this router's input VCs; a
+	// router leaves the active worklist when it reaches zero.
+	buffered int
+	active   bool
 }
 
 // inflightFlit is a flit traversing the router pipeline + link toward a
@@ -171,20 +189,28 @@ type inflightFlit struct {
 }
 
 // nodeNI is the per-node network interface: an unbounded injection queue
-// (source queue) plus reassembly state for ejection.
+// (source queue) plus the VC currently allocated to the head-of-queue
+// packet. The queue is drained via qhead instead of re-slicing so its
+// backing array is reused across epochs.
 type nodeNI struct {
-	queue   []*Flit
-	injVC   *vcState // VC currently allocated to the head-of-queue packet
-	rxFlits map[uint64]int
+	queue  []*Flit
+	qhead  int
+	injVC  *vcState // VC currently allocated to the head-of-queue packet
+	active bool
 }
 
-// Stats aggregates network-level counters.
+// qlen returns the number of queued flits not yet injected.
+func (ni *nodeNI) qlen() int { return len(ni.queue) - ni.qhead }
+
+// Stats aggregates network-level counters. The per-type tallies are fixed
+// arrays indexed by PacketType, so a Stats value is a plain value copy —
+// no maps, no defensive deep copy.
 type Stats struct {
 	Injected         uint64
 	Delivered        uint64
 	HopSum           uint64
-	DeliveredBy      map[PacketType]uint64
-	LatencySumBy     map[PacketType]uint64
+	DeliveredBy      [numPacketTypes]uint64
+	LatencySumBy     [numPacketTypes]uint64
 	TamperedPowerReq uint64 // POWER_REQ packets delivered with Tampered set
 	DroppedPackets   uint64 // packets discarded by a VerdictDrop
 	LoopedBack       uint64 // packets delivered to their own source
@@ -193,6 +219,9 @@ type Stats struct {
 // AvgLatency returns the mean injection-to-delivery latency in cycles for
 // packets of type t, or 0 if none were delivered.
 func (s *Stats) AvgLatency(t PacketType) float64 {
+	if t >= numPacketTypes {
+		return 0
+	}
 	n := s.DeliveredBy[t]
 	if n == 0 {
 		return 0
@@ -202,6 +231,14 @@ func (s *Stats) AvgLatency(t PacketType) float64 {
 
 // Network is the cycle-stepped NoC. It is not safe for concurrent use; one
 // simulation owns one network.
+//
+// Stepping is worklist-driven: a router is scanned by the RC/VA/SA stages
+// only while flits sit in its input buffers, and a network interface only
+// while its source queue is non-empty. The worklists are kept sorted by
+// node ID, so a Step visits exactly the routers a full scan would have
+// found non-idle, in the same order — cycle-for-cycle identical behaviour
+// to the exhaustive sweep, without the O(nodes × ports × VCs) cost on a
+// nearly-empty network.
 type Network struct {
 	mesh      Mesh
 	cfg       Config
@@ -209,10 +246,40 @@ type Network struct {
 	nextID    uint64
 	routers   []*router
 	nis       []*nodeNI
-	inflight  []inflightFlit
 	handlers  []Handler
 	inspector Inspector
 	stats     Stats
+
+	// Link pipeline: a growable FIFO ring of in-flight flits.
+	inflight []inflightFlit
+	inflHead int
+	inflLen  int
+
+	// liveFlits counts flits anywhere in the network (source queues, input
+	// buffers, link pipeline), making Busy O(1).
+	liveFlits int
+
+	// Active worklists, sorted ascending; the dirty flags note unsorted
+	// appends since the last Step.
+	activeRouters []int32
+	routersDirty  bool
+	activeNIs     []int32
+	nisDirty      bool
+
+	// saDir maps a flattened VC index to its input port, hoisting the
+	// divide/modulo out of the switch-allocation loop.
+	saDir []Direction
+
+	// flitPool recycles Flit objects between ejection and injection so
+	// steady-state traffic does not churn the garbage collector.
+	flitPool []*Flit
+
+	// freeFn is the reusable congestion probe handed to adaptive routing
+	// algorithms; binding the probe point through freeFrom/freeClass avoids
+	// allocating a fresh closure for every routed packet.
+	freeFn    func(Direction) bool
+	freeFrom  NodeID
+	freeClass int
 }
 
 // New constructs a network over mesh with the given configuration.
@@ -230,18 +297,22 @@ func New(mesh Mesh, cfg Config) (*Network, error) {
 		nis:      make([]*nodeNI, mesh.Nodes()),
 		handlers: make([]Handler, mesh.Nodes()),
 	}
-	n.stats.DeliveredBy = make(map[PacketType]uint64)
-	n.stats.LatencySumBy = make(map[PacketType]uint64)
+	vcsPerRouter := int(numDirections) * cfg.VCs
 	for i := range n.routers {
-		r := &router{id: NodeID(i)}
-		for d := 0; d < int(numDirections); d++ {
-			r.inputs[d] = make([]*vcState, cfg.VCs)
-			for v := range r.inputs[d] {
-				r.inputs[d][v] = &vcState{}
-			}
+		r := &router{id: NodeID(i), vcs: make([]vcState, vcsPerRouter)}
+		for v := range r.vcs {
+			r.vcs[v].rt = r
+			r.vcs[v].buf = make([]*Flit, cfg.BufDepth)
 		}
 		n.routers[i] = r
-		n.nis[i] = &nodeNI{rxFlits: make(map[uint64]int)}
+		n.nis[i] = &nodeNI{}
+	}
+	n.saDir = make([]Direction, vcsPerRouter)
+	for i := range n.saDir {
+		n.saDir[i] = Direction(i / cfg.VCs)
+	}
+	n.freeFn = func(d Direction) bool {
+		return n.downstreamHasFreeVC(n.freeFrom, d, n.freeClass)
 	}
 	return n, nil
 }
@@ -255,19 +326,9 @@ func (n *Network) Config() Config { return n.cfg }
 // Now returns the network cycle counter.
 func (n *Network) Now() uint64 { return n.now }
 
-// Stats returns a snapshot copy of the accumulated statistics.
-func (n *Network) Stats() Stats {
-	s := n.stats
-	s.DeliveredBy = make(map[PacketType]uint64, len(n.stats.DeliveredBy))
-	for k, v := range n.stats.DeliveredBy {
-		s.DeliveredBy[k] = v
-	}
-	s.LatencySumBy = make(map[PacketType]uint64, len(n.stats.LatencySumBy))
-	for k, v := range n.stats.LatencySumBy {
-		s.LatencySumBy[k] = v
-	}
-	return s
-}
+// Stats returns a snapshot of the accumulated statistics. Stats holds no
+// reference types, so the value copy is already defensive.
+func (n *Network) Stats() Stats { return n.stats }
 
 // Attach registers the delivery handler for node id, replacing any previous
 // handler.
@@ -275,6 +336,23 @@ func (n *Network) Attach(id NodeID, h Handler) { n.handlers[id] = h }
 
 // SetInspector installs the hardware-Trojan inspection hook (nil clears).
 func (n *Network) SetInspector(i Inspector) { n.inspector = i }
+
+// takeFlit draws a flit from the pool, or allocates when the pool is dry.
+func (n *Network) takeFlit(kind FlitKind, p *Packet, seq int) *Flit {
+	if k := len(n.flitPool); k > 0 {
+		f := n.flitPool[k-1]
+		n.flitPool = n.flitPool[:k-1]
+		f.Kind, f.Packet, f.Seq = kind, p, seq
+		return f
+	}
+	return &Flit{Kind: kind, Packet: p, Seq: seq}
+}
+
+// freeFlit returns a consumed flit to the pool.
+func (n *Network) freeFlit(f *Flit) {
+	f.Packet = nil
+	n.flitPool = append(n.flitPool, f)
+}
 
 // Inject queues p for transmission from p.Src. The source queue is
 // unbounded, so injection never fails for a valid packet.
@@ -295,40 +373,49 @@ func (n *Network) Inject(p *Packet) error {
 	p.ID = n.nextID
 	p.InjectedAt = n.now
 	p.OriginalPayload = p.Payload
-	n.nis[p.Src].queue = append(n.nis[p.Src].queue, Flits(p)...)
+	p.rx = 0
+	ni := n.nis[p.Src]
+	count := p.FlitCount()
+	if count == 1 {
+		ni.queue = append(ni.queue, n.takeFlit(HeadTailFlit, p, 0))
+	} else {
+		for i := 0; i < count; i++ {
+			kind := BodyFlit
+			switch i {
+			case 0:
+				kind = HeadFlit
+			case count - 1:
+				kind = TailFlit
+			}
+			ni.queue = append(ni.queue, n.takeFlit(kind, p, i))
+		}
+	}
+	n.liveFlits += count
+	if !ni.active {
+		ni.active = true
+		n.activeNIs = append(n.activeNIs, int32(p.Src))
+		n.nisDirty = true
+	}
 	n.stats.Injected++
 	return nil
 }
 
 // Busy reports whether any flit remains anywhere in the network.
-func (n *Network) Busy() bool {
-	if len(n.inflight) > 0 {
-		return true
-	}
-	for i, ni := range n.nis {
-		if len(ni.queue) > 0 {
-			return true
-		}
-		r := n.routers[i]
-		for d := 0; d < int(numDirections); d++ {
-			for _, vc := range r.inputs[d] {
-				if len(vc.fifo) > 0 {
-					return true
-				}
-			}
-		}
-	}
-	return false
-}
+func (n *Network) Busy() bool { return n.liveFlits > 0 }
 
 // Step advances the network by one cycle.
 func (n *Network) Step() {
 	n.now++
 	n.deliverArrivals()
 	n.injectFromNIs()
+	if n.routersDirty {
+		slices.Sort(n.activeRouters)
+		n.routersDirty = false
+	}
 	n.routeCompute()
 	n.vcAllocate()
 	n.switchTraversal()
+	n.sweepIdleRouters()
 }
 
 // RunUntilIdle steps until no flits remain or maxCycles elapse. It returns
@@ -344,108 +431,186 @@ func (n *Network) RunUntilIdle(maxCycles uint64) (uint64, bool) {
 	return c, !n.Busy()
 }
 
+// vcPush appends a flit to a VC's ring buffer and puts the owning router on
+// the active worklist.
+func (n *Network) vcPush(vc *vcState, f *Flit) {
+	i := vc.head + vc.n
+	if i >= len(vc.buf) {
+		i -= len(vc.buf)
+	}
+	vc.buf[i] = f
+	vc.n++
+	rt := vc.rt
+	rt.buffered++
+	if !rt.active {
+		rt.active = true
+		n.activeRouters = append(n.activeRouters, int32(rt.id))
+		n.routersDirty = true
+	}
+}
+
+// vcPop removes and returns a VC's head-of-line flit.
+func (n *Network) vcPop(vc *vcState) *Flit {
+	f := vc.buf[vc.head]
+	vc.buf[vc.head] = nil
+	vc.head++
+	if vc.head == len(vc.buf) {
+		vc.head = 0
+	}
+	vc.n--
+	vc.rt.buffered--
+	return f
+}
+
+// linkPush appends a flit to the link-pipeline ring, growing it only when
+// the sustained in-flight population exceeds every previous peak.
+func (n *Network) linkPush(fl inflightFlit) {
+	if n.inflLen == len(n.inflight) {
+		size := 2 * len(n.inflight)
+		if size < 64 {
+			size = 64
+		}
+		grown := make([]inflightFlit, size)
+		for i := 0; i < n.inflLen; i++ {
+			j := n.inflHead + i
+			if j >= len(n.inflight) {
+				j -= len(n.inflight)
+			}
+			grown[i] = n.inflight[j]
+		}
+		n.inflight = grown
+		n.inflHead = 0
+	}
+	tail := n.inflHead + n.inflLen
+	if tail >= len(n.inflight) {
+		tail -= len(n.inflight)
+	}
+	n.inflight[tail] = fl
+	n.inflLen++
+}
+
 // deliverArrivals moves link-pipeline flits whose latency elapsed into their
 // destination input VCs.
 func (n *Network) deliverArrivals() {
-	i := 0
-	for ; i < len(n.inflight); i++ {
-		f := n.inflight[i]
+	for n.inflLen > 0 {
+		f := &n.inflight[n.inflHead]
 		if f.arriveAt > n.now {
 			break // FIFO: constant latency keeps arrivals ordered
 		}
-		f.dst.fifo = append(f.dst.fifo, f.flit)
+		n.vcPush(f.dst, f.flit)
 		f.dst.inflight--
-	}
-	if i > 0 {
-		n.inflight = n.inflight[i:]
-		if len(n.inflight) == 0 {
-			n.inflight = nil
+		f.flit, f.dst = nil, nil
+		n.inflHead++
+		if n.inflHead == len(n.inflight) {
+			n.inflHead = 0
 		}
+		n.inflLen--
 	}
 }
 
-// injectFromNIs moves at most one flit per node from the source queue into
-// the router's local input port.
+// injectFromNIs moves at most one flit per active node from the source
+// queue into the router's local input port, retiring drained NIs from the
+// worklist.
 func (n *Network) injectFromNIs() {
-	for id, ni := range n.nis {
-		if len(ni.queue) == 0 {
-			continue
+	if n.nisDirty {
+		slices.Sort(n.activeNIs)
+		n.nisDirty = false
+	}
+	k := 0
+	for _, id := range n.activeNIs {
+		ni := n.nis[id]
+		n.injectOne(NodeID(id), ni)
+		if ni.qlen() > 0 {
+			n.activeNIs[k] = id
+			k++
+		} else {
+			ni.active = false
+			ni.queue = ni.queue[:0]
+			ni.qhead = 0
 		}
-		f := ni.queue[0]
-		r := n.routers[id]
-		if f.IsHead() {
-			// Allocate a free local input VC within the packet's class.
-			lo, hi := n.cfg.classVCRange(f.Packet.Class)
-			var target *vcState
-			for _, vc := range r.inputs[Local][lo:hi] {
-				if vc.free() {
-					target = vc
-					break
-				}
+	}
+	n.activeNIs = n.activeNIs[:k]
+}
+
+// injectOne attempts one flit transfer from node id's source queue.
+func (n *Network) injectOne(id NodeID, ni *nodeNI) {
+	f := ni.queue[ni.qhead]
+	r := n.routers[id]
+	if f.IsHead() {
+		// Allocate a free local input VC within the packet's class. The
+		// Local port is direction 0, so its VCs sit at the start of the
+		// flattened slice.
+		lo, hi := n.cfg.classVCRange(f.Packet.Class)
+		var target *vcState
+		for v := lo; v < hi; v++ {
+			if vc := &r.vcs[v]; vc.free() {
+				target = vc
+				break
 			}
-			if target == nil {
-				continue // all local VCs of this class busy this cycle
-			}
-			target.owner = f.Packet
-			ni.injVC = target
 		}
-		if ni.injVC == nil || !ni.injVC.space(n.cfg.BufDepth) {
-			continue
+		if target == nil {
+			return // all local VCs of this class busy this cycle
 		}
-		ni.injVC.fifo = append(ni.injVC.fifo, f)
-		ni.queue = ni.queue[1:]
-		if len(ni.queue) == 0 {
-			ni.queue = nil
-		}
-		if f.IsTail() {
-			ni.injVC = nil
-		}
+		target.owner = f.Packet
+		ni.injVC = target
+	}
+	if ni.injVC == nil || !ni.injVC.space(n.cfg.BufDepth) {
+		return
+	}
+	n.vcPush(ni.injVC, f)
+	ni.qhead++
+	if f.IsTail() {
+		ni.injVC = nil
 	}
 }
 
-// routeCompute runs the RC stage: for every input VC whose head-of-line
-// flit opens a packet and has no route yet, inspect (Trojan hook) and route.
+// routeCompute runs the RC stage: for every active router's input VC whose
+// head-of-line flit opens a packet and has no route yet, inspect (Trojan
+// hook) and route.
 func (n *Network) routeCompute() {
-	for _, r := range n.routers {
-		for d := 0; d < int(numDirections); d++ {
-			for _, vc := range r.inputs[d] {
-				if vc.dropping {
-					n.consumeDropped(vc)
-					continue
-				}
-				if len(vc.fifo) == 0 || vc.routeValid {
-					continue
-				}
-				head := vc.fifo[0]
-				if !head.IsHead() {
-					continue
-				}
-				p := head.Packet
-				if !vc.inspected {
-					// Fig 2(b): the HT sits between the input buffer and
-					// the routing-computation module.
-					if n.inspector != nil {
-						switch n.inspector.InspectRC(r.id, p) {
-						case VerdictDrop:
-							vc.dropping = true
-							vc.inspected = true
-							n.consumeDropped(vc)
-							continue
-						case VerdictLoopback:
-							// The malicious router bounces the packet back
-							// to its source; the route below targets the
-							// rewritten destination.
-							p.Dst = p.Src
-							p.LoopedBack = true
-						}
-					}
-					vc.inspected = true
-					p.Hops++
-				}
-				free := func(dir Direction) bool { return n.downstreamHasFreeVC(r.id, dir, p.Class) }
-				vc.route = n.cfg.classRouting(p.Class).Route(n.mesh, r.id, p.Dst, free)
-				vc.routeValid = true
+	for _, id := range n.activeRouters {
+		r := n.routers[id]
+		if r.buffered == 0 {
+			continue
+		}
+		for i := range r.vcs {
+			vc := &r.vcs[i]
+			if vc.dropping {
+				n.consumeDropped(vc)
+				continue
 			}
+			if vc.n == 0 || vc.routeValid {
+				continue
+			}
+			head := vc.peek()
+			if !head.IsHead() {
+				continue
+			}
+			p := head.Packet
+			if !vc.inspected {
+				// Fig 2(b): the HT sits between the input buffer and
+				// the routing-computation module.
+				if n.inspector != nil {
+					switch n.inspector.InspectRC(r.id, p) {
+					case VerdictDrop:
+						vc.dropping = true
+						vc.inspected = true
+						n.consumeDropped(vc)
+						continue
+					case VerdictLoopback:
+						// The malicious router bounces the packet back
+						// to its source; the route below targets the
+						// rewritten destination.
+						p.Dst = p.Src
+						p.LoopedBack = true
+					}
+				}
+				vc.inspected = true
+				p.Hops++
+			}
+			n.freeFrom, n.freeClass = r.id, p.Class
+			vc.route = n.cfg.classRouting(p.Class).Route(n.mesh, r.id, p.Dst, n.freeFn)
+			vc.routeValid = true
 		}
 	}
 }
@@ -455,13 +620,12 @@ func (n *Network) routeCompute() {
 // flits still in the link pipeline arrive later and are eaten on
 // subsequent cycles.
 func (n *Network) consumeDropped(vc *vcState) {
-	for len(vc.fifo) > 0 {
-		f := vc.fifo[0]
-		vc.fifo = vc.fifo[1:]
-		if len(vc.fifo) == 0 {
-			vc.fifo = nil
-		}
-		if f.IsTail() {
+	for vc.n > 0 {
+		f := n.vcPop(vc)
+		tail := f.IsTail()
+		n.freeFlit(f)
+		n.liveFlits--
+		if tail {
 			n.stats.DroppedPackets++
 			vc.reset()
 			return
@@ -477,54 +641,63 @@ func (n *Network) downstreamHasFreeVC(id NodeID, dir Direction, class int) bool 
 	if !ok {
 		return false
 	}
-	in := dir.Opposite()
+	base := int(dir.Opposite()) * n.cfg.VCs
 	lo, hi := n.cfg.classVCRange(class)
-	for _, vc := range n.routers[nb].inputs[in][lo:hi] {
-		if vc.free() {
+	vcs := n.routers[nb].vcs
+	for v := lo; v < hi; v++ {
+		if vcs[base+v].free() {
 			return true
 		}
 	}
 	return false
 }
 
-// vcAllocate runs the VA stage: routed head packets reserve a free VC in
-// the downstream router's input port.
+// vcAllocate runs the VA stage: routed head packets at active routers
+// reserve a free VC in the downstream router's input port.
 func (n *Network) vcAllocate() {
-	for _, r := range n.routers {
-		for d := 0; d < int(numDirections); d++ {
-			for _, vc := range r.inputs[d] {
-				if !vc.routeValid || vc.outVCValid || vc.route == Local {
-					continue
-				}
-				if len(vc.fifo) == 0 || !vc.fifo[0].IsHead() {
-					continue
-				}
-				nb, ok := n.mesh.Neighbor(r.id, vc.route)
-				if !ok {
-					// Routing algorithms never route off-mesh; defensive.
-					continue
-				}
-				in := vc.route.Opposite()
-				lo, hi := n.cfg.classVCRange(vc.fifo[0].Packet.Class)
-				for outIdx, dvc := range n.routers[nb].inputs[in][lo:hi] {
-					if dvc.free() {
-						dvc.owner = vc.fifo[0].Packet
-						vc.outVC = lo + outIdx
-						vc.outVCValid = true
-						vc.reservedDst = dvc
-						break
-					}
+	for _, id := range n.activeRouters {
+		r := n.routers[id]
+		if r.buffered == 0 {
+			continue
+		}
+		for i := range r.vcs {
+			vc := &r.vcs[i]
+			if !vc.routeValid || vc.outVCValid || vc.route == Local {
+				continue
+			}
+			if vc.n == 0 || !vc.peek().IsHead() {
+				continue
+			}
+			nb, ok := n.mesh.Neighbor(r.id, vc.route)
+			if !ok {
+				// Routing algorithms never route off-mesh; defensive.
+				continue
+			}
+			base := int(vc.route.Opposite()) * n.cfg.VCs
+			lo, hi := n.cfg.classVCRange(vc.peek().Packet.Class)
+			dvcs := n.routers[nb].vcs
+			for out := lo; out < hi; out++ {
+				if dvc := &dvcs[base+out]; dvc.free() {
+					dvc.owner = vc.peek().Packet
+					vc.outVC = out
+					vc.outVCValid = true
+					vc.reservedDst = dvc
+					break
 				}
 			}
 		}
 	}
 }
 
-// switchTraversal runs SA+ST: per output port, one flit crosses the switch,
-// respecting one-flit-per-input-port bandwidth, then either ejects locally
-// or enters the link pipeline.
+// switchTraversal runs SA+ST: per output port of each active router, one
+// flit crosses the switch, respecting one-flit-per-input-port bandwidth,
+// then either ejects locally or enters the link pipeline.
 func (n *Network) switchTraversal() {
-	for _, r := range n.routers {
+	for _, id := range n.activeRouters {
+		r := n.routers[id]
+		if r.buffered == 0 {
+			continue
+		}
 		var usedInput [numDirections]bool
 		for out := 0; out < int(numDirections); out++ {
 			n.arbitrateOutput(r, Direction(out), &usedInput)
@@ -535,13 +708,16 @@ func (n *Network) switchTraversal() {
 // arbitrateOutput picks one eligible (input, VC) for output port out using
 // a round-robin pointer and moves its head-of-line flit.
 func (n *Network) arbitrateOutput(r *router, out Direction, usedInput *[numDirections]bool) {
-	total := int(numDirections) * n.cfg.VCs
-	start := r.saPtr[out]
+	total := len(r.vcs)
+	idx := r.saPtr[out]
 	for k := 0; k < total; k++ {
-		idx := (start + k) % total
-		d := Direction(idx / n.cfg.VCs)
-		vc := r.inputs[d][idx%n.cfg.VCs]
-		if usedInput[d] || len(vc.fifo) == 0 || !vc.routeValid || vc.route != out {
+		if idx >= total {
+			idx -= total
+		}
+		vc := &r.vcs[idx]
+		d := n.saDir[idx]
+		idx++
+		if usedInput[d] || vc.n == 0 || !vc.routeValid || vc.route != out {
 			continue
 		}
 		if out != Local {
@@ -549,46 +725,66 @@ func (n *Network) arbitrateOutput(r *router, out Direction, usedInput *[numDirec
 				continue
 			}
 		}
-		f := vc.fifo[0]
-		vc.fifo = vc.fifo[1:]
-		if len(vc.fifo) == 0 {
-			vc.fifo = nil
-		}
+		f := n.vcPop(vc)
 		usedInput[d] = true
-		r.saPtr[out] = (idx + 1) % total
+		r.saPtr[out] = idx
+		if idx == total {
+			r.saPtr[out] = 0
+		}
 
+		// Read the flit kind before eject: ejection frees the flit to the
+		// pool, and a delivery handler may synchronously Inject a new
+		// packet that recycles (and rewrites) it.
+		tail := f.IsTail()
 		if out == Local {
 			n.eject(r.id, f)
 		} else {
 			vc.reservedDst.inflight++
-			n.inflight = append(n.inflight, inflightFlit{
+			n.linkPush(inflightFlit{
 				arriveAt: n.now + uint64(n.cfg.RouterCycles+n.cfg.LinkCycles),
 				flit:     f,
 				dst:      vc.reservedDst,
 			})
 		}
-		if f.IsTail() {
+		if tail {
 			vc.reset()
 		}
 		return
 	}
 }
 
+// sweepIdleRouters retires routers whose input buffers drained this cycle.
+// Compaction preserves the ascending order of the worklist.
+func (n *Network) sweepIdleRouters() {
+	k := 0
+	for _, id := range n.activeRouters {
+		r := n.routers[id]
+		if r.buffered > 0 {
+			n.activeRouters[k] = id
+			k++
+		} else {
+			r.active = false
+		}
+	}
+	n.activeRouters = n.activeRouters[:k]
+}
+
 // eject consumes a flit at its destination; delivering the tail flit
 // completes the packet and fires the node handler.
 func (n *Network) eject(id NodeID, f *Flit) {
-	ni := n.nis[id]
 	p := f.Packet
-	ni.rxFlits[p.ID]++
-	if !f.IsTail() {
+	p.rx++
+	tail := f.IsTail()
+	n.freeFlit(f)
+	n.liveFlits--
+	if !tail {
 		return
 	}
-	if ni.rxFlits[p.ID] != p.FlitCount() {
+	if p.rx != p.FlitCount() {
 		// Wormhole routing delivers flits of one packet in order on one
 		// path; a mismatch indicates a simulator bug.
-		panic(fmt.Sprintf("noc: packet %d ejected %d of %d flits", p.ID, ni.rxFlits[p.ID], p.FlitCount()))
+		panic(fmt.Sprintf("noc: packet %d ejected %d of %d flits", p.ID, p.rx, p.FlitCount()))
 	}
-	delete(ni.rxFlits, p.ID)
 	p.DeliveredAt = n.now
 	n.stats.Delivered++
 	n.stats.HopSum += uint64(p.Hops)
