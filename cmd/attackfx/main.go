@@ -1,7 +1,12 @@
 // Command attackfx regenerates the attack-effect figures: Fig 5 (Q versus
 // infection rate for the four Table III mixes) and Fig 6 (per-application
 // performance changes), plus the allocator ablation behind the paper's
-// "irrespective of the power budgeting algorithm" claim.
+// "irrespective of the power budgeting algorithm" claim, the DoS
+// attack-class comparison, and the manager-side defense study. Each study
+// is built through the campaign registry (experiments E7, E8, E10, X1,
+// X2) and printed through the shared internal/results emitters, so the
+// output here and the JSON/CSV written by `htcampaign run` come from one
+// code path.
 //
 // Examples:
 //
@@ -15,9 +20,8 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/attack"
-	"repro/internal/budget"
-	"repro/internal/core"
+	"repro/internal/campaign"
+	"repro/internal/results"
 	"repro/internal/workload"
 )
 
@@ -38,6 +42,7 @@ func run(args []string) error {
 		mixName  = fs.String("mix", "", "restrict to one mix (default: all four)")
 		threads  = fs.Int("threads", 64, "threads per application (paper: 64)")
 		size     = fs.Int("size", 256, "system size (paper: 256)")
+		hts      = fs.Int("hts", 16, "Trojan count for -variants/-defense (paper: 16)")
 		epochs   = fs.Int("epochs", 10, "budgeting epochs")
 		mem      = fs.Bool("mem", false, "enable cache-hierarchy background traffic")
 		seed     = fs.Int64("seed", 1, "random seed")
@@ -46,171 +51,36 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := core.DefaultConfig()
-	cfg.Cores = *size
-	cfg.Epochs = *epochs
-	cfg.MemTraffic = *mem
-	cfg.Seed = *seed
-	cfg.Workers = *parallel
-
-	mixNames := []string{"mix-1", "mix-2", "mix-3", "mix-4"}
+	p := campaign.Params{Size: *size, Threads: *threads, Epochs: *epochs, Mem: mem}
+	p.Mix = "mix-1"
 	if *mixName != "" {
 		if _, err := workload.MixByName(*mixName); err != nil {
 			return err
 		}
-		mixNames = []string{*mixName}
+		p.Mixes = []string{*mixName}
+		p.Mix = *mixName
 	}
-	targets := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
 
+	var id string
 	switch {
 	case *ablation:
-		return runAblation(cfg, mixNames[0], *threads)
+		id = "E10"
 	case *variants:
-		return runVariants(cfg, mixNames[0], *threads)
+		id = "X1"
+		p.HTs = *hts
 	case *defend:
-		return runDefense(cfg, mixNames[0], *threads)
+		id = "X2"
+		p.HTs = *hts
 	case *fig == "5":
-		return fig5(cfg, mixNames, *threads, targets)
+		id = "E7"
 	case *fig == "6":
-		return fig6(cfg, mixNames, *threads, targets)
+		id = "E8"
 	default:
 		return fmt.Errorf("need -fig 5, -fig 6, -ablation, -variants, or -defense")
 	}
-}
-
-// runVariants compares the false-data, drop, and loopback attack classes
-// under an identical near-manager fleet.
-func runVariants(cfg core.Config, mixName string, threads int) error {
-	sys, err := core.NewSystem(cfg)
+	t, err := campaign.BuildTable(id, p, *seed, *parallel)
 	if err != nil {
 		return err
 	}
-	mesh := sys.Mesh()
-	placement, err := attack.RingCluster(mesh, mesh.Coord(sys.ManagerNode()), 16, 2, sys.ManagerNode())
-	if err != nil {
-		return err
-	}
-	results, err := core.DoSVariantStudy(cfg, mixName, threads, placement)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("DoS attack classes (%s, %d HTs near the manager)\n", mixName, placement.Size())
-	fmt.Printf("%12s %8s %10s %12s %9s %9s\n", "class", "Q", "victim Θ", "attacker Θ", "dropped", "looped")
-	for _, r := range results {
-		fmt.Printf("%12s %8.3f %10.3f %12.3f %9d %9d\n",
-			r.Mode, r.Q, r.VictimChange, r.AttackerChange, r.Dropped, r.Looped)
-	}
-	return nil
-}
-
-// runDefense prints the manager-side defense study.
-func runDefense(cfg core.Config, mixName string, threads int) error {
-	sys, err := core.NewSystem(cfg)
-	if err != nil {
-		return err
-	}
-	mesh := sys.Mesh()
-	placement, err := attack.RingCluster(mesh, mesh.Coord(sys.ManagerNode()), 16, 2, sys.ManagerNode())
-	if err != nil {
-		return err
-	}
-	results, err := core.DefenseStudy(cfg, mixName, threads, placement)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("Manager-side defenses (%s, duty-cycled attack, %d HTs)\n", mixName, placement.Size())
-	fmt.Printf("%26s %8s %9s %9s\n", "defense", "Q", "flagged", "repaired")
-	for _, r := range results {
-		fmt.Printf("%26s %8.3f %9d %9d\n", r.Defense, r.Q, r.Flagged, r.Repaired)
-	}
-	return nil
-}
-
-func fig5(cfg core.Config, mixNames []string, threads int, targets []float64) error {
-	fmt.Println("Fig 5: attack effect Q vs infection rate")
-	series := make(map[string][]core.QPoint, len(mixNames))
-	for _, name := range mixNames {
-		pts, err := core.QVsInfection(cfg, name, threads, targets)
-		if err != nil {
-			return fmt.Errorf("%s: %w", name, err)
-		}
-		series[name] = pts
-	}
-	fmt.Printf("%10s", "infection")
-	for _, name := range mixNames {
-		fmt.Printf(" %10s", name)
-	}
-	fmt.Println()
-	for i, target := range targets {
-		fmt.Printf("%10.2f", target)
-		for _, name := range mixNames {
-			fmt.Printf(" %10.3f", series[name][i].Q)
-		}
-		fmt.Println()
-	}
-	return nil
-}
-
-func fig6(cfg core.Config, mixNames []string, threads int, targets []float64) error {
-	fmt.Println("Fig 6: per-application performance change vs infection rate")
-	for _, name := range mixNames {
-		pts, err := core.QVsInfection(cfg, name, threads, targets)
-		if err != nil {
-			return fmt.Errorf("%s: %w", name, err)
-		}
-		fmt.Printf("\n%s\n", name)
-		fmt.Printf("%10s", "infection")
-		for _, app := range pts[0].PerApp {
-			fmt.Printf(" %14s", fmt.Sprintf("%s(%c)", app.Name[:min(9, len(app.Name))], app.Role.String()[0]))
-		}
-		fmt.Println()
-		for i, p := range pts {
-			fmt.Printf("%10.2f", targets[i])
-			for _, app := range p.PerApp {
-				fmt.Printf(" %14.3f", app.Change)
-			}
-			fmt.Println()
-		}
-	}
-	return nil
-}
-
-func runAblation(cfg core.Config, mixName string, threads int) error {
-	fmt.Printf("Allocator ablation (%s, %d threads): Q at ~0.7 infection under each algorithm\n", mixName, threads)
-	mix, err := workload.MixByName(mixName)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("%10s %10s %12s\n", "allocator", "Q", "infection")
-	for _, alloc := range budget.All() {
-		c := cfg
-		c.Allocator = alloc
-		sys, err := core.NewSystem(c)
-		if err != nil {
-			return err
-		}
-		sc, err := core.MixScenario(mix, threads)
-		if err != nil {
-			return err
-		}
-		placement, _ := attack.ForInfectionRate(sys.Mesh(), sys.ManagerNode(), 0.7, sys.Mesh().Nodes()/4)
-		sc.Trojans = placement
-		attacked, baseline, err := sys.RunPair(sc)
-		if err != nil {
-			return err
-		}
-		cmp, err := core.Compare(attacked, baseline)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("%10s %10.3f %12.3f\n", alloc.Name(), cmp.Q, attacked.InfectionMeasured)
-	}
-	return nil
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
+	return results.WriteText(os.Stdout, t)
 }

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeSpec drops a small campaign spec into a temp dir.
+func writeSpec(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const smallSpec = `{
+	"name": "cli-test", "seed": 1,
+	"experiments": [
+		{"id": "E1", "params": {"size": 64}},
+		{"id": "E3", "params": {"trials": 2}}
+	]
+}`
+
+func TestRunWritesArtifacts(t *testing.T) {
+	spec := writeSpec(t, smallSpec)
+	out := filepath.Join(t.TempDir(), "results")
+	var buf bytes.Buffer
+	if err := run([]string{"run", "-spec", spec, "-out", out}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, name := range []string{"e1.json", "e1.csv", "e3.json", "e3.csv", "manifest.json"} {
+		if _, err := os.Stat(filepath.Join(out, name)); err != nil {
+			t.Errorf("missing artifact %s: %v", name, err)
+		}
+	}
+	if !strings.Contains(buf.String(), "E3 · ") {
+		t.Errorf("text tables not printed: %q", buf.String())
+	}
+	if !strings.Contains(buf.String(), `campaign "cli-test": 2 experiments`) {
+		t.Errorf("missing summary line: %q", buf.String())
+	}
+}
+
+func TestRunQuiet(t *testing.T) {
+	spec := writeSpec(t, smallSpec)
+	var buf bytes.Buffer
+	if err := run([]string{"run", "-spec", spec, "-out", t.TempDir(), "-quiet"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if strings.Contains(buf.String(), "E3 · ") {
+		t.Errorf("-quiet must suppress tables: %q", buf.String())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	spec := writeSpec(t, smallSpec)
+	var buf bytes.Buffer
+	if err := run([]string{"validate", "-spec", spec}, &buf); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if !strings.Contains(buf.String(), "is valid") {
+		t.Errorf("output = %q", buf.String())
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	spec := writeSpec(t, `{"name": "x", "experiments": [{"id": "E99"}]}`)
+	if err := run([]string{"validate", "-spec", spec}, &bytes.Buffer{}); err == nil {
+		t.Fatal("malformed spec must fail validation")
+	}
+}
+
+func TestList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"list"}, &buf); err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	for _, id := range []string{"E1", "E10", "X2"} {
+		if !strings.Contains(buf.String(), id) {
+			t.Errorf("list output missing %s: %q", id, buf.String())
+		}
+	}
+}
+
+func TestRunRejectsBadUsage(t *testing.T) {
+	tests := [][]string{
+		nil,
+		{"frobnicate"},
+		{"run"},
+		{"validate"},
+		{"list", "extra"},
+	}
+	for _, args := range tests {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v must fail", args)
+		}
+	}
+}

@@ -1,6 +1,10 @@
 // Command htplace covers the attacker-planning experiments: the Section
 // III-D area/power accounting table and the Section V-C optimal-vs-random
 // placement comparison built on the Eqn 9 model and Eqn 10 enumeration.
+// Both are built through the campaign registry (experiments E2, E9) and
+// printed through the shared internal/results emitters, so the output
+// here and the JSON/CSV written by `htcampaign run` come from one code
+// path.
 //
 // Examples:
 //
@@ -13,8 +17,8 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/core"
-	"repro/internal/trojan"
+	"repro/internal/campaign"
+	"repro/internal/results"
 )
 
 func main() {
@@ -42,46 +46,24 @@ func run(args []string) error {
 	}
 	switch {
 	case *areapower:
-		printAreaPower()
-		return nil
+		t, err := campaign.BuildTable("E2", campaign.Params{}, *seed, *parallel)
+		if err != nil {
+			return err
+		}
+		if ap, ok := t.(*results.AreaPowerTable); ok {
+			fmt.Printf("circuit: ≈%d transistors; one HT %.4f um^2 / %.5f uW; one router %.1f um^2 / %.1f uW\n",
+				ap.Transistors, ap.HTAreaUm2, ap.HTPowerUW, ap.RouterAreaUm2, ap.RouterPowerUW)
+		}
+		return results.WriteText(os.Stdout, t)
 	case *optimize:
-		return runOptimize(*mixName, *threads, *size, *hts, *samples, *seed, *parallel)
+		t, err := campaign.BuildTable("E9", campaign.Params{
+			Size: *size, Mixes: []string{*mixName}, Threads: *threads, HTs: *hts, Samples: *samples,
+		}, *seed, *parallel)
+		if err != nil {
+			return err
+		}
+		return results.WriteText(os.Stdout, t)
 	default:
 		return fmt.Errorf("need -areapower or -optimize")
 	}
-}
-
-func printAreaPower() {
-	inv := trojan.DefaultInventory()
-	fmt.Println("Section III-D: hardware Trojan area and power (TSMC 45 nm)")
-	fmt.Printf("  circuit: %d comparators x %d bits + %d registers x %d bits (≈%d transistors)\n",
-		inv.Comparators, inv.ComparatorBits, inv.Registers, inv.RegisterBits, inv.TransistorEstimate())
-	fmt.Printf("  one HT:      %10.4f um^2  %10.5f uW\n", trojan.HTAreaUm2, trojan.HTPowerUW)
-	fmt.Printf("  one router:  %10.1f um^2  %10.1f uW (4 VCs, 5-flit FIFO)\n", trojan.RouterAreaUm2, trojan.RouterPowerUW)
-	for _, tc := range []struct{ hts, nodes int }{{1, 1}, {60, 512}} {
-		r := trojan.Report(tc.hts, tc.nodes)
-		fmt.Printf("  %2d HT(s) on %3d router(s): area %10.4f um^2 (%.4f%%), power %9.5f uW (%.5f%%)\n",
-			r.HTs, r.Nodes, r.TotalHTAreaUm2, r.AreaFractionOfAllRouters*100,
-			r.TotalHTPowerUW, r.PowerFractionOfAllRouters*100)
-	}
-}
-
-func runOptimize(mixName string, threads, size, hts, samples int, seed int64, workers int) error {
-	cfg := core.DefaultConfig()
-	cfg.Cores = size
-	cfg.MemTraffic = false
-	cfg.Seed = seed
-	cfg.Workers = workers
-	fmt.Printf("Section V-C: optimal vs random placement (%s, %d HTs, %d training samples)\n",
-		mixName, hts, samples)
-	study, err := core.OptimalVsRandom(cfg, mixName, threads, hts, samples, seed)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("  Eqn 9 model fit R^2:        %.3f\n", study.ModelR2)
-	fmt.Printf("  Eqn 10 enumeration size:    %d placements\n", study.Evaluated)
-	fmt.Printf("  random placement Q:         %.3f ± %.3f\n", study.RandomQMean, study.RandomQStd)
-	fmt.Printf("  optimal placement Q:        %.3f\n", study.OptimalQ)
-	fmt.Printf("  improvement:                %+.1f%%\n", study.ImprovementPct)
-	return nil
 }

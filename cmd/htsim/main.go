@@ -1,6 +1,7 @@
 // Command htsim runs a single hardware-Trojan power-budgeting campaign and
 // prints the full report: per-application θ/Θ/Φ, infection rates, the
-// attack effect Q, and NoC statistics.
+// attack effect Q, and NoC statistics. Tables are printed through the
+// shared internal/results emitters.
 //
 // Examples:
 //
@@ -19,6 +20,7 @@ import (
 	"repro/internal/budget"
 	"repro/internal/core"
 	"repro/internal/noc"
+	"repro/internal/results"
 	"repro/internal/workload"
 )
 
@@ -77,8 +79,11 @@ func run(args []string) error {
 	cfg.NoC.Routing = r
 
 	if *printConfig {
-		printTableI(cfg)
-		return nil
+		t, err := core.ConfigTableFor(cfg)
+		if err != nil {
+			return err
+		}
+		return results.WriteText(os.Stdout, t)
 	}
 
 	mix, err := workload.MixByName(*mixName)
@@ -129,69 +134,62 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	printReport(cfg, sys, attacked, cmp)
+	fmt.Printf("chip: %d cores, GM at node %d, budget %.1f W, allocator %s\n",
+		cfg.Cores, sys.ManagerNode(), float64(attacked.ChipBudgetMW)/1000, cfg.Allocator.Name())
+	if err := results.WriteText(os.Stdout, core.CampaignTableFor(cfg, attacked, cmp)); err != nil {
+		return err
+	}
+	fmt.Printf("attack effect Q = %.3f (infection measured %.3f, predicted %.3f; %d requests tampered)\n",
+		cmp.Q, attacked.InfectionMeasured, attacked.InfectionPredicted, attacked.Trojan.Modified)
+	fmt.Printf("noc: %d packets delivered, avg POWER_REQ latency %.1f cycles\n",
+		attacked.Net.Delivered, attacked.Net.AvgLatency(noc.TypePowerReq))
 	if *dualPath {
 		fmt.Printf("dual-path voter: %d pairs, %d mismatches, %d unpaired\n",
 			attacked.DualPathPairs, attacked.DualPathMismatches, attacked.DualPathUnpaired)
 	}
 	if *trace {
-		printTrace(attacked)
+		if err := results.WriteText(os.Stdout, &traceTable{cfg: cfg, rep: attacked}); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
-func printTrace(rep *core.Report) {
-	fmt.Printf("%7s %8s %10s %10s %13s %13s\n",
-		"epoch", "active", "received", "tampered", "victim-level", "attacker-lvl")
-	for _, rec := range rep.Epochs {
+// traceTable renders the per-epoch trace through the shared emitters; it
+// implements results.Table locally to show the interface is open to
+// one-off views.
+type traceTable struct {
+	cfg core.Config
+	rep *core.Report
+}
+
+// TableMeta implements results.Table.
+func (t *traceTable) TableMeta() *results.Meta {
+	params := struct {
+		Cores     int    `json:"cores"`
+		Allocator string `json:"allocator"`
+		Epochs    int    `json:"epochs"`
+		Seed      int64  `json:"seed"`
+	}{t.cfg.Cores, t.cfg.Allocator.Name(), t.cfg.Epochs, t.cfg.Seed}
+	m := results.NewMeta("run", "Per-epoch campaign trace", t.cfg.Seed, 0, params)
+	return &m
+}
+
+// ColumnNames implements results.Table.
+func (t *traceTable) ColumnNames() []string {
+	return []string{"epoch", "active", "received", "tampered", "victim_level", "attacker_level"}
+}
+
+// RowValues implements results.Table.
+func (t *traceTable) RowValues() [][]any {
+	rows := make([][]any, len(t.rep.Epochs))
+	for i, rec := range t.rep.Epochs {
 		state := "off"
 		if rec.TrojanActive {
 			state = "ON"
 		}
-		fmt.Printf("%7d %8s %10d %10d %13.2f %13.2f\n",
-			rec.Epoch, state, rec.RequestsReceived, rec.RequestsTampered,
-			rec.VictimMeanLevel, rec.AttackerMeanLevel)
+		rows[i] = []any{rec.Epoch, state, rec.RequestsReceived, rec.RequestsTampered,
+			rec.VictimMeanLevel, rec.AttackerMeanLevel}
 	}
-}
-
-func printTableI(cfg core.Config) {
-	mesh, _ := cfg.Mesh()
-	fmt.Println("Configuration (Table I)")
-	fmt.Printf("  Number of processors      %d\n", cfg.Cores)
-	fmt.Printf("  Mesh                      %dx%d 2D mesh\n", mesh.Width, mesh.Height)
-	fmt.Printf("  NoC VCs / buffer          %d VCs x %d flits\n", cfg.NoC.VCs, cfg.NoC.BufDepth)
-	fmt.Printf("  NoC latency               router %d cycles, link %d cycle\n", cfg.NoC.RouterCycles, cfg.NoC.LinkCycles)
-	fmt.Printf("  Routing algorithm         %s\n", cfg.NoC.Routing.Name())
-	fmt.Printf("  L1 D cache (private)      16 KB, 2-way, 32 B lines\n")
-	fmt.Printf("  L2 cache (shared)         64 KB slice/node, %d-cycle, MESI\n", cfg.Mem.L2Latency)
-	fmt.Printf("  Main memory latency       %d cycles\n", cfg.Mem.MemLatency)
-	fmt.Printf("  DVFS levels               %d (%.1f-%.1f GHz)\n",
-		cfg.Power.NumLevels(), cfg.Power.Freq(0), cfg.Power.Freq(cfg.Power.NumLevels()-1))
-	fmt.Printf("  Chip budget               %.1f W (%.0f%% of peak)\n",
-		float64(cfg.ChipBudgetMW())/1000, cfg.BudgetFraction*100)
-	fmt.Printf("  Allocator                 %s\n", cfg.Allocator.Name())
-}
-
-func printReport(cfg core.Config, sys *core.System, attacked *core.Report, cmp *core.Comparison) {
-	fmt.Printf("chip: %d cores, GM at node %d, budget %.1f W, allocator %s\n",
-		cfg.Cores, sys.ManagerNode(), float64(attacked.ChipBudgetMW)/1000, cfg.Allocator.Name())
-	fmt.Printf("infection: measured %.3f, predicted %.3f (trojans modified %d requests)\n",
-		attacked.InfectionMeasured, attacked.InfectionPredicted, attacked.Trojan.Modified)
-	fmt.Printf("%-16s %-9s %7s %9s %9s %7s\n", "app", "role", "cores", "theta", "baseline", "change")
-	for _, app := range cmp.PerApp {
-		fmt.Printf("%-16s %-9s %7d %9.3f %9.3f %6.2fx\n",
-			app.Name, app.Role, appCores(attacked, app.Name), app.ThetaAttacked, app.ThetaBaseline, app.Change)
-	}
-	fmt.Printf("attack effect Q = %.3f\n", cmp.Q)
-	fmt.Printf("noc: %d packets delivered, avg POWER_REQ latency %.1f cycles\n",
-		attacked.Net.Delivered, attacked.Net.AvgLatency(noc.TypePowerReq))
-}
-
-func appCores(rep *core.Report, name string) int {
-	for _, a := range rep.Apps {
-		if a.Name == name {
-			return a.Cores
-		}
-	}
-	return 0
+	return rows
 }

@@ -1,7 +1,10 @@
 // Command infection regenerates the infection-rate figures of the paper:
 // Fig 3 (infection vs HT count for center/corner managers at sizes 64 and
 // 512) and Fig 4 (infection vs system size for the three HT distributions
-// at HT counts of size/16 and size/8).
+// at HT counts of size/16 and size/8). Each figure is built through the
+// campaign registry (experiments E3–E6) and printed through the shared
+// internal/results emitters, so the output here and the JSON/CSV written
+// by `htcampaign run` come from one code path.
 //
 // Examples:
 //
@@ -15,8 +18,12 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/core"
+	"repro/internal/campaign"
+	"repro/internal/results"
 )
+
+// figures maps the CLI figure names onto the campaign experiments.
+var figures = map[string]string{"3a": "E3", "3b": "E4", "4a": "E5", "4b": "E6"}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -52,64 +59,16 @@ func run(args []string) error {
 	return emit(*fig, *trials, *seed, *parallel)
 }
 
+// emit builds the figure's results table through the campaign registry
+// and prints it.
 func emit(fig string, trials int, seed int64, workers int) error {
-	switch fig {
-	case "3a":
-		return fig3(64, counts(30, 7), trials, seed, workers)
-	case "3b":
-		return fig3(512, counts(60, 7), trials, seed, workers)
-	case "4a":
-		return fig4(16, trials, seed, workers)
-	case "4b":
-		return fig4(8, trials, seed, workers)
-	default:
+	id, ok := figures[fig]
+	if !ok {
 		return fmt.Errorf("unknown figure %q (want 3a, 3b, 4a, 4b)", fig)
 	}
-}
-
-// counts builds n evenly spaced HT counts from 0 to max.
-func counts(max, n int) []int {
-	out := make([]int, n)
-	for i := range out {
-		out[i] = max * i / (n - 1)
-	}
-	return out
-}
-
-func fig3(size int, htCounts []int, trials int, seed int64, workers int) error {
-	fmt.Printf("Fig 3 (system size %d): infection rate vs number of HTs\n", size)
-	center, err := core.InfectionVsHTCountN(size, core.GMCenter, htCounts, trials, seed, workers)
+	t, err := campaign.BuildTable(id, campaign.Params{Trials: trials}, seed, workers)
 	if err != nil {
 		return err
 	}
-	corner, err := core.InfectionVsHTCountN(size, core.GMCorner, htCounts, trials, seed, workers)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("%8s %12s %12s\n", "HTs", "GM-center", "GM-corner")
-	for i := range center {
-		fmt.Printf("%8d %12.3f %12.3f\n", center[i].HTs, center[i].Rate, corner[i].Rate)
-	}
-	return nil
-}
-
-func fig4(denominator, trials int, seed int64, workers int) error {
-	sizes := []int{64, 128, 256, 512}
-	fmt.Printf("Fig 4 (HTs = size/%d): infection rate vs system size\n", denominator)
-	series := make(map[core.Distribution][]core.DistributionPoint)
-	for _, dist := range []core.Distribution{core.DistCenter, core.DistRandom, core.DistCorner} {
-		pts, err := core.InfectionByDistributionN(dist, sizes, denominator, trials, seed, workers)
-		if err != nil {
-			return err
-		}
-		series[dist] = pts
-	}
-	fmt.Printf("%8s %10s %10s %10s\n", "size", "center", "random", "corner")
-	for i, size := range sizes {
-		fmt.Printf("%8d %10.3f %10.3f %10.3f\n", size,
-			series[core.DistCenter][i].Rate,
-			series[core.DistRandom][i].Rate,
-			series[core.DistCorner][i].Rate)
-	}
-	return nil
+	return results.WriteText(os.Stdout, t)
 }

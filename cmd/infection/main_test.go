@@ -26,20 +26,14 @@ func TestRunRejectsUnknownFigure(t *testing.T) {
 	}
 }
 
-func TestRunRequiresFigure(t *testing.T) {
-	if err := run(nil); err == nil {
-		t.Fatal("missing -fig must fail")
+func TestRunRejectsBadTrials(t *testing.T) {
+	if err := run([]string{"-fig", "3a", "-trials", "-4"}); err == nil {
+		t.Fatal("negative trials must fail")
 	}
 }
 
-func TestCountsSpacing(t *testing.T) {
-	got := counts(30, 7)
-	if len(got) != 7 || got[0] != 0 || got[6] != 30 {
-		t.Fatalf("counts = %v", got)
-	}
-	for i := 1; i < len(got); i++ {
-		if got[i] < got[i-1] {
-			t.Fatalf("counts not nondecreasing: %v", got)
-		}
+func TestRunRequiresFigure(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing -fig must fail")
 	}
 }

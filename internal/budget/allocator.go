@@ -1,6 +1,7 @@
-// Package budget implements the chip's power-budgeting subsystem: the
-// global manager that solicits per-core power requests over the NoC and the
-// allocation algorithms that divide the chip budget among cores.
+// Package budget implements the chip's power-budgeting subsystem of the
+// paper's Section II-A: the global manager that solicits per-core power
+// requests over the NoC and the allocation algorithms that divide the chip
+// budget among cores.
 //
 // Four allocator families from the paper's related work are provided —
 // proportional fair share, a sensitivity-ordered greedy heuristic [8], a

@@ -1,0 +1,242 @@
+// Package campaign is the declarative campaign engine: it parses a JSON
+// spec naming any subset of the DESIGN.md §2 experiments (E1–E10, X1–X2)
+// with per-experiment parameter overrides, fans the experiments out
+// through the internal/exp worker pool, and writes each experiment's
+// typed results table (internal/results) as JSON and CSV artifacts plus a
+// manifest. One invocation of `htcampaign run -spec specs/paper.json`
+// regenerates every figure and table of the paper's evaluation; artifacts
+// are byte-identical for any -parallel value at a fixed seed
+// (regression-gated in golden_test.go).
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Params are the per-experiment knobs a spec may override. The zero value
+// of every field means "use the experiment's default" (see Defaults); an
+// experiment ignores fields it has no use for.
+type Params struct {
+	// Size is the chip size in cores (E1, E3, E4, E7–E10, X1, X2).
+	Size int `json:"size,omitempty"`
+	// Sizes is the system-size sweep of E5/E6.
+	Sizes []int `json:"sizes,omitempty"`
+	// Trials is the number of random placements averaged per point
+	// (E3–E6).
+	Trials int `json:"trials,omitempty"`
+	// HTCounts is the x-axis of E3/E4.
+	HTCounts []int `json:"ht_counts,omitempty"`
+	// Denominator sets the E5/E6 fleet size as size/denominator.
+	Denominator int `json:"denominator,omitempty"`
+	// Mixes are the Table III mixes to sweep (E7–E9); Mix is the single
+	// mix of E10/X1/X2.
+	Mixes []string `json:"mixes,omitempty"`
+	Mix   string   `json:"mix,omitempty"`
+	// Threads is the per-application thread count (paper: 64).
+	Threads int `json:"threads,omitempty"`
+	// Epochs is the number of budgeting epochs per campaign.
+	Epochs int `json:"epochs,omitempty"`
+	// HTs is the fleet size of E9/X1/X2 (paper: 16).
+	HTs int `json:"hts,omitempty"`
+	// Samples is the E9 training-set size for the Eqn 9 fit.
+	Samples int `json:"samples,omitempty"`
+	// Targets is the E7/E8 target-infection sweep.
+	Targets []float64 `json:"targets,omitempty"`
+	// TargetInfection is the E10 operating point.
+	TargetInfection float64 `json:"target_infection,omitempty"`
+	// Mem enables cache-hierarchy background traffic (nil = experiment
+	// default).
+	Mem *bool `json:"mem,omitempty"`
+	// Seed overrides the campaign seed for this experiment only.
+	Seed *int64 `json:"seed,omitempty"`
+}
+
+// merge overlays the spec's overrides onto the experiment defaults.
+func merge(def, over Params) Params {
+	out := def
+	if over.Size != 0 {
+		out.Size = over.Size
+	}
+	if len(over.Sizes) != 0 {
+		out.Sizes = over.Sizes
+	}
+	if over.Trials != 0 {
+		out.Trials = over.Trials
+	}
+	if len(over.HTCounts) != 0 {
+		out.HTCounts = over.HTCounts
+	}
+	if over.Denominator != 0 {
+		out.Denominator = over.Denominator
+	}
+	if len(over.Mixes) != 0 {
+		out.Mixes = over.Mixes
+	}
+	if over.Mix != "" {
+		out.Mix = over.Mix
+	}
+	if over.Threads != 0 {
+		out.Threads = over.Threads
+	}
+	if over.Epochs != 0 {
+		out.Epochs = over.Epochs
+	}
+	if over.HTs != 0 {
+		out.HTs = over.HTs
+	}
+	if over.Samples != 0 {
+		out.Samples = over.Samples
+	}
+	if len(over.Targets) != 0 {
+		out.Targets = over.Targets
+	}
+	if over.TargetInfection != 0 {
+		out.TargetInfection = over.TargetInfection
+	}
+	if over.Mem != nil {
+		out.Mem = over.Mem
+	}
+	if over.Seed != nil {
+		out.Seed = over.Seed
+	}
+	return out
+}
+
+// validate rejects parameter overrides no experiment can run with.
+func (p Params) validate() error {
+	if p.Size < 0 || p.Trials < 0 || p.Denominator < 0 || p.Threads < 0 ||
+		p.Epochs < 0 || p.HTs < 0 || p.Samples < 0 {
+		return fmt.Errorf("negative parameter")
+	}
+	for _, s := range p.Sizes {
+		if s < 2 {
+			return fmt.Errorf("system size %d too small", s)
+		}
+	}
+	for _, c := range p.HTCounts {
+		if c < 0 {
+			return fmt.Errorf("negative HT count %d", c)
+		}
+	}
+	for _, t := range p.Targets {
+		if t < 0 || t >= 1 {
+			return fmt.Errorf("target infection %g outside [0, 1)", t)
+		}
+	}
+	if p.TargetInfection < 0 || p.TargetInfection >= 1 {
+		return fmt.Errorf("target infection %g outside [0, 1)", p.TargetInfection)
+	}
+	return nil
+}
+
+// ExperimentSpec selects one experiment and its overrides.
+type ExperimentSpec struct {
+	// ID is the DESIGN.md §2 identifier (E1–E10, X1, X2).
+	ID string `json:"id"`
+	// Params overrides the experiment's default parameters field by
+	// field; absent fields keep their defaults.
+	Params Params `json:"params,omitempty"`
+}
+
+// Spec is a declarative campaign: a named set of experiments sharing one
+// seed and worker declaration.
+type Spec struct {
+	// Name labels the campaign (manifest and logs).
+	Name string `json:"name"`
+	// Seed is the campaign seed every experiment derives from; 0 (or an
+	// absent field) means the default seed 1, and the manifest records
+	// the effective value.
+	Seed int64 `json:"seed,omitempty"`
+	// Workers declares the worker count recorded in artifact metadata
+	// (0 = one per CPU). Execution may override it via -parallel without
+	// changing the artifacts.
+	Workers int `json:"workers,omitempty"`
+	// Experiments are run in spec order; IDs must be unique.
+	Experiments []ExperimentSpec `json:"experiments"`
+}
+
+// ParseSpec decodes and validates a campaign spec. Unknown top-level or
+// parameter fields, unknown or duplicate experiment IDs, and out-of-range
+// parameters are all rejected.
+func ParseSpec(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("campaign: parse spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// LoadSpec reads and parses a spec file.
+func LoadSpec(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	return ParseSpec(data)
+}
+
+// Validate checks a spec against the experiment registry.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("campaign: spec needs a name")
+	}
+	if len(s.Experiments) == 0 {
+		return fmt.Errorf("campaign: spec names no experiments")
+	}
+	if s.Seed < 0 || s.Workers < 0 {
+		return fmt.Errorf("campaign: seed and workers must be non-negative")
+	}
+	seen := make(map[string]bool, len(s.Experiments))
+	for i, e := range s.Experiments {
+		ent, ok := registry[e.ID]
+		if !ok {
+			return fmt.Errorf("campaign: experiment %d: unknown ID %q (known: %s)", i, e.ID, knownIDs())
+		}
+		if seen[e.ID] {
+			return fmt.Errorf("campaign: duplicate experiment %q", e.ID)
+		}
+		seen[e.ID] = true
+		if err := merge(ent.defaults, e.Params).validate(); err != nil {
+			return fmt.Errorf("campaign: experiment %s: %w", e.ID, err)
+		}
+	}
+	return nil
+}
+
+// seedFor resolves the effective seed of one experiment: the campaign
+// seed (default 1) unless the experiment overrides it.
+func (s *Spec) seedFor(p Params) int64 {
+	if p.Seed != nil {
+		return *p.Seed
+	}
+	if s.Seed != 0 {
+		return s.Seed
+	}
+	return 1
+}
+
+// knownIDs lists the registry in experiment order for error messages.
+func knownIDs() string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return registry[ids[i]].order < registry[ids[j]].order })
+	out := ""
+	for i, id := range ids {
+		if i > 0 {
+			out += ", "
+		}
+		out += id
+	}
+	return out
+}

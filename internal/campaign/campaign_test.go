@@ -1,0 +1,131 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseSpecValid parses a well-formed spec with overrides.
+func TestParseSpecValid(t *testing.T) {
+	spec, err := ParseSpec([]byte(`{
+		"name": "test", "seed": 3,
+		"experiments": [
+			{"id": "E3", "params": {"trials": 5}},
+			{"id": "X1", "params": {"size": 64, "threads": 15, "epochs": 5}}
+		]
+	}`))
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if spec.Name != "test" || spec.Seed != 3 || len(spec.Experiments) != 2 {
+		t.Errorf("spec = %+v", spec)
+	}
+}
+
+// TestParseSpecMalformed rejects every malformed-spec class with a
+// descriptive error.
+func TestParseSpecMalformed(t *testing.T) {
+	tests := []struct {
+		name, spec, wantErr string
+	}{
+		{"bad json", `{"name": "x", "experiments": [`, "parse spec"},
+		{"unknown top-level field", `{"name": "x", "retries": 3, "experiments": [{"id": "E1"}]}`, "unknown field"},
+		{"unknown param field", `{"name": "x", "experiments": [{"id": "E3", "params": {"trails": 5}}]}`, "unknown field"},
+		{"unknown experiment", `{"name": "x", "experiments": [{"id": "E99"}]}`, "unknown ID"},
+		{"duplicate experiment", `{"name": "x", "experiments": [{"id": "E1"}, {"id": "E1"}]}`, "duplicate"},
+		{"no experiments", `{"name": "x", "experiments": []}`, "names no experiments"},
+		{"missing name", `{"experiments": [{"id": "E1"}]}`, "needs a name"},
+		{"negative seed", `{"name": "x", "seed": -1, "experiments": [{"id": "E1"}]}`, "non-negative"},
+		{"negative trials", `{"name": "x", "experiments": [{"id": "E3", "params": {"trials": -2}}]}`, "negative"},
+		{"tiny system size", `{"name": "x", "experiments": [{"id": "E5", "params": {"sizes": [1]}}]}`, "too small"},
+		{"target out of range", `{"name": "x", "experiments": [{"id": "E7", "params": {"targets": [1.5]}}]}`, "outside"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := ParseSpec([]byte(tt.spec))
+			if err == nil {
+				t.Fatal("malformed spec accepted")
+			}
+			if !strings.Contains(err.Error(), tt.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+// TestMergeOverlaysDefaults checks the field-by-field overlay semantics.
+func TestMergeOverlaysDefaults(t *testing.T) {
+	def := registry["E7"].defaults
+	got := merge(def, Params{Size: 64, Mixes: []string{"mix-2"}, Targets: []float64{0.5}})
+	if got.Size != 64 || len(got.Mixes) != 1 || got.Mixes[0] != "mix-2" || len(got.Targets) != 1 {
+		t.Errorf("merge = %+v", got)
+	}
+	if got.Threads != def.Threads || got.Epochs != def.Epochs {
+		t.Errorf("unset fields must keep defaults: %+v", got)
+	}
+}
+
+// TestSeedFor checks seed resolution: campaign seed, per-experiment
+// override, and the default of 1.
+func TestSeedFor(t *testing.T) {
+	override := int64(9)
+	if s := (&Spec{Seed: 3}).seedFor(Params{}); s != 3 {
+		t.Errorf("campaign seed = %d, want 3", s)
+	}
+	if s := (&Spec{Seed: 3}).seedFor(Params{Seed: &override}); s != 9 {
+		t.Errorf("override seed = %d, want 9", s)
+	}
+	if s := (&Spec{}).seedFor(Params{}); s != 1 {
+		t.Errorf("default seed = %d, want 1", s)
+	}
+}
+
+// TestExperimentsOrder pins the canonical registry listing.
+func TestExperimentsOrder(t *testing.T) {
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "X1", "X2"}
+	got := Experiments()
+	if len(got) != len(want) {
+		t.Fatalf("%d experiments, want %d", len(got), len(want))
+	}
+	for i, e := range got {
+		if e.ID != want[i] {
+			t.Errorf("experiment %d = %s, want %s", i, e.ID, want[i])
+		}
+		if e.Title == "" {
+			t.Errorf("%s has no title", e.ID)
+		}
+	}
+}
+
+// TestManifestRecordsEffectiveSeed pins the seed-provenance contract: a
+// spec that omits the seed runs with (and records) the default seed 1 in
+// both the manifest and the artifact metadata.
+func TestManifestRecordsEffectiveSeed(t *testing.T) {
+	spec := &Spec{Name: "seedless", Experiments: []ExperimentSpec{
+		{ID: "E3", Params: Params{Trials: 1}},
+	}}
+	man, tables, err := Run(spec, t.TempDir(), 1)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if man.Seed != 1 {
+		t.Errorf("manifest seed = %d, want effective seed 1", man.Seed)
+	}
+	if got := tables[0].TableMeta().Seed; got != 1 {
+		t.Errorf("artifact seed = %d, want 1", got)
+	}
+}
+
+// TestPaperSpecValid guards the checked-in spec files against drift: both
+// must parse, and paper.json must name every registered experiment.
+func TestPaperSpecValid(t *testing.T) {
+	for _, path := range []string{"../../specs/paper.json", "../../specs/smoke.json"} {
+		spec, err := LoadSpec(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if strings.HasSuffix(path, "paper.json") && len(spec.Experiments) != len(registry) {
+			t.Errorf("paper.json names %d experiments, registry has %d", len(spec.Experiments), len(registry))
+		}
+	}
+}

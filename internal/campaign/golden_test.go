@@ -1,0 +1,118 @@
+package campaign
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// updateGolden rewrites the checked-in golden artifacts instead of
+// comparing against them.
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden from the current run")
+
+// update reports whether golden files should be rewritten.
+func update() bool { return *updateGolden }
+
+// smallSpec is the golden campaign: cheap enough for the test suite while
+// covering an analytic experiment (E3), a cycle-simulated study (X1), and
+// a static table (E1).
+func smallSpec() *Spec {
+	return &Spec{
+		Name: "golden",
+		Seed: 1,
+		Experiments: []ExperimentSpec{
+			{ID: "E1", Params: Params{Size: 64}},
+			{ID: "E3", Params: Params{Trials: 3}},
+			{ID: "X1", Params: Params{Size: 64, Threads: 15, Epochs: 5}},
+		},
+	}
+}
+
+// runInto executes the golden campaign with the given worker count and
+// returns every produced file keyed by name.
+func runInto(t *testing.T, workers int) map[string][]byte {
+	t.Helper()
+	dir := t.TempDir()
+	if _, _, err := Run(smallSpec(), dir, workers); err != nil {
+		t.Fatalf("Run(workers=%d): %v", workers, err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := make(map[string][]byte, len(entries))
+	for _, e := range entries {
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		files[e.Name()] = b
+	}
+	return files
+}
+
+// TestParallelByteIdentity is the determinism acceptance gate: the same
+// spec at -parallel 1 and -parallel 8 must produce byte-identical result
+// files, including the manifest.
+func TestParallelByteIdentity(t *testing.T) {
+	seq := runInto(t, 1)
+	par := runInto(t, 8)
+	want := []string{"e1.json", "e1.csv", "e3.json", "e3.csv", "x1.json", "x1.csv", "manifest.json"}
+	if len(seq) != len(want) {
+		t.Errorf("%d files produced, want %d", len(seq), len(want))
+	}
+	for _, name := range want {
+		s, ok := seq[name]
+		if !ok {
+			t.Errorf("missing %s in sequential run", name)
+			continue
+		}
+		p, ok := par[name]
+		if !ok {
+			t.Errorf("missing %s in parallel run", name)
+			continue
+		}
+		if string(s) != string(p) {
+			t.Errorf("%s differs between -parallel 1 and -parallel 8:\nseq:\n%s\npar:\n%s", name, s, p)
+		}
+	}
+}
+
+// TestGoldenFiles compares the golden campaign's artifacts against the
+// checked-in files under testdata/golden, catching any drift in either
+// the simulated numbers or the serialization format. Regenerate with:
+//
+//	go test ./internal/campaign -run TestGoldenFiles -update
+func TestGoldenFiles(t *testing.T) {
+	got := runInto(t, 1)
+	goldenDir := filepath.Join("testdata", "golden")
+	if update() {
+		if err := os.MkdirAll(goldenDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for name, b := range got {
+			if err := os.WriteFile(filepath.Join(goldenDir, name), b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return
+	}
+	entries, err := os.ReadDir(goldenDir)
+	if err != nil {
+		t.Fatalf("read golden dir (run with -update to create): %v", err)
+	}
+	if len(entries) != len(got) {
+		t.Errorf("campaign produced %d files, golden dir has %d", len(got), len(entries))
+	}
+	for _, e := range entries {
+		want, err := os.ReadFile(filepath.Join(goldenDir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got[e.Name()]) != string(want) {
+			t.Errorf("%s drifted from golden file (re-run with -update if intended):\ngot:\n%s\nwant:\n%s",
+				e.Name(), got[e.Name()], want)
+		}
+	}
+}

@@ -1,0 +1,359 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/results"
+)
+
+// This file maps experiment IDs to their core table drivers and runs a
+// validated spec: experiments fan out over the internal/exp pool and each
+// produces one typed results table.
+
+// runCtx carries one experiment's resolved execution context.
+type runCtx struct {
+	// p holds the merged (defaults + overrides) parameters.
+	p Params
+	// seed is the effective seed; workers the execution pool size.
+	seed    int64
+	workers int
+	// effects memoizes the Fig 5/6 sweep shared by E7 and E8.
+	effects *effectCache
+}
+
+// entry is one registered experiment.
+type entry struct {
+	// order fixes the canonical E1…X2 listing order.
+	order int
+	// title describes the experiment for listings; artifact titles are
+	// built from the resolved parameters at run time.
+	title string
+	// defaults are the paper-scale parameters; spec params overlay them.
+	defaults Params
+	// run executes the experiment.
+	run func(rc runCtx) (results.Table, error)
+}
+
+// paperSizes is the Fig 4 system-size sweep.
+func paperSizes() []int { return []int{64, 128, 256, 512} }
+
+// paperMixes is the Table III mix list.
+func paperMixes() []string { return []string{"mix-1", "mix-2", "mix-3", "mix-4"} }
+
+// paperTargets is the Fig 5/6 target-infection sweep.
+func paperTargets() []float64 {
+	return []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+}
+
+// Counts builds n evenly spaced HT counts from 0 to max (the Fig 3
+// x-axis).
+func Counts(max, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = max * i / (n - 1)
+	}
+	return out
+}
+
+// simConfig assembles a core.Config from resolved cycle-sim parameters.
+func simConfig(rc runCtx) core.Config {
+	cfg := core.DefaultConfig()
+	if rc.p.Size != 0 {
+		cfg.Cores = rc.p.Size
+	}
+	if rc.p.Epochs != 0 {
+		cfg.Epochs = rc.p.Epochs
+	}
+	cfg.MemTraffic = rc.p.Mem != nil && *rc.p.Mem
+	cfg.Seed = rc.seed
+	cfg.Workers = rc.workers
+	return cfg
+}
+
+// effectCache memoizes core.EffectTables per resolved parameter set, so a
+// spec naming both E7 and E8 runs the expensive Fig 5/6 sweep once even
+// when the two experiments execute concurrently.
+type effectCache struct {
+	mu sync.Mutex
+	m  map[string]*effectPair
+}
+
+// effectPair is one memoized sweep.
+type effectPair struct {
+	once   sync.Once
+	effect *results.EffectTable
+	apps   *results.AppEffectTable
+	err    error
+}
+
+// tables returns the memoized sweep for the given resolved parameters,
+// running it on first use.
+func (c *effectCache) tables(rc runCtx) (*results.EffectTable, *results.AppEffectTable, error) {
+	key := results.HashConfig(struct {
+		Size    int       `json:"size"`
+		Mixes   []string  `json:"mixes"`
+		Threads int       `json:"threads"`
+		Epochs  int       `json:"epochs"`
+		Targets []float64 `json:"targets"`
+		Mem     bool      `json:"mem"`
+		Seed    int64     `json:"seed"`
+	}{rc.p.Size, rc.p.Mixes, rc.p.Threads, rc.p.Epochs, rc.p.Targets, rc.p.Mem != nil && *rc.p.Mem, rc.seed})
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[string]*effectPair)
+	}
+	pair := c.m[key]
+	if pair == nil {
+		pair = &effectPair{}
+		c.m[key] = pair
+	}
+	c.mu.Unlock()
+	pair.once.Do(func() {
+		pair.effect, pair.apps, pair.err = core.EffectTables(simConfig(rc), rc.p.Mixes, rc.p.Threads, rc.p.Targets)
+	})
+	return pair.effect, pair.apps, pair.err
+}
+
+var registry = map[string]entry{
+	"E1": {
+		order:    1,
+		title:    "Table I system configuration",
+		defaults: Params{Size: 256},
+		run: func(rc runCtx) (results.Table, error) {
+			return core.ConfigTableFor(simConfig(rc))
+		},
+	},
+	"E2": {
+		order: 2,
+		title: "Section III-D Trojan area/power accounting",
+		run: func(rc runCtx) (results.Table, error) {
+			return core.AreaPowerTableFor(), nil
+		},
+	},
+	"E3": {
+		order:    3,
+		title:    "Fig 3(a): infection rate vs HT count, 64 cores",
+		defaults: Params{Size: 64, HTCounts: Counts(30, 7), Trials: 50},
+		run: func(rc runCtx) (results.Table, error) {
+			title := fmt.Sprintf("Fig 3(a): infection rate vs HT count, %d cores", rc.p.Size)
+			return core.InfectionCurveTable("E3", title, rc.p.Size, rc.p.HTCounts, rc.p.Trials, rc.seed, rc.workers)
+		},
+	},
+	"E4": {
+		order:    4,
+		title:    "Fig 3(b): infection rate vs HT count, 512 cores",
+		defaults: Params{Size: 512, HTCounts: Counts(60, 7), Trials: 50},
+		run: func(rc runCtx) (results.Table, error) {
+			title := fmt.Sprintf("Fig 3(b): infection rate vs HT count, %d cores", rc.p.Size)
+			return core.InfectionCurveTable("E4", title, rc.p.Size, rc.p.HTCounts, rc.p.Trials, rc.seed, rc.workers)
+		},
+	},
+	"E5": {
+		order:    5,
+		title:    "Fig 4(a): infection rate by HT distribution, HTs = size/16",
+		defaults: Params{Sizes: paperSizes(), Denominator: 16, Trials: 50},
+		run: func(rc runCtx) (results.Table, error) {
+			title := fmt.Sprintf("Fig 4(a): infection rate by HT distribution, HTs = size/%d", rc.p.Denominator)
+			return core.DistributionTable("E5", title, rc.p.Sizes, rc.p.Denominator, rc.p.Trials, rc.seed, rc.workers)
+		},
+	},
+	"E6": {
+		order:    6,
+		title:    "Fig 4(b): infection rate by HT distribution, HTs = size/8",
+		defaults: Params{Sizes: paperSizes(), Denominator: 8, Trials: 50},
+		run: func(rc runCtx) (results.Table, error) {
+			title := fmt.Sprintf("Fig 4(b): infection rate by HT distribution, HTs = size/%d", rc.p.Denominator)
+			return core.DistributionTable("E6", title, rc.p.Sizes, rc.p.Denominator, rc.p.Trials, rc.seed, rc.workers)
+		},
+	},
+	"E7": {
+		order:    7,
+		title:    "Fig 5: attack effect Q vs infection rate",
+		defaults: Params{Size: 256, Mixes: paperMixes(), Threads: 64, Epochs: 10, Targets: paperTargets()},
+		run: func(rc runCtx) (results.Table, error) {
+			effect, _, err := rc.effects.tables(rc)
+			if err != nil {
+				return nil, err
+			}
+			return effect, nil
+		},
+	},
+	"E8": {
+		order:    8,
+		title:    "Fig 6: per-application performance change vs infection rate",
+		defaults: Params{Size: 256, Mixes: paperMixes(), Threads: 64, Epochs: 10, Targets: paperTargets()},
+		run: func(rc runCtx) (results.Table, error) {
+			_, apps, err := rc.effects.tables(rc)
+			if err != nil {
+				return nil, err
+			}
+			return apps, nil
+		},
+	},
+	"E9": {
+		order:    9,
+		title:    "Section V-C: optimal vs random Trojan placement",
+		defaults: Params{Size: 256, Mixes: paperMixes(), Threads: 64, Epochs: 10, HTs: 16, Samples: 16},
+		run: func(rc runCtx) (results.Table, error) {
+			return core.PlacementTableFor(simConfig(rc), rc.p.Mixes, rc.p.Threads, rc.p.HTs, rc.p.Samples, rc.seed)
+		},
+	},
+	"E10": {
+		order:    10,
+		title:    "Allocator ablation: Q under each budgeting algorithm",
+		defaults: Params{Size: 256, Mix: "mix-1", Threads: 64, Epochs: 10, TargetInfection: 0.7},
+		run: func(rc runCtx) (results.Table, error) {
+			return core.AblationTableFor(simConfig(rc), rc.p.Mix, rc.p.Threads, rc.p.TargetInfection)
+		},
+	},
+	"X1": {
+		order:    11,
+		title:    "DoS attack-class comparison (false-data / drop / loopback)",
+		defaults: Params{Size: 256, Mix: "mix-1", Threads: 64, Epochs: 10, HTs: 16},
+		run: func(rc runCtx) (results.Table, error) {
+			return core.VariantTableFor(simConfig(rc), rc.p.Mix, rc.p.Threads, rc.p.HTs)
+		},
+	},
+	"X2": {
+		order:    12,
+		title:    "Manager-side defense study (duty-cycled attack)",
+		defaults: Params{Size: 256, Mix: "mix-1", Threads: 64, Epochs: 10, HTs: 16},
+		run: func(rc runCtx) (results.Table, error) {
+			return core.DefenseTableFor(simConfig(rc), rc.p.Mix, rc.p.Threads, rc.p.HTs)
+		},
+	},
+}
+
+// Experiment describes one registry entry for listings.
+type Experiment struct {
+	ID    string
+	Title string
+}
+
+// Experiments lists the registry in canonical order.
+func Experiments() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for id, e := range registry {
+		out = append(out, Experiment{ID: id, Title: e.title})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return registry[out[i].ID].order < registry[out[j].ID].order
+	})
+	return out
+}
+
+// BuildTable runs one experiment by ID with the given parameter overrides
+// and returns its typed table without writing anything. It is the single
+// entry point the study CLIs share with the campaign engine, so a figure
+// printed by a CLI and the matching htcampaign artifact can never drift.
+// A zero seed means the default campaign seed.
+func BuildTable(id string, over Params, seed int64, workers int) (results.Table, error) {
+	ent, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("campaign: unknown experiment %q (known: %s)", id, knownIDs())
+	}
+	p := merge(ent.defaults, over)
+	if err := p.validate(); err != nil {
+		return nil, fmt.Errorf("campaign: experiment %s: %w", id, err)
+	}
+	spec := &Spec{Seed: seed}
+	return ent.run(runCtx{p: p, seed: spec.seedFor(p), workers: workers, effects: &effectCache{}})
+}
+
+// Artifact records one experiment's serialized outputs in the manifest.
+type Artifact struct {
+	Experiment string `json:"experiment"`
+	Title      string `json:"title"`
+	// JSON and CSV are file names relative to the output directory.
+	JSON string `json:"json"`
+	CSV  string `json:"csv"`
+	// ConfigHash echoes the table's parameter fingerprint.
+	ConfigHash string `json:"config_hash"`
+}
+
+// Manifest indexes a campaign's artifacts.
+type Manifest struct {
+	Name string `json:"name"`
+	// Seed is the effective campaign seed (the spec's, or the default 1
+	// when the spec omits it) — always the seed the artifacts were
+	// generated from.
+	Seed    int64 `json:"seed"`
+	Workers int   `json:"workers"`
+	// Revision is the generating binary's VCS stamp.
+	Revision  string     `json:"revision"`
+	Artifacts []Artifact `json:"artifacts"`
+}
+
+// Run executes a validated spec: experiments fan out over the exp pool
+// with the given worker count (0 = one per CPU; results are identical for
+// any value), artifacts are written to outDir in spec order, and the
+// manifest is written as manifest.json. The produced tables are returned
+// in spec order for printing.
+//
+// The experiment-level fan-out nests pools: each driver also parallelises
+// its own trials over the same worker count. The oversubscription is
+// deliberate — trials are independent CPU-bound loops the Go scheduler
+// time-slices well, and the alternative (splitting the budget) starves
+// whichever level happens to carry the work in a given spec.
+func Run(spec *Spec, outDir string, workers int) (*Manifest, []results.Table, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, nil, err
+	}
+	effects := &effectCache{}
+	tables, err := exp.Run(workers, len(spec.Experiments), func(i int) (results.Table, error) {
+		e := spec.Experiments[i]
+		ent := registry[e.ID]
+		p := merge(ent.defaults, e.Params)
+		t, err := ent.run(runCtx{p: p, seed: spec.seedFor(p), workers: workers, effects: effects})
+		if err != nil {
+			return nil, fmt.Errorf("campaign: %s: %w", e.ID, err)
+		}
+		return t, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	man := &Manifest{
+		Name:     spec.Name,
+		Seed:     spec.seedFor(Params{}),
+		Workers:  spec.Workers,
+		Revision: results.Revision(),
+	}
+	for _, t := range tables {
+		// The artifact records the spec's declarative worker count, never
+		// the execution pool size — byte-identity across -parallel values
+		// depends on it.
+		t.TableMeta().Workers = spec.Workers
+		jsonPath, csvPath, err := results.WriteArtifact(outDir, t)
+		if err != nil {
+			return nil, nil, fmt.Errorf("campaign: write %s: %w", t.TableMeta().Experiment, err)
+		}
+		man.Artifacts = append(man.Artifacts, Artifact{
+			Experiment: t.TableMeta().Experiment,
+			Title:      t.TableMeta().Title,
+			JSON:       filepath.Base(jsonPath),
+			CSV:        filepath.Base(csvPath),
+			ConfigHash: t.TableMeta().ConfigHash,
+		})
+	}
+	if err := writeManifest(filepath.Join(outDir, "manifest.json"), man); err != nil {
+		return nil, nil, err
+	}
+	return man, tables, nil
+}
+
+// writeManifest serializes the campaign manifest.
+func writeManifest(path string, man *Manifest) error {
+	b, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return fmt.Errorf("campaign: manifest: %w", err)
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

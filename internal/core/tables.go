@@ -1,0 +1,421 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/attack"
+	"repro/internal/budget"
+	"repro/internal/exp"
+	"repro/internal/results"
+	"repro/internal/trojan"
+	"repro/internal/workload"
+)
+
+// This file is the table layer of the experiment drivers: every DESIGN.md
+// §2 experiment has a function here that runs the underlying driver and
+// returns its typed results table. The cmd tools print these tables and
+// the campaign engine serializes them, so human text and machine JSON/CSV
+// come from one code path.
+
+// ConfigTableFor builds the E1 artifact: the Table I configuration of one
+// chip as key/value rows.
+func ConfigTableFor(cfg Config) (*results.ConfigTable, error) {
+	mesh, err := cfg.Mesh()
+	if err != nil {
+		return nil, err
+	}
+	params := struct {
+		Cores     int     `json:"cores"`
+		Routing   string  `json:"routing"`
+		Allocator string  `json:"allocator"`
+		Budget    float64 `json:"budget_fraction"`
+		Seed      int64   `json:"seed"`
+	}{cfg.Cores, cfg.NoC.Routing.Name(), cfg.Allocator.Name(), cfg.BudgetFraction, cfg.Seed}
+	t := &results.ConfigTable{
+		Meta: results.NewMeta("E1", "Table I system configuration", cfg.Seed, 0, params),
+		Entries: []results.ConfigEntry{
+			{Key: "processors", Value: fmt.Sprintf("%d", cfg.Cores)},
+			{Key: "mesh", Value: fmt.Sprintf("%dx%d 2D mesh", mesh.Width, mesh.Height)},
+			{Key: "noc_vcs_buffer", Value: fmt.Sprintf("%d VCs x %d flits", cfg.NoC.VCs, cfg.NoC.BufDepth)},
+			{Key: "noc_latency", Value: fmt.Sprintf("router %d cycles, link %d cycle", cfg.NoC.RouterCycles, cfg.NoC.LinkCycles)},
+			{Key: "routing", Value: cfg.NoC.Routing.Name()},
+			{Key: "l1_dcache", Value: "16 KB, 2-way, 32 B lines (private)"},
+			{Key: "l2_cache", Value: fmt.Sprintf("64 KB slice/node, %d-cycle, MESI (shared)", cfg.Mem.L2Latency)},
+			{Key: "mem_latency", Value: fmt.Sprintf("%d cycles", cfg.Mem.MemLatency)},
+			{Key: "dvfs_levels", Value: fmt.Sprintf("%d (%.1f-%.1f GHz)", cfg.Power.NumLevels(), cfg.Power.Freq(0), cfg.Power.Freq(cfg.Power.NumLevels()-1))},
+			{Key: "chip_budget", Value: fmt.Sprintf("%.1f W (%.0f%% of peak)", float64(cfg.ChipBudgetMW())/1000, cfg.BudgetFraction*100)},
+			{Key: "allocator", Value: cfg.Allocator.Name()},
+		},
+	}
+	return t, nil
+}
+
+// AreaPowerTableFor builds the E2 artifact: the Section III-D area/power
+// accounting for the default Trojan circuit at representative fleet sizes.
+func AreaPowerTableFor() *results.AreaPowerTable {
+	inv := trojan.DefaultInventory()
+	fleets := []struct{ hts, nodes int }{{1, 1}, {16, 256}, {60, 512}}
+	params := struct {
+		Comparators int `json:"comparators"`
+		Registers   int `json:"registers"`
+	}{inv.Comparators, inv.Registers}
+	t := &results.AreaPowerTable{
+		Meta:          results.NewMeta("E2", "Section III-D Trojan area/power accounting (TSMC 45 nm)", 0, 0, params),
+		Transistors:   inv.TransistorEstimate(),
+		HTAreaUm2:     trojan.HTAreaUm2,
+		HTPowerUW:     trojan.HTPowerUW,
+		RouterAreaUm2: trojan.RouterAreaUm2,
+		RouterPowerUW: trojan.RouterPowerUW,
+	}
+	for _, f := range fleets {
+		r := trojan.Report(f.hts, f.nodes)
+		t.Fleets = append(t.Fleets, results.AreaPowerRow{
+			HTs:      r.HTs,
+			Nodes:    r.Nodes,
+			AreaUm2:  r.TotalHTAreaUm2,
+			AreaPct:  r.AreaFractionOfAllRouters * 100,
+			PowerUW:  r.TotalHTPowerUW,
+			PowerPct: r.PowerFractionOfAllRouters * 100,
+		})
+	}
+	return t
+}
+
+// InfectionCurveTable builds a Fig 3 artifact (E3 at 64 cores, E4 at 512):
+// infection rate versus HT count for the center- and corner-manager
+// placements.
+func InfectionCurveTable(id, title string, size int, htCounts []int, trials int, seed int64, workers int) (*results.InfectionTable, error) {
+	center, err := InfectionVsHTCountN(size, GMCenter, htCounts, trials, seed, workers)
+	if err != nil {
+		return nil, err
+	}
+	corner, err := InfectionVsHTCountN(size, GMCorner, htCounts, trials, seed, workers)
+	if err != nil {
+		return nil, err
+	}
+	params := struct {
+		Size     int   `json:"size"`
+		HTCounts []int `json:"ht_counts"`
+		Trials   int   `json:"trials"`
+		Seed     int64 `json:"seed"`
+	}{size, htCounts, trials, seed}
+	t := &results.InfectionTable{
+		Meta:   results.NewMeta(id, title, seed, 0, params),
+		XLabel: "hts",
+		Series: []string{"gm-center", "gm-corner"},
+	}
+	for i := range center {
+		t.Points = append(t.Points, results.InfectionRow{
+			X:     center[i].HTs,
+			Rates: []float64{center[i].Rate, corner[i].Rate},
+		})
+	}
+	return t, nil
+}
+
+// DistributionTable builds a Fig 4 artifact (E5 with HTs = size/16, E6
+// with size/8): infection rate versus system size for the three HT
+// distributions with the manager at the center.
+func DistributionTable(id, title string, sizes []int, denominator, trials int, seed int64, workers int) (*results.InfectionTable, error) {
+	dists := []Distribution{DistCenter, DistRandom, DistCorner}
+	params := struct {
+		Sizes       []int `json:"sizes"`
+		Denominator int   `json:"denominator"`
+		Trials      int   `json:"trials"`
+		Seed        int64 `json:"seed"`
+	}{sizes, denominator, trials, seed}
+	t := &results.InfectionTable{
+		Meta:   results.NewMeta(id, title, seed, 0, params),
+		XLabel: "size",
+		Series: []string{string(DistCenter), string(DistRandom), string(DistCorner)},
+	}
+	series := make([][]DistributionPoint, len(dists))
+	for di, dist := range dists {
+		pts, err := InfectionByDistributionN(dist, sizes, denominator, trials, seed, workers)
+		if err != nil {
+			return nil, err
+		}
+		series[di] = pts
+	}
+	for i, size := range sizes {
+		rates := make([]float64, len(dists))
+		for di := range dists {
+			rates[di] = series[di][i].Rate
+		}
+		t.Points = append(t.Points, results.InfectionRow{X: size, Rates: rates})
+	}
+	return t, nil
+}
+
+// effectParams fingerprints the Fig 5/6 campaign grid.
+type effectParams struct {
+	Cores   int       `json:"cores"`
+	Mixes   []string  `json:"mixes"`
+	Threads int       `json:"threads"`
+	Epochs  int       `json:"epochs"`
+	Targets []float64 `json:"targets"`
+	Mem     bool      `json:"mem"`
+	Seed    int64     `json:"seed"`
+}
+
+// EffectTables builds the E7 and E8 artifacts from one sweep: for every
+// mix, Q versus target infection rate (Fig 5) and the per-application
+// performance changes behind it (Fig 6). Mixes fan out over cfg.Workers;
+// each mix's sweep is an independent campaign with its own baseline.
+func EffectTables(cfg Config, mixNames []string, threads int, targets []float64) (*results.EffectTable, *results.AppEffectTable, error) {
+	series, err := exp.Run(cfg.Workers, len(mixNames), func(i int) ([]QPoint, error) {
+		pts, err := QVsInfection(cfg, mixNames[i], threads, targets)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", mixNames[i], err)
+		}
+		return pts, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	params := effectParams{cfg.Cores, mixNames, threads, cfg.Epochs, targets, cfg.MemTraffic, cfg.Seed}
+	effect := &results.EffectTable{
+		Meta: results.NewMeta("E7", "Fig 5: attack effect Q vs infection rate", cfg.Seed, 0, params),
+	}
+	apps := &results.AppEffectTable{
+		Meta: results.NewMeta("E8", "Fig 6: per-application performance change vs infection rate", cfg.Seed, 0, params),
+	}
+	for mi, name := range mixNames {
+		for _, p := range series[mi] {
+			effect.Rows = append(effect.Rows, results.EffectRow{
+				Mix:               name,
+				TargetInfection:   p.TargetInfection,
+				MeasuredInfection: p.MeasuredInfection,
+				HTs:               p.HTs,
+				Q:                 p.Q,
+			})
+			for _, app := range p.PerApp {
+				apps.Rows = append(apps.Rows, results.AppEffectRow{
+					Mix:             name,
+					TargetInfection: p.TargetInfection,
+					App:             app.Name,
+					Role:            app.Role.String(),
+					Theta:           app.ThetaAttacked,
+					Change:          app.Change,
+				})
+			}
+		}
+	}
+	return effect, apps, nil
+}
+
+// PlacementTableFor builds the E9 artifact: the Section V-C optimal versus
+// random placement study, one row per mix.
+func PlacementTableFor(cfg Config, mixNames []string, threads, nHTs, samples int, seed int64) (*results.PlacementTable, error) {
+	params := struct {
+		Cores   int      `json:"cores"`
+		Mixes   []string `json:"mixes"`
+		Threads int      `json:"threads"`
+		HTs     int      `json:"hts"`
+		Samples int      `json:"samples"`
+		Seed    int64    `json:"seed"`
+	}{cfg.Cores, mixNames, threads, nHTs, samples, seed}
+	t := &results.PlacementTable{
+		Meta: results.NewMeta("E9", "Section V-C: optimal vs random Trojan placement", seed, 0, params),
+	}
+	for _, name := range mixNames {
+		study, err := OptimalVsRandom(cfg, name, threads, nHTs, samples, seed)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		t.Rows = append(t.Rows, results.PlacementRow{
+			Mix:            study.Mix,
+			HTs:            study.HTs,
+			RandomQMean:    study.RandomQMean,
+			RandomQStd:     study.RandomQStd,
+			OptimalQ:       study.OptimalQ,
+			ImprovementPct: study.ImprovementPct,
+			ModelR2:        study.ModelR2,
+			Evaluated:      study.Evaluated,
+		})
+	}
+	return t, nil
+}
+
+// AblationResult is one allocator's outcome under the standard attack.
+type AblationResult struct {
+	// Allocator names the budgeting algorithm.
+	Allocator string
+	// Q is the attack effect; Infection the measured rate it occurred at.
+	Q, Infection float64
+}
+
+// AllocatorAblation runs the E10 study: the same mix and target infection
+// under every budgeting algorithm, testing the paper's "irrespective of
+// the power budgeting algorithm" claim. Allocators fan out over
+// cfg.Workers; each gets its own chip.
+func AllocatorAblation(cfg Config, mixName string, threads int, targetInfection float64) ([]AblationResult, error) {
+	mix, err := workload.MixByName(mixName)
+	if err != nil {
+		return nil, err
+	}
+	allocs := budget.All()
+	return exp.Run(cfg.Workers, len(allocs), func(i int) (AblationResult, error) {
+		c := cfg
+		c.Allocator = allocs[i]
+		sys, err := NewSystem(c)
+		if err != nil {
+			return AblationResult{}, err
+		}
+		sc, err := MixScenario(mix, threads)
+		if err != nil {
+			return AblationResult{}, err
+		}
+		placement, _ := attack.ForInfectionRate(sys.Mesh(), sys.ManagerNode(), targetInfection, sys.Mesh().Nodes()/4)
+		sc.Trojans = placement
+		attacked, baseline, err := sys.RunPair(sc)
+		if err != nil {
+			return AblationResult{}, fmt.Errorf("core: ablation %s: %w", allocs[i].Name(), err)
+		}
+		cmp, err := Compare(attacked, baseline)
+		if err != nil {
+			return AblationResult{}, err
+		}
+		return AblationResult{Allocator: allocs[i].Name(), Q: cmp.Q, Infection: attacked.InfectionMeasured}, nil
+	})
+}
+
+// AblationTableFor builds the E10 artifact from AllocatorAblation.
+func AblationTableFor(cfg Config, mixName string, threads int, targetInfection float64) (*results.AblationTable, error) {
+	rows, err := AllocatorAblation(cfg, mixName, threads, targetInfection)
+	if err != nil {
+		return nil, err
+	}
+	params := struct {
+		Cores   int     `json:"cores"`
+		Mix     string  `json:"mix"`
+		Threads int     `json:"threads"`
+		Target  float64 `json:"target_infection"`
+		Seed    int64   `json:"seed"`
+	}{cfg.Cores, mixName, threads, targetInfection, cfg.Seed}
+	t := &results.AblationTable{
+		Meta: results.NewMeta("E10", "Allocator ablation: Q under each budgeting algorithm", cfg.Seed, 0, params),
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, results.AblationRow{Allocator: r.Allocator, Q: r.Q, Infection: r.Infection})
+	}
+	return t, nil
+}
+
+// nearManagerRing builds the canonical X1/X2 fleet: nHTs Trojans ringed at
+// radius 2 around the global manager.
+func nearManagerRing(cfg Config, nHTs int) (*System, attack.Placement, error) {
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		return nil, attack.Placement{}, err
+	}
+	mesh := sys.Mesh()
+	placement, err := attack.RingCluster(mesh, mesh.Coord(sys.ManagerNode()), nHTs, 2, sys.ManagerNode())
+	if err != nil {
+		return nil, attack.Placement{}, err
+	}
+	return sys, placement, nil
+}
+
+// studyParams fingerprints the X1/X2 campaign setup.
+type studyParams struct {
+	Cores   int    `json:"cores"`
+	Mix     string `json:"mix"`
+	Threads int    `json:"threads"`
+	Epochs  int    `json:"epochs"`
+	HTs     int    `json:"hts"`
+	Seed    int64  `json:"seed"`
+}
+
+// VariantTableFor builds the X1 artifact: the Section II-B DoS attack
+// classes (false-data, drop, loopback) under an identical near-manager
+// ring fleet of nHTs Trojans.
+func VariantTableFor(cfg Config, mixName string, threads, nHTs int) (*results.VariantTable, error) {
+	_, placement, err := nearManagerRing(cfg, nHTs)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := DoSVariantStudy(cfg, mixName, threads, placement)
+	if err != nil {
+		return nil, err
+	}
+	t := &results.VariantTable{
+		Meta: results.NewMeta("X1", "DoS attack-class comparison (false-data / drop / loopback)",
+			cfg.Seed, 0, studyParams{cfg.Cores, mixName, threads, cfg.Epochs, nHTs, cfg.Seed}),
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, results.VariantRow{
+			Mode:           r.Mode.String(),
+			Q:              r.Q,
+			VictimChange:   r.VictimChange,
+			AttackerChange: r.AttackerChange,
+			Dropped:        r.Dropped,
+			Looped:         r.Looped,
+		})
+	}
+	return t, nil
+}
+
+// DefenseTableFor builds the X2 artifact: the manager-side defense study
+// under a duty-cycled attack from a near-manager ring fleet of nHTs
+// Trojans.
+func DefenseTableFor(cfg Config, mixName string, threads, nHTs int) (*results.DefenseTable, error) {
+	_, placement, err := nearManagerRing(cfg, nHTs)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := DefenseStudy(cfg, mixName, threads, placement)
+	if err != nil {
+		return nil, err
+	}
+	t := &results.DefenseTable{
+		Meta: results.NewMeta("X2", "Manager-side defense study (duty-cycled attack)",
+			cfg.Seed, 0, studyParams{cfg.Cores, mixName, threads, cfg.Epochs, nHTs, cfg.Seed}),
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, results.DefenseRow{
+			Defense:        r.Defense,
+			Q:              r.Q,
+			Flagged:        r.Flagged,
+			Repaired:       r.Repaired,
+			FalsePositives: r.FalsePositives,
+		})
+	}
+	return t, nil
+}
+
+// CampaignTableFor builds the per-application report table of one htsim
+// campaign (an attacked run against its clean baseline).
+func CampaignTableFor(cfg Config, attacked *Report, cmp *Comparison) *results.CampaignTable {
+	params := struct {
+		Cores     int    `json:"cores"`
+		Allocator string `json:"allocator"`
+		Epochs    int    `json:"epochs"`
+		Seed      int64  `json:"seed"`
+	}{cfg.Cores, cfg.Allocator.Name(), cfg.Epochs, cfg.Seed}
+	t := &results.CampaignTable{
+		Meta: results.NewMeta("run", "Campaign report: per-application outcome vs clean baseline",
+			cfg.Seed, 0, params),
+		Q:                  cmp.Q,
+		InfectionMeasured:  attacked.InfectionMeasured,
+		InfectionPredicted: attacked.InfectionPredicted,
+	}
+	for _, app := range cmp.PerApp {
+		cores := 0
+		for _, a := range attacked.Apps {
+			if a.Name == app.Name {
+				cores = a.Cores
+				break
+			}
+		}
+		t.Rows = append(t.Rows, results.CampaignAppRow{
+			App:      app.Name,
+			Role:     app.Role.String(),
+			Cores:    cores,
+			Theta:    app.ThetaAttacked,
+			Baseline: app.ThetaBaseline,
+			Change:   app.Change,
+		})
+	}
+	return t
+}

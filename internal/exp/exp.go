@@ -1,8 +1,9 @@
 // Package exp provides the deterministic parallel trial runner behind the
-// campaign experiments. Every figure of the paper is an average over many
-// independent trials (random Trojan placements, attack variants, defense
-// configurations); this package fans those trials out over a worker pool
-// while keeping results bit-identical for any worker count.
+// campaign experiments. Every figure of the paper's Section V evaluation
+// is an average over many independent trials (random Trojan placements,
+// attack variants, defense configurations); this package fans those trials
+// out over a worker pool while keeping results bit-identical for any
+// worker count.
 //
 // Determinism rests on two rules the experiment layer must follow:
 //

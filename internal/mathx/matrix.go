@@ -1,7 +1,9 @@
-// Package mathx provides the small stdlib-only numerical toolkit used by the
-// attack-effect model: dense matrices, QR-based least squares, and summary
-// statistics. It exists because the module is offline and may not depend on
-// gonum; only the operations the repository actually needs are implemented.
+// Package mathx provides the small stdlib-only numerical toolkit behind
+// the paper's Section V-C attack-effect model: dense matrices and QR-based
+// least squares for the Eqn 9 fit, plus the summary statistics the
+// experiment tables report. It exists because the module is offline and
+// may not depend on gonum; only the operations the repository actually
+// needs are implemented.
 package mathx
 
 import (

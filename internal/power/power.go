@@ -1,4 +1,6 @@
-// Package power models per-core DVFS and the chip power budget. Cores run
+// Package power models per-core DVFS and the chip power budget of the
+// paper's Section II-A system model (levels and budget fraction from
+// Table I). Cores run
 // at one of a small set of voltage/frequency levels; a core's power is
 // P(f) = P_static + C_eff·V(f)²·f, the standard CMOS dynamic-power model.
 // With C_eff in nanofarads and f in GHz the dynamic term comes out directly

@@ -1,0 +1,145 @@
+package results
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// This file is the single serialization path: the four CLIs print tables
+// through WriteText, the campaign engine writes artifacts through
+// WriteArtifact, and both render the same Table values.
+
+// WriteJSON serializes a table as indented JSON (the typed struct with its
+// embedded meta block), ending with a newline.
+func WriteJSON(w io.Writer, t Table) error {
+	b, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return fmt.Errorf("results: marshal %s: %w", t.TableMeta().Experiment, err)
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteCSV serializes a table as RFC-4180 CSV preceded by a commented
+// metadata preamble (`# key: value` lines). Floats keep full precision so
+// the file round-trips losslessly.
+func WriteCSV(w io.Writer, t Table) error {
+	m := t.TableMeta()
+	preamble := fmt.Sprintf("# experiment: %s\n# title: %s\n# seed: %d\n# workers: %d\n# config: %s\n# revision: %s\n",
+		m.Experiment, m.Title, m.Seed, m.Workers, m.ConfigHash, m.Revision)
+	if _, err := io.WriteString(w, preamble); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.ColumnNames()); err != nil {
+		return err
+	}
+	for _, row := range t.RowValues() {
+		rec := make([]string, len(row))
+		for i, cell := range row {
+			rec[i] = formatCell(cell)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteText renders a table for humans: a title line followed by aligned
+// columns. Numeric cells are right-aligned, text cells left-aligned.
+func WriteText(w io.Writer, t Table) error {
+	m := t.TableMeta()
+	if _, err := fmt.Fprintf(w, "%s · %s (seed %d)\n", m.Experiment, m.Title, m.Seed); err != nil {
+		return err
+	}
+	header := t.ColumnNames()
+	rows := t.RowValues()
+	cells := make([][]string, 0, len(rows)+1)
+	cells = append(cells, header)
+	numeric := make([]bool, len(header))
+	for i := range numeric {
+		numeric[i] = true
+	}
+	for _, row := range rows {
+		rec := make([]string, len(row))
+		for i, cell := range row {
+			rec[i] = formatCellHuman(cell)
+			if _, isStr := cell.(string); isStr {
+				numeric[i] = false
+			}
+		}
+		cells = append(cells, rec)
+	}
+	widths := make([]int, len(header))
+	for _, rec := range cells {
+		for i, s := range rec {
+			if i < len(widths) && len(s) > widths[i] {
+				widths[i] = len(s)
+			}
+		}
+	}
+	var sb strings.Builder
+	for _, rec := range cells {
+		sb.Reset()
+		for i, s := range rec {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			pad := widths[i] - len(s)
+			if numeric[i] {
+				sb.WriteString(strings.Repeat(" ", pad))
+				sb.WriteString(s)
+			} else {
+				sb.WriteString(s)
+				if i < len(rec)-1 {
+					sb.WriteString(strings.Repeat(" ", pad))
+				}
+			}
+		}
+		sb.WriteString("\n")
+		if _, err := io.WriteString(w, sb.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteArtifact writes a table's JSON and CSV files into dir, named after
+// the lower-cased experiment ID (e.g. e3.json/e3.csv), creating dir if
+// needed. It returns the two paths.
+func WriteArtifact(dir string, t Table) (jsonPath, csvPath string, err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", "", err
+	}
+	base := strings.ToLower(t.TableMeta().Experiment)
+	jsonPath = filepath.Join(dir, base+".json")
+	csvPath = filepath.Join(dir, base+".csv")
+	if err := writeFile(jsonPath, func(w io.Writer) error { return WriteJSON(w, t) }); err != nil {
+		return "", "", err
+	}
+	if err := writeFile(csvPath, func(w io.Writer) error { return WriteCSV(w, t) }); err != nil {
+		return "", "", err
+	}
+	return jsonPath, csvPath, nil
+}
+
+// writeFile streams one emitter into a freshly created file.
+func writeFile(path string, emit func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := emit(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,375 @@
+package results
+
+// This file declares one typed table per experiment family of DESIGN.md §2.
+// Each table is a plain serializable struct — no simulator types — so the
+// package stays a leaf that internal/core can build tables into.
+
+// ConfigEntry is one key/value row of the configuration table.
+type ConfigEntry struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// ConfigTable is the E1 artifact: the Table I system configuration as
+// key/value rows.
+type ConfigTable struct {
+	Meta    Meta          `json:"meta"`
+	Entries []ConfigEntry `json:"entries"`
+}
+
+// TableMeta implements Table.
+func (t *ConfigTable) TableMeta() *Meta { return &t.Meta }
+
+// ColumnNames implements Table.
+func (t *ConfigTable) ColumnNames() []string { return []string{"key", "value"} }
+
+// RowValues implements Table.
+func (t *ConfigTable) RowValues() [][]any {
+	rows := make([][]any, len(t.Entries))
+	for i, e := range t.Entries {
+		rows[i] = []any{e.Key, e.Value}
+	}
+	return rows
+}
+
+// AreaPowerRow is one fleet size of the Section III-D accounting.
+type AreaPowerRow struct {
+	// HTs and Nodes give the fleet and chip sizes.
+	HTs   int `json:"hts"`
+	Nodes int `json:"nodes"`
+	// AreaUm2 and PowerUW are the fleet's absolute overheads.
+	AreaUm2 float64 `json:"area_um2"`
+	PowerUW float64 `json:"power_uw"`
+	// AreaPct and PowerPct are the overheads relative to all routers.
+	AreaPct  float64 `json:"area_pct"`
+	PowerPct float64 `json:"power_pct"`
+}
+
+// AreaPowerTable is the E2 artifact: the Trojan circuit's area/power cost.
+type AreaPowerTable struct {
+	Meta Meta `json:"meta"`
+	// Transistors estimates the Fig 2 circuit size.
+	Transistors int `json:"transistors"`
+	// HTAreaUm2/HTPowerUW cost one Trojan; RouterAreaUm2/RouterPowerUW
+	// cost one clean router for scale.
+	HTAreaUm2     float64        `json:"ht_area_um2"`
+	HTPowerUW     float64        `json:"ht_power_uw"`
+	RouterAreaUm2 float64        `json:"router_area_um2"`
+	RouterPowerUW float64        `json:"router_power_uw"`
+	Fleets        []AreaPowerRow `json:"fleets"`
+}
+
+// TableMeta implements Table.
+func (t *AreaPowerTable) TableMeta() *Meta { return &t.Meta }
+
+// ColumnNames implements Table.
+func (t *AreaPowerTable) ColumnNames() []string {
+	return []string{"hts", "nodes", "area_um2", "area_pct", "power_uw", "power_pct"}
+}
+
+// RowValues implements Table.
+func (t *AreaPowerTable) RowValues() [][]any {
+	rows := make([][]any, len(t.Fleets))
+	for i, f := range t.Fleets {
+		rows[i] = []any{f.HTs, f.Nodes, f.AreaUm2, f.AreaPct, f.PowerUW, f.PowerPct}
+	}
+	return rows
+}
+
+// InfectionRow is one x-axis position of an infection curve: the value on
+// the X axis (HT count for Fig 3, system size for Fig 4) and one rate per
+// series.
+type InfectionRow struct {
+	X     int       `json:"x"`
+	Rates []float64 `json:"rates"`
+}
+
+// InfectionTable is the E3–E6 artifact family: infection rate against an
+// integer axis for a set of named series (manager placements in Fig 3, HT
+// distributions in Fig 4).
+type InfectionTable struct {
+	Meta Meta `json:"meta"`
+	// XLabel names the x-axis ("hts" or "size").
+	XLabel string `json:"x_label"`
+	// Series names the rate columns, in Points[].Rates order.
+	Series []string       `json:"series"`
+	Points []InfectionRow `json:"points"`
+}
+
+// TableMeta implements Table.
+func (t *InfectionTable) TableMeta() *Meta { return &t.Meta }
+
+// ColumnNames implements Table.
+func (t *InfectionTable) ColumnNames() []string {
+	return append([]string{t.XLabel}, t.Series...)
+}
+
+// RowValues implements Table.
+func (t *InfectionTable) RowValues() [][]any {
+	rows := make([][]any, len(t.Points))
+	for i, p := range t.Points {
+		row := make([]any, 0, 1+len(p.Rates))
+		row = append(row, p.X)
+		for _, r := range p.Rates {
+			row = append(row, r)
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+// EffectRow is one (mix, target infection) cell of Fig 5.
+type EffectRow struct {
+	Mix string `json:"mix"`
+	// TargetInfection is the rate the placement was built for;
+	// MeasuredInfection is what the simulation delivered.
+	TargetInfection   float64 `json:"target_infection"`
+	MeasuredInfection float64 `json:"measured_infection"`
+	// HTs is the fleet size the sampler chose.
+	HTs int `json:"hts"`
+	// Q is Definition 3.
+	Q float64 `json:"q"`
+}
+
+// EffectTable is the E7 artifact: attack effect Q versus infection rate
+// for the Table III mixes, in long form (one row per mix and target).
+type EffectTable struct {
+	Meta Meta        `json:"meta"`
+	Rows []EffectRow `json:"rows"`
+}
+
+// TableMeta implements Table.
+func (t *EffectTable) TableMeta() *Meta { return &t.Meta }
+
+// ColumnNames implements Table.
+func (t *EffectTable) ColumnNames() []string {
+	return []string{"mix", "target_infection", "measured_infection", "hts", "q"}
+}
+
+// RowValues implements Table.
+func (t *EffectTable) RowValues() [][]any {
+	rows := make([][]any, len(t.Rows))
+	for i, r := range t.Rows {
+		rows[i] = []any{r.Mix, r.TargetInfection, r.MeasuredInfection, r.HTs, r.Q}
+	}
+	return rows
+}
+
+// AppEffectRow is one (mix, target infection, application) cell of Fig 6.
+type AppEffectRow struct {
+	Mix             string  `json:"mix"`
+	TargetInfection float64 `json:"target_infection"`
+	App             string  `json:"app"`
+	Role            string  `json:"role"`
+	// Theta is the attacked run's Definition 1 throughput; Change is
+	// Definition 2 (Θ = θ/Λ).
+	Theta  float64 `json:"theta"`
+	Change float64 `json:"change"`
+}
+
+// AppEffectTable is the E8 artifact: per-application performance change
+// versus infection rate, in long form.
+type AppEffectTable struct {
+	Meta Meta           `json:"meta"`
+	Rows []AppEffectRow `json:"rows"`
+}
+
+// TableMeta implements Table.
+func (t *AppEffectTable) TableMeta() *Meta { return &t.Meta }
+
+// ColumnNames implements Table.
+func (t *AppEffectTable) ColumnNames() []string {
+	return []string{"mix", "target_infection", "app", "role", "theta", "change"}
+}
+
+// RowValues implements Table.
+func (t *AppEffectTable) RowValues() [][]any {
+	rows := make([][]any, len(t.Rows))
+	for i, r := range t.Rows {
+		rows[i] = []any{r.Mix, r.TargetInfection, r.App, r.Role, r.Theta, r.Change}
+	}
+	return rows
+}
+
+// PlacementRow is one mix's Section V-C optimal-vs-random comparison.
+type PlacementRow struct {
+	Mix string `json:"mix"`
+	HTs int    `json:"hts"`
+	// RandomQMean/RandomQStd summarise Q over the random fleets; OptimalQ
+	// is the simulated Q of the model-optimised placement.
+	RandomQMean float64 `json:"random_q_mean"`
+	RandomQStd  float64 `json:"random_q_std"`
+	OptimalQ    float64 `json:"optimal_q"`
+	// ImprovementPct is (OptimalQ − RandomQMean)/RandomQMean × 100.
+	ImprovementPct float64 `json:"improvement_pct"`
+	// ModelR2 is the Eqn 9 fit quality; Evaluated the Eqn 10 enumeration
+	// size.
+	ModelR2   float64 `json:"model_r2"`
+	Evaluated int     `json:"evaluated"`
+}
+
+// PlacementTable is the E9 artifact: the placement study per mix.
+type PlacementTable struct {
+	Meta Meta           `json:"meta"`
+	Rows []PlacementRow `json:"rows"`
+}
+
+// TableMeta implements Table.
+func (t *PlacementTable) TableMeta() *Meta { return &t.Meta }
+
+// ColumnNames implements Table.
+func (t *PlacementTable) ColumnNames() []string {
+	return []string{"mix", "hts", "random_q_mean", "random_q_std", "optimal_q",
+		"improvement_pct", "model_r2", "evaluated"}
+}
+
+// RowValues implements Table.
+func (t *PlacementTable) RowValues() [][]any {
+	rows := make([][]any, len(t.Rows))
+	for i, r := range t.Rows {
+		rows[i] = []any{r.Mix, r.HTs, r.RandomQMean, r.RandomQStd, r.OptimalQ,
+			r.ImprovementPct, r.ModelR2, r.Evaluated}
+	}
+	return rows
+}
+
+// AblationRow is one allocator's outcome under the standard attack.
+type AblationRow struct {
+	Allocator string `json:"allocator"`
+	// Q is the attack effect; Infection the measured rate it was achieved
+	// at.
+	Q         float64 `json:"q"`
+	Infection float64 `json:"infection"`
+}
+
+// AblationTable is the E10 artifact: the attack effect under every
+// budgeting algorithm, backing the paper's "irrespective of the power
+// budgeting algorithm" claim.
+type AblationTable struct {
+	Meta Meta          `json:"meta"`
+	Rows []AblationRow `json:"rows"`
+}
+
+// TableMeta implements Table.
+func (t *AblationTable) TableMeta() *Meta { return &t.Meta }
+
+// ColumnNames implements Table.
+func (t *AblationTable) ColumnNames() []string { return []string{"allocator", "q", "infection"} }
+
+// RowValues implements Table.
+func (t *AblationTable) RowValues() [][]any {
+	rows := make([][]any, len(t.Rows))
+	for i, r := range t.Rows {
+		rows[i] = []any{r.Allocator, r.Q, r.Infection}
+	}
+	return rows
+}
+
+// VariantRow is one Section II-B DoS attack class.
+type VariantRow struct {
+	Mode string  `json:"mode"`
+	Q    float64 `json:"q"`
+	// VictimChange/AttackerChange are the mean per-role Θ values.
+	VictimChange   float64 `json:"victim_change"`
+	AttackerChange float64 `json:"attacker_change"`
+	// Dropped and Looped count destroyed/bounced packets.
+	Dropped uint64 `json:"dropped"`
+	Looped  uint64 `json:"looped"`
+}
+
+// VariantTable is the X1 artifact: the DoS attack-class comparison.
+type VariantTable struct {
+	Meta Meta         `json:"meta"`
+	Rows []VariantRow `json:"rows"`
+}
+
+// TableMeta implements Table.
+func (t *VariantTable) TableMeta() *Meta { return &t.Meta }
+
+// ColumnNames implements Table.
+func (t *VariantTable) ColumnNames() []string {
+	return []string{"mode", "q", "victim_change", "attacker_change", "dropped", "looped"}
+}
+
+// RowValues implements Table.
+func (t *VariantTable) RowValues() [][]any {
+	rows := make([][]any, len(t.Rows))
+	for i, r := range t.Rows {
+		rows[i] = []any{r.Mode, r.Q, r.VictimChange, r.AttackerChange, r.Dropped, r.Looped}
+	}
+	return rows
+}
+
+// DefenseRow is one manager-side filter configuration.
+type DefenseRow struct {
+	Defense string  `json:"defense"`
+	Q       float64 `json:"q"`
+	// Flagged/Repaired/FalsePositives count the filter's verdicts.
+	Flagged        uint64 `json:"flagged"`
+	Repaired       uint64 `json:"repaired"`
+	FalsePositives uint64 `json:"false_positives"`
+}
+
+// DefenseTable is the X2 artifact: the manager-side defense study.
+type DefenseTable struct {
+	Meta Meta         `json:"meta"`
+	Rows []DefenseRow `json:"rows"`
+}
+
+// TableMeta implements Table.
+func (t *DefenseTable) TableMeta() *Meta { return &t.Meta }
+
+// ColumnNames implements Table.
+func (t *DefenseTable) ColumnNames() []string {
+	return []string{"defense", "q", "flagged", "repaired", "false_positives"}
+}
+
+// RowValues implements Table.
+func (t *DefenseTable) RowValues() [][]any {
+	rows := make([][]any, len(t.Rows))
+	for i, r := range t.Rows {
+		rows[i] = []any{r.Defense, r.Q, r.Flagged, r.Repaired, r.FalsePositives}
+	}
+	return rows
+}
+
+// CampaignAppRow is one application of a single-campaign report (htsim).
+type CampaignAppRow struct {
+	App   string `json:"app"`
+	Role  string `json:"role"`
+	Cores int    `json:"cores"`
+	// Theta/Baseline are the attacked and clean Definition 1 values;
+	// Change is Definition 2.
+	Theta    float64 `json:"theta"`
+	Baseline float64 `json:"baseline"`
+	Change   float64 `json:"change"`
+}
+
+// CampaignTable is a one-off htsim campaign report: per-application
+// outcomes of an attacked run against its clean baseline.
+type CampaignTable struct {
+	Meta Meta             `json:"meta"`
+	Rows []CampaignAppRow `json:"rows"`
+	// Q is the campaign's Definition 3 attack effect.
+	Q float64 `json:"q"`
+	// InfectionMeasured/InfectionPredicted echo the attacked report.
+	InfectionMeasured  float64 `json:"infection_measured"`
+	InfectionPredicted float64 `json:"infection_predicted"`
+}
+
+// TableMeta implements Table.
+func (t *CampaignTable) TableMeta() *Meta { return &t.Meta }
+
+// ColumnNames implements Table.
+func (t *CampaignTable) ColumnNames() []string {
+	return []string{"app", "role", "cores", "theta", "baseline", "change"}
+}
+
+// RowValues implements Table.
+func (t *CampaignTable) RowValues() [][]any {
+	rows := make([][]any, len(t.Rows))
+	for i, r := range t.Rows {
+		rows[i] = []any{r.App, r.Role, r.Cores, r.Theta, r.Baseline, r.Change}
+	}
+	return rows
+}

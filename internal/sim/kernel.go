@@ -1,7 +1,9 @@
 // Package sim provides the deterministic discrete-event kernel that drives
-// every simulation in this repository. Time is measured in clock cycles of
-// the NoC clock domain (uint64). Events scheduled for the same cycle fire in
-// scheduling order, which makes runs fully reproducible for a fixed seed.
+// every simulation in this repository — the substrate under the whole
+// Section V evaluation rather than any single paper artifact. Time is
+// measured in clock cycles of the NoC clock domain (uint64). Events
+// scheduled for the same cycle fire in scheduling order, which makes runs
+// fully reproducible for a fixed seed.
 package sim
 
 import (

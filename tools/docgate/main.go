@@ -1,0 +1,158 @@
+// Command docgate is the documentation CI gate. It enforces two
+// invariants and exits non-zero when either fails:
+//
+//  1. Every package under internal/ carries a package-level doc comment
+//     (the godoc paragraph stating its paper section and role).
+//  2. Every repository-relative reference in the front-door documents —
+//     markdown links and backticked paths like `internal/core` or
+//     `specs/paper.json` — resolves to an existing file or directory, so
+//     doc drift fails the build.
+//
+// Usage (from the repository root):
+//
+//	go run ./tools/docgate
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() { os.Exit(run()) }
+
+// docFiles are the markdown documents whose references are checked.
+var docFiles = []string{"README.md", "DESIGN.md", "EXPERIMENTS.md", "BENCH_NOTES.md", "ROADMAP.md"}
+
+// run performs both checks and returns the process exit code.
+func run() int {
+	failed := false
+	if !checkPackageDocs("internal") {
+		failed = true
+	}
+	for _, doc := range docFiles {
+		if !checkReferences(doc) {
+			failed = true
+		}
+	}
+	if failed {
+		return 1
+	}
+	fmt.Println("docgate: all package docs present, all doc references resolve")
+	return 0
+}
+
+// checkPackageDocs walks every package directory under root and reports
+// packages whose non-test files all lack a package doc comment.
+func checkPackageDocs(root string) bool {
+	ok := true
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || !d.IsDir() {
+			return err
+		}
+		hasGo, documented := packageDoc(path)
+		if hasGo && !documented {
+			fmt.Fprintf(os.Stderr, "docgate: package %s has no package doc comment\n", path)
+			ok = false
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "docgate: walk %s: %v\n", root, err)
+		return false
+	}
+	return ok
+}
+
+// packageDoc parses the non-test Go files of one directory and reports
+// whether any exist and whether any carries a package doc comment.
+func packageDoc(dir string) (hasGo, documented bool) {
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		hasGo = true
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			continue
+		}
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			documented = true
+		}
+	}
+	return hasGo, documented
+}
+
+var (
+	// mdLink matches [text](target) markdown links.
+	mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)]+)\)`)
+	// backtickRef matches `inline code` spans.
+	backtickRef = regexp.MustCompile("`([^`\n]+)`")
+	// pathLike admits plain repository paths (a slash or a .md/.json/.go
+	// suffix, no spaces or shell metacharacters).
+	pathLike = regexp.MustCompile(`^[A-Za-z0-9_./\-]+$`)
+)
+
+// checkReferences verifies every local reference in one markdown file.
+func checkReferences(doc string) bool {
+	data, err := os.ReadFile(doc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "docgate: %v\n", err)
+		return false
+	}
+	ok := true
+	report := func(ref string) {
+		fmt.Fprintf(os.Stderr, "docgate: %s references %s, which does not exist\n", doc, ref)
+		ok = false
+	}
+	for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+		target := strings.TrimSpace(m[1])
+		if strings.Contains(target, "://") || strings.HasPrefix(target, "#") || strings.HasPrefix(target, "mailto:") {
+			continue
+		}
+		target, _, _ = strings.Cut(target, "#")
+		if !exists(target) {
+			report(target)
+		}
+	}
+	for _, m := range backtickRef.FindAllStringSubmatch(string(data), -1) {
+		ref := m[1]
+		// Only vet spans that are unambiguously repository paths: a path
+		// shape plus either a known extension or a top-level source dir.
+		if !pathLike.MatchString(ref) {
+			continue
+		}
+		base, _, _ := strings.Cut(ref, ":") // strip `file.go:123` line refs
+		// A bare name like `manifest.json` (a generated file) or a Go
+		// symbol like `core.Compare` is not a repo path; require a slash.
+		if !strings.Contains(base, "/") {
+			continue
+		}
+		isPath := strings.HasSuffix(base, ".md") || strings.HasSuffix(base, ".json") || strings.HasSuffix(base, ".go")
+		for _, prefix := range []string{"internal/", "cmd/", "specs/", "examples/", "tools/"} {
+			if strings.HasPrefix(base, prefix) {
+				isPath = true
+			}
+		}
+		if isPath && !exists(base) {
+			report(base)
+		}
+	}
+	return ok
+}
+
+// exists reports whether a repository-relative path resolves.
+func exists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
