@@ -4,25 +4,33 @@
 // "irrespective of the power budgeting algorithm" claim, the DoS
 // attack-class comparison, and the manager-side defense study. Each study
 // is built through the campaign registry (experiments E7, E8, E10, X1,
-// X2) and printed through the shared internal/results emitters, so the
-// output here and the JSON/CSV written by `htcampaign run` come from one
-// code path.
+// X2), whose chip configurations are assembled through the pkg/htsim
+// option pipeline — the -topology, -routing, -allocator, and
+// -defense-config flags name registered plugins and rerun any figure on
+// a variant chip (for example `-fig 5 -topology torus`; -defense without
+// a value remains the X2 study selector). Results print through the
+// shared
+// internal/results emitters, so the output here and the JSON/CSV written
+// by `htcampaign run` come from one code path.
 //
 // Examples:
 //
 //	attackfx -fig 5
 //	attackfx -fig 6 -mix mix-4
 //	attackfx -ablation
+//	attackfx -variants -topology torus -allocator pi
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/campaign"
 	"repro/internal/results"
 	"repro/internal/workload"
+	"repro/pkg/htsim"
 )
 
 func main() {
@@ -45,13 +53,18 @@ func run(args []string) error {
 		hts      = fs.Int("hts", 16, "Trojan count for -variants/-defense (paper: 16)")
 		epochs   = fs.Int("epochs", 10, "budgeting epochs")
 		mem      = fs.Bool("mem", false, "enable cache-hierarchy background traffic")
+		topology = fs.String("topology", "", "network topology: "+strings.Join(htsim.Topologies(), ", "))
+		routing  = fs.String("routing", "", "routing algorithm: "+strings.Join(htsim.Routings(), ", "))
+		alloc    = fs.String("allocator", "", "budget allocator: "+strings.Join(htsim.Allocators(), ", "))
+		defName  = fs.String("defense-config", "", "manager-side defense for the chip under test: "+strings.Join(htsim.Defenses(), ", "))
 		seed     = fs.Int64("seed", 1, "random seed")
 		parallel = fs.Int("parallel", 0, "campaign workers (0 = one per CPU; results identical for any count)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	p := campaign.Params{Size: *size, Threads: *threads, Epochs: *epochs, Mem: mem}
+	p := campaign.Params{Size: *size, Threads: *threads, Epochs: *epochs, Mem: mem,
+		Topology: *topology, Routing: *routing, Allocator: *alloc, Defense: *defName}
 	p.Mix = "mix-1"
 	if *mixName != "" {
 		if _, err := workload.MixByName(*mixName); err != nil {

@@ -18,9 +18,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/campaign"
 	"repro/internal/results"
+	"repro/pkg/htsim"
 )
 
 func main() {
@@ -102,8 +104,14 @@ func listExperiments(args []string, out io.Writer) error {
 	if len(args) != 0 {
 		return fmt.Errorf("list takes no arguments")
 	}
+	fmt.Fprintln(out, "experiments:")
 	for _, e := range campaign.Experiments() {
-		fmt.Fprintf(out, "%-4s %s\n", e.ID, e.Title)
+		fmt.Fprintf(out, "  %-4s %s\n", e.ID, e.Title)
+	}
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, "plugin registries (spec params and pkg/htsim options resolve these names):")
+	for _, axis := range htsim.Axes() {
+		fmt.Fprintf(out, "  %-16s %s\n", axis.Name, strings.Join(axis.Plugins, ", "))
 	}
 	return nil
 }

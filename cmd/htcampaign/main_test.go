@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/pkg/htsim"
 )
 
 // writeSpec drops a small campaign spec into a temp dir.
@@ -98,6 +100,44 @@ func TestRunRejectsBadUsage(t *testing.T) {
 	for _, args := range tests {
 		if err := run(args, &bytes.Buffer{}); err == nil {
 			t.Errorf("args %v must fail", args)
+		}
+	}
+}
+
+// TestListCoversEveryRegisteredPlugin is the anti-drift gate for the
+// listing: every plugin name registered on any axis must appear in
+// `htcampaign list` output, so adding a plugin automatically surfaces it
+// to users (the companion docs gate, tools/docgate, holds EXPERIMENTS.md
+// to the same standard).
+func TestListCoversEveryRegisteredPlugin(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"list"}, &buf); err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	// Parse each axis line into its exact comma-separated plugin tokens —
+	// substring matching would let "xy" pass vacuously via "torus-xy".
+	listed := make(map[string]map[string]bool)
+	for _, line := range strings.Split(buf.String(), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		plugins := make(map[string]bool)
+		for _, name := range strings.Split(strings.Join(fields[1:], " "), ", ") {
+			plugins[name] = true
+		}
+		listed[fields[0]] = plugins
+	}
+	for _, axis := range htsim.Axes() {
+		plugins, ok := listed[axis.Name]
+		if !ok {
+			t.Errorf("list output missing axis %q", axis.Name)
+			continue
+		}
+		for _, plugin := range axis.Plugins {
+			if !plugins[plugin] {
+				t.Errorf("list output missing %s plugin %q", axis.Name, plugin)
+			}
 		}
 	}
 }

@@ -16,9 +16,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/campaign"
 	"repro/internal/results"
+	"repro/pkg/htsim"
 )
 
 func main() {
@@ -38,6 +40,8 @@ func run(args []string) error {
 		size      = fs.Int("size", 256, "system size")
 		hts       = fs.Int("hts", 16, "Trojan count (paper: 16)")
 		samples   = fs.Int("samples", 16, "random placements used to fit Eqn 9")
+		topology  = fs.String("topology", "", "network topology: "+strings.Join(htsim.Topologies(), ", "))
+		alloc     = fs.String("allocator", "", "budget allocator: "+strings.Join(htsim.Allocators(), ", "))
 		seed      = fs.Int64("seed", 1, "random seed")
 		parallel  = fs.Int("parallel", 0, "campaign workers (0 = one per CPU; results identical for any count)")
 	)
@@ -58,6 +62,7 @@ func run(args []string) error {
 	case *optimize:
 		t, err := campaign.BuildTable("E9", campaign.Params{
 			Size: *size, Mixes: []string{*mixName}, Threads: *threads, HTs: *hts, Samples: *samples,
+			Topology: *topology, Allocator: *alloc,
 		}, *seed, *parallel)
 		if err != nil {
 			return err

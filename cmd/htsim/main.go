@@ -1,27 +1,31 @@
 // Command htsim runs a single hardware-Trojan power-budgeting campaign and
 // prints the full report: per-application θ/Θ/Φ, infection rates, the
-// attack effect Q, and NoC statistics. Tables are printed through the
-// shared internal/results emitters.
+// attack effect Q, and NoC statistics. It is a thin front end over the
+// pkg/htsim SDK: every axis flag (-topology, -allocator, -defense,
+// -routing, -placement, -strategy, -mode, -mix) names a registered plugin,
+// and the flag help enumerates the registry, so a newly registered plugin
+// is immediately usable here. Tables are printed through the shared
+// internal/results emitters.
 //
 // Examples:
 //
 //	htsim -print-config
 //	htsim -mix mix-1 -threads 64 -infection 0.5
 //	htsim -mix mix-4 -threads 64 -hts 16 -placement center -allocator greedy
+//	htsim -topology torus -size 64 -hts 8 -placement ring -stream
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
+	"strings"
 
-	"repro/internal/attack"
-	"repro/internal/budget"
 	"repro/internal/core"
 	"repro/internal/noc"
 	"repro/internal/results"
-	"repro/internal/workload"
+	"repro/pkg/htsim"
 )
 
 func main() {
@@ -31,24 +35,32 @@ func main() {
 	}
 }
 
+// choices renders a registry's names for flag help text.
+func choices(names []string) string { return strings.Join(names, ", ") }
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("htsim", flag.ContinueOnError)
 	var (
 		printConfig = fs.Bool("print-config", false, "print the Table I configuration and exit")
 		size        = fs.Int("size", 256, "system size (number of cores)")
-		mixName     = fs.String("mix", "mix-1", "Table III benchmark mix")
+		topology    = fs.String("topology", "mesh", "network topology: "+choices(htsim.Topologies()))
+		mixName     = fs.String("mix", "mix-1", "benchmark mix: "+choices(htsim.Mixes()))
 		threads     = fs.Int("threads", 64, "threads per application")
 		htCount     = fs.Int("hts", 16, "number of hardware Trojans")
-		placement   = fs.String("placement", "random", "HT placement: center, corner, random, ring")
+		placement   = fs.String("placement", "random", "HT placement: "+choices(htsim.Placements()))
 		infection   = fs.Float64("infection", -1, "target infection rate (overrides -placement when ≥ 0)")
-		allocName   = fs.String("allocator", "fair", "budget allocator: fair, greedy, dp, pi")
+		allocName   = fs.String("allocator", "fair", "budget allocator: "+choices(htsim.Allocators()))
+		defName     = fs.String("defense", "none", "manager-side defense: "+choices(htsim.Defenses()))
+		strategy    = fs.String("strategy", "scale", "Trojan payload strategy: "+choices(htsim.TrojanStrategies()))
+		mode        = fs.String("mode", "false-data", "attack class: "+choices(htsim.AttackModes()))
 		gmPos       = fs.String("gm", "center", "global manager position: center or corner")
-		routing     = fs.String("routing", "xy", "routing algorithm: xy or west-first")
+		routing     = fs.String("routing", "", "routing algorithm (default by topology): "+choices(htsim.Routings()))
 		epochs      = fs.Int("epochs", 10, "budgeting epochs")
 		epochCycles = fs.Uint64("epoch-cycles", 1000, "cycles per epoch")
 		memTraffic  = fs.Bool("mem", false, "enable cache-hierarchy background traffic")
 		dualPath    = fs.Bool("dualpath", false, "enable the dual-path request-verification defense")
 		trace       = fs.Bool("trace", false, "print the per-epoch trace")
+		stream      = fs.Bool("stream", false, "stream per-epoch samples live while the campaign runs")
 		seed        = fs.Int64("seed", 1, "random seed")
 		parallel    = fs.Int("parallel", 0, "campaign workers (0 = one per CPU; 1 = sequential; results identical)")
 	)
@@ -56,29 +68,31 @@ func run(args []string) error {
 		return err
 	}
 
-	cfg := core.DefaultConfig()
-	cfg.Cores = *size
-	cfg.Epochs = *epochs
-	cfg.EpochCycles = *epochCycles
-	cfg.MemTraffic = *memTraffic
-	cfg.DualPathRequests = *dualPath
-	cfg.Seed = *seed
-	cfg.Workers = *parallel
-	alloc, err := budget.ByName(*allocName)
-	if err != nil {
-		return err
+	opts := []htsim.Option{
+		htsim.WithCores(*size),
+		htsim.WithTopology(*topology),
+		htsim.WithEpochs(*epochs),
+		htsim.WithEpochCycles(*epochCycles),
+		htsim.WithMemTraffic(*memTraffic),
+		htsim.WithDualPath(*dualPath),
+		htsim.WithSeed(*seed),
+		htsim.WithWorkers(*parallel),
+		htsim.WithAllocator(*allocName),
+		htsim.WithDefense(*defName),
+		htsim.WithGMPlacement(*gmPos),
 	}
-	cfg.Allocator = alloc
-	if *gmPos == "corner" {
-		cfg.GM = core.GMCorner
+	if *routing != "" {
+		opts = append(opts, htsim.WithRouting(*routing))
 	}
-	r, err := noc.RoutingByName(*routing)
-	if err != nil {
-		return err
+	if *stream {
+		opts = append(opts, htsim.WithObserver(&streamPrinter{}))
 	}
-	cfg.NoC.Routing = r
 
 	if *printConfig {
+		cfg, err := htsim.BuildConfig(opts...)
+		if err != nil {
+			return err
+		}
 		t, err := core.ConfigTableFor(cfg)
 		if err != nil {
 			return err
@@ -86,56 +100,45 @@ func run(args []string) error {
 		return results.WriteText(os.Stdout, t)
 	}
 
-	mix, err := workload.MixByName(*mixName)
+	sim, err := htsim.New(opts...)
 	if err != nil {
 		return err
 	}
-	sc, err := core.MixScenario(mix, *threads)
+	sc, err := htsim.MixScenario(*mixName, *threads)
 	if err != nil {
 		return err
 	}
-	sys, err := core.NewSystem(cfg)
-	if err != nil {
+	if sc.Strategy, err = htsim.Strategy(*strategy); err != nil {
 		return err
 	}
-	mesh := sys.Mesh()
-	gm := sys.ManagerNode()
+	if sc.Mode, err = htsim.AttackMode(*mode); err != nil {
+		return err
+	}
 
 	switch {
 	case *infection >= 0:
-		p, achieved := attack.ForInfectionRate(mesh, gm, *infection, mesh.Nodes()/4)
+		p, achieved := sim.TrojansForInfection(*infection)
 		fmt.Printf("placement for target infection %.2f: %d HTs (predicted %.3f)\n", *infection, p.Size(), achieved)
 		sc.Trojans = p
 	case *htCount > 0:
-		var p attack.Placement
-		switch *placement {
-		case "center":
-			p, err = attack.CenterCluster(mesh, *htCount, rand.New(rand.NewSource(*seed)), gm)
-		case "corner":
-			p, err = attack.CornerCluster(mesh, *htCount, rand.New(rand.NewSource(*seed)), gm)
-		case "ring":
-			p, err = attack.RingCluster(mesh, mesh.Coord(gm), *htCount, 2, gm)
-		case "random":
-			p, err = attack.RandomPlacement(mesh, *htCount, rand.New(rand.NewSource(*seed)), gm)
-		default:
-			return fmt.Errorf("unknown placement %q", *placement)
-		}
+		p, err := sim.Trojans(*placement, *htCount, *seed)
 		if err != nil {
 			return err
 		}
 		sc.Trojans = p
 	}
 
-	attacked, baseline, err := sys.RunPair(sc)
+	attacked, baseline, err := sim.RunPair(context.Background(), sc)
 	if err != nil {
 		return err
 	}
-	cmp, err := core.Compare(attacked, baseline)
+	cmp, err := htsim.Compare(attacked, baseline)
 	if err != nil {
 		return err
 	}
+	cfg := sim.Config()
 	fmt.Printf("chip: %d cores, GM at node %d, budget %.1f W, allocator %s\n",
-		cfg.Cores, sys.ManagerNode(), float64(attacked.ChipBudgetMW)/1000, cfg.Allocator.Name())
+		cfg.Cores, sim.ManagerNode(), float64(attacked.ChipBudgetMW)/1000, cfg.Allocator.Name())
 	if err := results.WriteText(os.Stdout, core.CampaignTableFor(cfg, attacked, cmp)); err != nil {
 		return err
 	}
@@ -143,7 +146,7 @@ func run(args []string) error {
 		cmp.Q, attacked.InfectionMeasured, attacked.InfectionPredicted, attacked.Trojan.Modified)
 	fmt.Printf("noc: %d packets delivered, avg POWER_REQ latency %.1f cycles\n",
 		attacked.Net.Delivered, attacked.Net.AvgLatency(noc.TypePowerReq))
-	if *dualPath {
+	if cfg.DualPathRequests {
 		fmt.Printf("dual-path voter: %d pairs, %d mismatches, %d unpaired\n",
 			attacked.DualPathPairs, attacked.DualPathMismatches, attacked.DualPathUnpaired)
 	}
@@ -153,6 +156,20 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// streamPrinter prints each epoch sample as it arrives — the CLI face of
+// the SDK's streaming Observer.
+type streamPrinter struct{}
+
+// ObserveEpoch implements htsim.Observer.
+func (*streamPrinter) ObserveEpoch(s htsim.EpochSample) {
+	state := "off"
+	if s.TrojanActive {
+		state = "ON"
+	}
+	fmt.Printf("epoch %2d  trojan %-3s  recv %3d  tampered %3d  grants %3d  infection %.3f\n",
+		s.Epoch, state, s.RequestsReceived, s.RequestsTampered, s.GrantsIssued, s.InfectionRunning)
 }
 
 // traceTable renders the per-epoch trace through the shared emitters; it

@@ -2,7 +2,8 @@
 // Fig 3 (infection vs HT count for center/corner managers at sizes 64 and
 // 512) and Fig 4 (infection vs system size for the three HT distributions
 // at HT counts of size/16 and size/8). Each figure is built through the
-// campaign registry (experiments E3–E6) and printed through the shared
+// campaign registry (experiments E3–E6, configurations assembled through
+// the pkg/htsim option pipeline) and printed through the shared
 // internal/results emitters, so the output here and the JSON/CSV written
 // by `htcampaign run` come from one code path.
 //

@@ -1,10 +1,11 @@
-// Defense study: the same API the attacker uses also quantifies
+// Defense study: the same SDK the attacker uses also quantifies
 // countermeasures. This example evaluates two architectural knobs the
 // paper's analysis suggests matter — where the global manager sits (Fig 3:
 // a corner manager's longer request paths are easier to intercept than a
 // central one's) and which routing algorithm forwards the requests
 // (deterministic XY paths are predictable for the attacker; adaptive
-// west-first routing perturbs paths when the network is loaded).
+// west-first routing perturbs paths when the network is loaded). Both
+// knobs are pkg/htsim options resolving registered plugin names.
 //
 // Infection rates are averaged over several independent random fleets so
 // the comparison reflects the architecture, not one lucky placement.
@@ -15,13 +16,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
 	"repro/internal/attack"
-	"repro/internal/core"
-	"repro/internal/noc"
+	"repro/pkg/htsim"
 )
 
 const (
@@ -33,17 +34,13 @@ func main() {
 	fmt.Println("defense study: mean infection rate and Q over", fleets, "random Trojan fleets")
 	fmt.Printf("%10s %12s %12s %10s\n", "manager", "routing", "infection", "Q")
 
-	for _, gm := range []core.GMPlacement{core.GMCorner, core.GMCenter} {
+	for _, gm := range []string{"corner", "center"} {
 		for _, routing := range []string{"xy", "west-first"} {
 			infection, q, err := evaluate(gm, routing)
 			if err != nil {
 				log.Fatal(err)
 			}
-			gmName := "corner"
-			if gm == core.GMCenter {
-				gmName = "center"
-			}
-			fmt.Printf("%10s %12s %12.3f %10.3f\n", gmName, routing, infection, q)
+			fmt.Printf("%10s %12s %12.3f %10.3f\n", gm, routing, infection, q)
 		}
 	}
 	fmt.Println("\na centrally placed manager shortens request paths and lowers the")
@@ -52,33 +49,29 @@ func main() {
 	fmt.Println("randomisation only pays off once the network is congested.")
 }
 
-func evaluate(gm core.GMPlacement, routing string) (infection, q float64, err error) {
-	cfg := core.DefaultConfig()
-	cfg.Cores = 64
-	cfg.MemTraffic = true // background traffic creates the congestion that
-	// lets adaptive routing diverge from XY
-	cfg.Epochs = 6
-	cfg.WarmupEpochs = 1
-	cfg.EpochCycles = 500
-	cfg.GM = gm
-	r, err := noc.RoutingByName(routing)
+func evaluate(gm, routing string) (infection, q float64, err error) {
+	sim, err := htsim.New(
+		htsim.WithCores(64),
+		htsim.WithMemTraffic(true), // background traffic creates the congestion
+		// that lets adaptive routing diverge from XY
+		htsim.WithEpochs(6),
+		htsim.WithWarmupEpochs(1),
+		htsim.WithEpochCycles(500),
+		htsim.WithGMPlacement(gm),
+		htsim.WithRouting(routing),
+	)
 	if err != nil {
 		return 0, 0, err
 	}
-	cfg.NoC.Routing = r
-
-	sys, err := core.NewSystem(cfg)
-	if err != nil {
-		return 0, 0, err
-	}
-	scenario := core.Scenario{
-		Apps: []core.AppSpec{
-			{Name: "freqmine", Threads: 16, Role: core.RoleAttacker},
-			{Name: "vips", Threads: 16, Role: core.RoleVictim},
-			{Name: "dedup", Threads: 16, Role: core.RoleVictim},
+	scenario := htsim.Scenario{
+		Apps: []htsim.AppSpec{
+			{Name: "freqmine", Threads: 16, Role: htsim.RoleAttacker},
+			{Name: "vips", Threads: 16, Role: htsim.RoleVictim},
+			{Name: "dedup", Threads: 16, Role: htsim.RoleVictim},
 		},
 	}
-	baseline, err := sys.Run(scenario.WithoutTrojans())
+	ctx := context.Background()
+	baseline, err := sim.Run(ctx, scenario.WithoutTrojans())
 	if err != nil {
 		return 0, 0, err
 	}
@@ -86,17 +79,17 @@ func evaluate(gm core.GMPlacement, routing string) (infection, q float64, err er
 	for i := 0; i < fleets; i++ {
 		// The defender moves the manager; the attacker's implants are
 		// random and never sit in either candidate manager router.
-		placement, err := attack.RandomPlacement(sys.Mesh(), fleetSize, rng,
-			sys.Mesh().Center(), sys.Mesh().Corner())
+		placement, err := attack.RandomPlacement(sim.Mesh(), fleetSize, rng,
+			sim.Mesh().Center(), sim.Mesh().Corner())
 		if err != nil {
 			return 0, 0, err
 		}
 		scenario.Trojans = placement
-		attacked, err := sys.Run(scenario)
+		attacked, err := sim.Run(ctx, scenario)
 		if err != nil {
 			return 0, 0, err
 		}
-		cmp, err := core.Compare(attacked, baseline)
+		cmp, err := htsim.Compare(attacked, baseline)
 		if err != nil {
 			return 0, 0, err
 		}

@@ -1,6 +1,7 @@
 // Placement optimisation: the attacker-side workflow of Section IV-C and
-// Eqns 9–11. The example samples random Trojan fleets, measures the attack
-// effect Q of each by simulation, fits the linear model
+// Eqns 9–11, driven through the pkg/htsim SDK. The example samples random
+// Trojan fleets, measures the attack effect Q of each by simulation, fits
+// the linear model
 //
 //	Q ≈ a1·ρ + a2·η + a3·m + Σ bj·Φγj + Σ ck·Φδk + a0,
 //
@@ -13,33 +14,26 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
 	"repro/internal/attack"
-	"repro/internal/core"
-	"repro/internal/workload"
+	"repro/pkg/htsim"
 )
 
 func main() {
-	cfg := core.DefaultConfig()
-	cfg.Cores = 64
-	cfg.MemTraffic = false
-
-	sys, err := core.NewSystem(cfg)
+	sim, err := htsim.New(htsim.WithCores(64), htsim.WithMemTraffic(false))
 	if err != nil {
 		log.Fatal(err)
 	}
-	mix, err := workload.MixByName("mix-2")
+	scenario, err := htsim.MixScenario("mix-2", 8)
 	if err != nil {
 		log.Fatal(err)
 	}
-	scenario, err := core.MixScenario(mix, 8)
-	if err != nil {
-		log.Fatal(err)
-	}
-	baseline, err := sys.Run(scenario.WithoutTrojans())
+	ctx := context.Background()
+	baseline, err := sim.Run(ctx, scenario.WithoutTrojans())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,16 +45,16 @@ func main() {
 	var samples []attack.Sample
 	fmt.Println("training campaigns (random placements):")
 	for i := 0; i < 12; i++ {
-		placement, err := attack.RandomPlacement(sys.Mesh(), 2+(i%maxFleet), rng, sys.ManagerNode())
+		placement, err := attack.RandomPlacement(sim.Mesh(), 2+(i%maxFleet), rng, sim.ManagerNode())
 		if err != nil {
 			log.Fatal(err)
 		}
 		scenario.Trojans = placement
-		attacked, err := sys.Run(scenario)
+		attacked, err := sim.Run(ctx, scenario)
 		if err != nil {
 			log.Fatal(err)
 		}
-		cmp, err := core.Compare(attacked, baseline)
+		cmp, err := htsim.Compare(attacked, baseline)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -80,7 +74,7 @@ func main() {
 
 	// 3. Solve Eqn 10 by exhaustive enumeration.
 	last := samples[len(samples)-1].Features
-	best, evaluated, err := attack.OptimizePlacement(sys.Mesh(), sys.ManagerNode(), model, attack.OptimizeOptions{
+	best, evaluated, err := attack.OptimizePlacement(sim.Mesh(), sim.ManagerNode(), model, attack.OptimizeOptions{
 		MaxHTs:      maxFleet,
 		VictimPhi:   last.VictimPhi,
 		AttackerPhi: last.AttackerPhi,
@@ -93,11 +87,11 @@ func main() {
 
 	// 4. Verify the optimised placement by simulation.
 	scenario.Trojans = best.Placement
-	attacked, err := sys.Run(scenario)
+	attacked, err := sim.Run(ctx, scenario)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cmp, err := core.Compare(attacked, baseline)
+	cmp, err := htsim.Compare(attacked, baseline)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,7 +1,7 @@
-// Quickstart: build the Table I chip, implant 12 hardware Trojans near the
-// global manager, run one attack campaign against mix-1, and print the
-// paper's headline measurements (infection rate, per-app Θ, attack effect
-// Q).
+// Quickstart: assemble the Table I chip with the pkg/htsim SDK, implant
+// 12 hardware Trojans near the global manager, run one attack campaign
+// against mix-1, and print the paper's headline measurements (infection
+// rate, per-app Θ, attack effect Q).
 //
 // Run with:
 //
@@ -9,57 +9,50 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/attack"
-	"repro/internal/core"
-	"repro/internal/workload"
+	"repro/pkg/htsim"
 )
 
 func main() {
 	// The Table I chip, shrunk to 64 cores so the example runs in seconds.
-	cfg := core.DefaultConfig()
-	cfg.Cores = 64
-	cfg.MemTraffic = false // budget-protocol-only: plenty for a first look
-
-	sys, err := core.NewSystem(cfg)
+	// Every axis is a named option; htsim.Axes() lists the alternatives.
+	sim, err := htsim.New(
+		htsim.WithCores(64),
+		htsim.WithMemTraffic(false), // budget-protocol-only: plenty for a first look
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// The Table III mix-1 workload: barnes+canneal attack
 	// blackscholes+raytrace, 8 threads each.
-	mix, err := workload.MixByName("mix-1")
-	if err != nil {
-		log.Fatal(err)
-	}
-	scenario, err := core.MixScenario(mix, 8)
+	scenario, err := htsim.MixScenario("mix-1", 8)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Implant 12 Trojans in a ring around the global manager — the
 	// highest-impact region (Section IV-B).
-	mesh := sys.Mesh()
-	gm := sys.ManagerNode()
-	placement, err := attack.RingCluster(mesh, mesh.Coord(gm), 12, 2, gm)
+	placement, err := sim.Trojans("ring", 12, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
 	scenario.Trojans = placement
 
 	// Run the campaign and its clean baseline.
-	attacked, baseline, err := sys.RunPair(scenario)
+	attacked, baseline, err := sim.RunPair(context.Background(), scenario)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cmp, err := core.Compare(attacked, baseline)
+	cmp, err := htsim.Compare(attacked, baseline)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("global manager at node %d, %d Trojans implanted\n", gm, placement.Size())
+	fmt.Printf("global manager at node %d, %d Trojans implanted\n", sim.ManagerNode(), placement.Size())
 	fmt.Printf("infection rate: %.2f (predicted %.2f)\n",
 		attacked.InfectionMeasured, attacked.InfectionPredicted)
 	for _, app := range cmp.PerApp {

@@ -1,8 +1,11 @@
-// Stealthy DoS: the Section III-B attack process end to end. The hacker
-// broadcasts CONFIG_CMD packets to duty-cycle the Trojans' activation
-// signal ON and OFF across budgeting epochs — the paper's suggestion for
-// evading detection — and the example shows how the victim's performance
-// and the infection rate respond to different duty cycles.
+// Stealthy DoS: the Section III-B attack process end to end, on the
+// pkg/htsim SDK. The hacker broadcasts CONFIG_CMD packets to duty-cycle
+// the Trojans' activation signal ON and OFF across budgeting epochs — the
+// paper's suggestion for evading detection — and the example shows how
+// the victim's performance and the infection rate respond to different
+// duty cycles. The payload rewrite is a custom trojan.Strategy value:
+// plugins resolve by name, but hand-built instances drop in wherever a
+// registered one would.
 //
 // Run with:
 //
@@ -10,42 +13,40 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/attack"
-	"repro/internal/core"
 	"repro/internal/trojan"
+	"repro/pkg/htsim"
 )
 
 func main() {
-	cfg := core.DefaultConfig()
-	cfg.Cores = 64
-	cfg.MemTraffic = false
-	cfg.Epochs = 12
-	cfg.WarmupEpochs = 2
-
-	sys, err := core.NewSystem(cfg)
+	sim, err := htsim.New(
+		htsim.WithCores(64),
+		htsim.WithMemTraffic(false),
+		htsim.WithEpochs(12),
+		htsim.WithWarmupEpochs(2),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	mesh := sys.Mesh()
-	gm := sys.ManagerNode()
-	placement, err := attack.RingCluster(mesh, mesh.Coord(gm), 8, 1, gm)
+	placement, err := sim.Trojans("ring", 8, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	scenario := core.Scenario{
-		Apps: []core.AppSpec{
-			{Name: "swaptions", Threads: 16, Role: core.RoleAttacker},
-			{Name: "blackscholes", Threads: 16, Role: core.RoleVictim},
+	scenario := htsim.Scenario{
+		Apps: []htsim.AppSpec{
+			{Name: "swaptions", Threads: 16, Role: htsim.RoleAttacker},
+			{Name: "blackscholes", Threads: 16, Role: htsim.RoleVictim},
 		},
 		Trojans:  placement,
 		Strategy: trojan.ScaleStrategy{VictimFactor: 0.2, BoostFactor: 1.5},
 	}
 
-	baseline, err := sys.Run(scenario.WithoutTrojans())
+	ctx := context.Background()
+	baseline, err := sim.Run(ctx, scenario.WithoutTrojans())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -58,21 +59,21 @@ func main() {
 		{1, 1},
 		{1, 3},
 	}
-	var traced *core.Report
+	var traced *htsim.Report
 	for _, d := range duties {
 		sc := scenario
 		sc.DutyOnEpochs, sc.DutyOffEpochs = d.on, d.off
-		attacked, err := sys.Run(sc)
+		attacked, err := sim.Run(ctx, sc)
 		if err != nil {
 			log.Fatal(err)
 		}
-		cmp, err := core.Compare(attacked, baseline)
+		cmp, err := htsim.Compare(attacked, baseline)
 		if err != nil {
 			log.Fatal(err)
 		}
 		victim := 0.0
 		for _, app := range cmp.PerApp {
-			if app.Role == core.RoleVictim {
+			if app.Role == htsim.RoleVictim {
 				victim = app.Change
 			}
 		}

@@ -1,0 +1,47 @@
+package attack
+
+import (
+	"math/rand"
+
+	"repro/internal/noc"
+	"repro/internal/registry"
+)
+
+// PlacementFunc generates a Trojan placement of the given size for one
+// chip: m is the topology, gm the global manager (always excluded from
+// the fleet), and rng the placement's own random stream (derive it from
+// the campaign seed for reproducibility; deterministic generators ignore
+// it).
+type PlacementFunc func(m noc.Mesh, gm noc.NodeID, count int, rng *rand.Rand) (Placement, error)
+
+// Placements is the placement-generator plugin registry ("center",
+// "corner", "random", "ring"), covering the Fig 4 distributions plus the
+// canonical near-manager ring of the X1/X2 studies (radius 2 around the
+// manager).
+var Placements = registry.New[PlacementFunc]("attack", "placement")
+
+func init() {
+	Placements.Register("center", func() PlacementFunc {
+		return func(m noc.Mesh, gm noc.NodeID, count int, rng *rand.Rand) (Placement, error) {
+			return CenterCluster(m, count, rng, gm)
+		}
+	})
+	Placements.Register("corner", func() PlacementFunc {
+		return func(m noc.Mesh, gm noc.NodeID, count int, rng *rand.Rand) (Placement, error) {
+			return CornerCluster(m, count, rng, gm)
+		}
+	})
+	Placements.Register("random", func() PlacementFunc {
+		return func(m noc.Mesh, gm noc.NodeID, count int, rng *rand.Rand) (Placement, error) {
+			return RandomPlacement(m, count, rng, gm)
+		}
+	})
+	Placements.Register("ring", func() PlacementFunc {
+		return func(m noc.Mesh, gm noc.NodeID, count int, _ *rand.Rand) (Placement, error) {
+			return RingCluster(m, m.Coord(gm), count, 2, gm)
+		}
+	})
+}
+
+// PlacementByName returns the named placement generator.
+func PlacementByName(name string) (PlacementFunc, error) { return Placements.Lookup(name) }

@@ -12,8 +12,9 @@
 package budget
 
 import (
-	"fmt"
 	"sort"
+
+	"repro/internal/registry"
 )
 
 // Request is one core's power solicitation as the global manager sees it.
@@ -65,26 +66,24 @@ func CloneAllocator(a Allocator) Allocator {
 	return a
 }
 
-// ByName returns the named allocator with default parameters.
-func ByName(name string) (Allocator, error) {
-	switch name {
-	case "fair":
-		return FairShare{}, nil
-	case "greedy":
-		return Greedy{}, nil
-	case "dp":
-		return NewDPKnapsack(50), nil
-	case "pi":
-		return NewPIController(0.5), nil
-	default:
-		return nil, fmt.Errorf("budget: unknown allocator %q", name)
-	}
+// Registry is the allocator plugin registry. The four built-in families
+// register here with default parameters; external axes (the SDK, the
+// campaign engine, CLI flags) resolve and enumerate allocators through it.
+var Registry = registry.New[Allocator]("budget", "allocator")
+
+func init() {
+	Registry.Register("fair", func() Allocator { return FairShare{} })
+	Registry.Register("greedy", func() Allocator { return Greedy{} })
+	Registry.Register("dp", func() Allocator { return NewDPKnapsack(50) })
+	Registry.Register("pi", func() Allocator { return NewPIController(0.5) })
 }
 
-// All returns one instance of every allocator, for ablations.
-func All() []Allocator {
-	return []Allocator{FairShare{}, Greedy{}, NewDPKnapsack(50), NewPIController(0.5)}
-}
+// ByName returns the named allocator with default parameters.
+func ByName(name string) (Allocator, error) { return Registry.Lookup(name) }
+
+// All returns one instance of every allocator, for ablations, in
+// registration order (fair, greedy, dp, pi).
+func All() []Allocator { return Registry.All() }
 
 // FairShare grants each core its request when the budget covers the total,
 // and scales all requests proportionally when it does not. This is the

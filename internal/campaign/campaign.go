@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"os"
 	"sort"
+
+	"repro/pkg/htsim"
 )
 
 // Params are the per-experiment knobs a spec may override. The zero value
@@ -53,6 +55,14 @@ type Params struct {
 	Mem *bool `json:"mem,omitempty"`
 	// Seed overrides the campaign seed for this experiment only.
 	Seed *int64 `json:"seed,omitempty"`
+	// Topology, Routing, Allocator, and Defense select registered plugins
+	// by name for the cycle-simulated experiments (E7–E10, X1, X2); empty
+	// keeps the Table I defaults. Names are validated against the
+	// pkg/htsim registries, so `htcampaign list` shows every legal value.
+	Topology  string `json:"topology,omitempty"`
+	Routing   string `json:"routing,omitempty"`
+	Allocator string `json:"allocator,omitempty"`
+	Defense   string `json:"defense,omitempty"`
 }
 
 // merge overlays the spec's overrides onto the experiment defaults.
@@ -103,6 +113,18 @@ func merge(def, over Params) Params {
 	if over.Seed != nil {
 		out.Seed = over.Seed
 	}
+	if over.Topology != "" {
+		out.Topology = over.Topology
+	}
+	if over.Routing != "" {
+		out.Routing = over.Routing
+	}
+	if over.Allocator != "" {
+		out.Allocator = over.Allocator
+	}
+	if over.Defense != "" {
+		out.Defense = over.Defense
+	}
 	return out
 }
 
@@ -130,7 +152,33 @@ func (p Params) validate() error {
 	if p.TargetInfection < 0 || p.TargetInfection >= 1 {
 		return fmt.Errorf("target infection %g outside [0, 1)", p.TargetInfection)
 	}
+	// Plugin names resolve through the SDK registries; building the config
+	// exercises the same code path the run will use.
+	if p.Topology != "" || p.Routing != "" || p.Allocator != "" || p.Defense != "" {
+		if _, err := htsim.BuildConfig(p.pluginOptions()...); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// pluginOptions translates the spec's plugin-name overrides into SDK
+// options.
+func (p Params) pluginOptions() []htsim.Option {
+	var opts []htsim.Option
+	if p.Topology != "" {
+		opts = append(opts, htsim.WithTopology(p.Topology))
+	}
+	if p.Routing != "" {
+		opts = append(opts, htsim.WithRouting(p.Routing))
+	}
+	if p.Allocator != "" {
+		opts = append(opts, htsim.WithAllocator(p.Allocator))
+	}
+	if p.Defense != "" {
+		opts = append(opts, htsim.WithDefense(p.Defense))
+	}
+	return opts
 }
 
 // ExperimentSpec selects one experiment and its overrides.

@@ -1,0 +1,74 @@
+package campaign
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParseSpec drives the campaign spec parser with arbitrary bytes. A
+// fuzz input may be rejected — that is the parser's job — but it must
+// never panic, and any spec it accepts must satisfy the engine's
+// invariants: a name, at least one experiment, unique registered IDs, a
+// non-negative seed, and parameters every experiment can run with (so
+// accepted specs re-validate cleanly and re-serialise to an equivalent,
+// again-accepted spec).
+func FuzzParseSpec(f *testing.F) {
+	seeds := []string{
+		`{"name": "paper", "experiments": [{"id": "E1"}]}`,
+		`{"name": "full", "seed": 7, "workers": 4, "experiments": [
+			{"id": "E3", "params": {"trials": 2, "ht_counts": [0, 4]}},
+			{"id": "E7", "params": {"mixes": ["mix-1"], "targets": [0, 0.5]}},
+			{"id": "X2", "params": {"hts": 8, "defense": "history-guard"}}
+		]}`,
+		`{"name": "plugins", "experiments": [
+			{"id": "E10", "params": {"topology": "torus", "routing": "torus-xy", "allocator": "pi"}}
+		]}`,
+		`{"name": "", "experiments": []}`,
+		`{"name": "dup", "experiments": [{"id": "E1"}, {"id": "E1"}]}`,
+		`{"name": "bad", "experiments": [{"id": "E99"}]}`,
+		`{"name": "neg", "seed": -1, "experiments": [{"id": "E2"}]}`,
+		`{"nope": true}`,
+		`[]`,
+		`{`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := ParseSpec(data)
+		if err != nil {
+			if spec != nil {
+				t.Fatal("ParseSpec returned both a spec and an error")
+			}
+			return
+		}
+		if spec.Name == "" {
+			t.Fatal("accepted spec without a name")
+		}
+		if len(spec.Experiments) == 0 {
+			t.Fatal("accepted spec without experiments")
+		}
+		if spec.Seed < 0 || spec.Workers < 0 {
+			t.Fatalf("accepted negative seed/workers: %d/%d", spec.Seed, spec.Workers)
+		}
+		seen := make(map[string]bool)
+		for _, e := range spec.Experiments {
+			if seen[e.ID] {
+				t.Fatalf("accepted duplicate experiment %q", e.ID)
+			}
+			seen[e.ID] = true
+		}
+		// Accepted specs must be stable under re-validation and under a
+		// serialise/parse round trip.
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("accepted spec fails re-validation: %v", err)
+		}
+		round, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("accepted spec does not serialise: %v", err)
+		}
+		if _, err := ParseSpec(round); err != nil {
+			t.Fatalf("round-tripped spec rejected: %v\nspec: %s", err, round)
+		}
+	})
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/results"
+	"repro/pkg/htsim"
 )
 
 // This file maps experiment IDs to their core table drivers and runs a
@@ -62,19 +63,24 @@ func Counts(max, n int) []int {
 	return out
 }
 
-// simConfig assembles a core.Config from resolved cycle-sim parameters.
-func simConfig(rc runCtx) core.Config {
-	cfg := core.DefaultConfig()
+// simConfig assembles a core.Config from resolved cycle-sim parameters
+// through the SDK's option pipeline, so spec-named plugins (topology,
+// routing, allocator, defense) resolve exactly as they would for any
+// other pkg/htsim consumer.
+func simConfig(rc runCtx) (core.Config, error) {
+	opts := []htsim.Option{
+		htsim.WithMemTraffic(rc.p.Mem != nil && *rc.p.Mem),
+		htsim.WithSeed(rc.seed),
+		htsim.WithWorkers(rc.workers),
+	}
 	if rc.p.Size != 0 {
-		cfg.Cores = rc.p.Size
+		opts = append(opts, htsim.WithCores(rc.p.Size))
 	}
 	if rc.p.Epochs != 0 {
-		cfg.Epochs = rc.p.Epochs
+		opts = append(opts, htsim.WithEpochs(rc.p.Epochs))
 	}
-	cfg.MemTraffic = rc.p.Mem != nil && *rc.p.Mem
-	cfg.Seed = rc.seed
-	cfg.Workers = rc.workers
-	return cfg
+	opts = append(opts, rc.p.pluginOptions()...)
+	return htsim.BuildConfig(opts...)
 }
 
 // effectCache memoizes core.EffectTables per resolved parameter set, so a
@@ -97,14 +103,19 @@ type effectPair struct {
 // running it on first use.
 func (c *effectCache) tables(rc runCtx) (*results.EffectTable, *results.AppEffectTable, error) {
 	key := results.HashConfig(struct {
-		Size    int       `json:"size"`
-		Mixes   []string  `json:"mixes"`
-		Threads int       `json:"threads"`
-		Epochs  int       `json:"epochs"`
-		Targets []float64 `json:"targets"`
-		Mem     bool      `json:"mem"`
-		Seed    int64     `json:"seed"`
-	}{rc.p.Size, rc.p.Mixes, rc.p.Threads, rc.p.Epochs, rc.p.Targets, rc.p.Mem != nil && *rc.p.Mem, rc.seed})
+		Size      int       `json:"size"`
+		Mixes     []string  `json:"mixes"`
+		Threads   int       `json:"threads"`
+		Epochs    int       `json:"epochs"`
+		Targets   []float64 `json:"targets"`
+		Mem       bool      `json:"mem"`
+		Seed      int64     `json:"seed"`
+		Topology  string    `json:"topology"`
+		Routing   string    `json:"routing"`
+		Allocator string    `json:"allocator"`
+		Defense   string    `json:"defense"`
+	}{rc.p.Size, rc.p.Mixes, rc.p.Threads, rc.p.Epochs, rc.p.Targets, rc.p.Mem != nil && *rc.p.Mem, rc.seed,
+		rc.p.Topology, rc.p.Routing, rc.p.Allocator, rc.p.Defense})
 	c.mu.Lock()
 	if c.m == nil {
 		c.m = make(map[string]*effectPair)
@@ -116,7 +127,12 @@ func (c *effectCache) tables(rc runCtx) (*results.EffectTable, *results.AppEffec
 	}
 	c.mu.Unlock()
 	pair.once.Do(func() {
-		pair.effect, pair.apps, pair.err = core.EffectTables(simConfig(rc), rc.p.Mixes, rc.p.Threads, rc.p.Targets)
+		cfg, err := simConfig(rc)
+		if err != nil {
+			pair.err = err
+			return
+		}
+		pair.effect, pair.apps, pair.err = core.EffectTables(cfg, rc.p.Mixes, rc.p.Threads, rc.p.Targets)
 	})
 	return pair.effect, pair.apps, pair.err
 }
@@ -127,7 +143,11 @@ var registry = map[string]entry{
 		title:    "Table I system configuration",
 		defaults: Params{Size: 256},
 		run: func(rc runCtx) (results.Table, error) {
-			return core.ConfigTableFor(simConfig(rc))
+			cfg, err := simConfig(rc)
+			if err != nil {
+				return nil, err
+			}
+			return core.ConfigTableFor(cfg)
 		},
 	},
 	"E2": {
@@ -202,7 +222,11 @@ var registry = map[string]entry{
 		title:    "Section V-C: optimal vs random Trojan placement",
 		defaults: Params{Size: 256, Mixes: paperMixes(), Threads: 64, Epochs: 10, HTs: 16, Samples: 16},
 		run: func(rc runCtx) (results.Table, error) {
-			return core.PlacementTableFor(simConfig(rc), rc.p.Mixes, rc.p.Threads, rc.p.HTs, rc.p.Samples, rc.seed)
+			cfg, err := simConfig(rc)
+			if err != nil {
+				return nil, err
+			}
+			return core.PlacementTableFor(cfg, rc.p.Mixes, rc.p.Threads, rc.p.HTs, rc.p.Samples, rc.seed)
 		},
 	},
 	"E10": {
@@ -210,7 +234,11 @@ var registry = map[string]entry{
 		title:    "Allocator ablation: Q under each budgeting algorithm",
 		defaults: Params{Size: 256, Mix: "mix-1", Threads: 64, Epochs: 10, TargetInfection: 0.7},
 		run: func(rc runCtx) (results.Table, error) {
-			return core.AblationTableFor(simConfig(rc), rc.p.Mix, rc.p.Threads, rc.p.TargetInfection)
+			cfg, err := simConfig(rc)
+			if err != nil {
+				return nil, err
+			}
+			return core.AblationTableFor(cfg, rc.p.Mix, rc.p.Threads, rc.p.TargetInfection)
 		},
 	},
 	"X1": {
@@ -218,7 +246,11 @@ var registry = map[string]entry{
 		title:    "DoS attack-class comparison (false-data / drop / loopback)",
 		defaults: Params{Size: 256, Mix: "mix-1", Threads: 64, Epochs: 10, HTs: 16},
 		run: func(rc runCtx) (results.Table, error) {
-			return core.VariantTableFor(simConfig(rc), rc.p.Mix, rc.p.Threads, rc.p.HTs)
+			cfg, err := simConfig(rc)
+			if err != nil {
+				return nil, err
+			}
+			return core.VariantTableFor(cfg, rc.p.Mix, rc.p.Threads, rc.p.HTs)
 		},
 	},
 	"X2": {
@@ -226,7 +258,11 @@ var registry = map[string]entry{
 		title:    "Manager-side defense study (duty-cycled attack)",
 		defaults: Params{Size: 256, Mix: "mix-1", Threads: 64, Epochs: 10, HTs: 16},
 		run: func(rc runCtx) (results.Table, error) {
-			return core.DefenseTableFor(simConfig(rc), rc.p.Mix, rc.p.Threads, rc.p.HTs)
+			cfg, err := simConfig(rc)
+			if err != nil {
+				return nil, err
+			}
+			return core.DefenseTableFor(cfg, rc.p.Mix, rc.p.Threads, rc.p.HTs)
 		},
 	},
 }

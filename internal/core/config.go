@@ -31,6 +31,11 @@ const (
 type Config struct {
 	// Cores is the number of tiles (Table I: 256).
 	Cores int
+	// Topology names the registered network topology the cores are laid
+	// out on ("mesh", "torus"); empty selects the paper's 2D mesh. A
+	// wraparound topology needs a wrap-aware routing algorithm (for
+	// example noc.TorusRouting) to actually use its extra links.
+	Topology string
 	// NoC is the on-chip network configuration (Table I defaults).
 	NoC noc.Config
 	// Mem is the cache-hierarchy configuration (Table I defaults).
@@ -102,6 +107,11 @@ func (c Config) Validate() error {
 	if c.Cores < 2 {
 		return errors.New("core: need at least two cores")
 	}
+	if c.Topology != "" {
+		if _, err := noc.TopologyByName(c.Topology); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+	}
 	if err := c.NoC.Validate(); err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
@@ -135,8 +145,19 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Mesh returns the mesh for the configured core count.
-func (c Config) Mesh() (noc.Mesh, error) { return noc.MeshForSize(c.Cores) }
+// Mesh returns the topology for the configured core count, resolving the
+// Topology name through the noc topology registry (empty means "mesh").
+func (c Config) Mesh() (noc.Mesh, error) {
+	name := c.Topology
+	if name == "" {
+		name = "mesh"
+	}
+	build, err := noc.TopologyByName(name)
+	if err != nil {
+		return noc.Mesh{}, err
+	}
+	return build(c.Cores)
+}
 
 // ManagerNode returns the manager's node ID for the configured placement.
 func (c Config) ManagerNode(m noc.Mesh) noc.NodeID {

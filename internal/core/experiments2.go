@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/attack"
-	"repro/internal/budget"
 	"repro/internal/defense"
 	"repro/internal/exp"
 	"repro/internal/trojan"
@@ -52,7 +51,7 @@ func DoSVariantStudy(cfg Config, mixName string, threads int, placement attack.P
 	if err != nil {
 		return nil, err
 	}
-	modes := []trojan.Mode{trojan.ModeFalseData, trojan.ModeDrop, trojan.ModeLoopback}
+	modes := trojan.Modes.All()
 	return exp.Run(cfg.Workers, len(modes), func(i int) (VariantResult, error) {
 		mode := modes[i]
 		vsc := sc
@@ -134,50 +133,44 @@ func DefenseStudy(cfg Config, mixName string, threads int, placement attack.Plac
 	for i := range levelsMW {
 		levelsMW[i] = cfg.Power.PowerMW(i)
 	}
-	rangeGuard, err := defense.NewRangeGuard(levelsMW)
-	if err != nil {
-		return nil, err
-	}
-	filters := []struct {
-		name     string
-		filter   budget.RequestFilter
-		dualPath bool
-	}{
-		{name: "none"},
-		{name: "range-guard", filter: rangeGuard},
-		{name: "history-guard", filter: defense.NewHistoryGuard(0.3, 0.4)},
-		{name: "both", filter: defense.NewChain(rangeGuard, defense.NewHistoryGuard(0.3, 0.4))},
-		{name: "dual-path", dualPath: true},
-		{name: "dual-path+range", filter: rangeGuard, dualPath: true},
-	}
-	// Every filter configuration is an independent chip: fan out over
-	// cfg.Workers. Stateful filters are cloned per run inside setup, so
-	// concurrent configurations never share detector state.
-	return exp.Run(cfg.Workers, len(filters), func(i int) (DefenseResult, error) {
-		f := filters[i]
+	names := defense.Registry.Names()
+	// Every registered defense configuration is an independent chip: fan
+	// out over cfg.Workers. Stateful filters are cloned per run inside
+	// setup, so concurrent configurations never share detector state.
+	return exp.Run(cfg.Workers, len(names), func(i int) (DefenseResult, error) {
+		name := names[i]
+		dcfg, err := defense.ByName(name)
+		if err != nil {
+			return DefenseResult{}, err
+		}
 		c := cfg
-		c.Filter = f.filter
-		c.DualPathRequests = f.dualPath
+		c.Filter = nil
+		if dcfg.Filter != nil {
+			if c.Filter, err = dcfg.Filter(levelsMW); err != nil {
+				return DefenseResult{}, err
+			}
+		}
+		c.DualPathRequests = dcfg.DualPath
 		sys, err := NewSystem(c)
 		if err != nil {
 			return DefenseResult{}, err
 		}
 		attacked, baseline, err := sys.RunPair(baseScenario)
 		if err != nil {
-			return DefenseResult{}, fmt.Errorf("core: defense %s: %w", f.name, err)
+			return DefenseResult{}, fmt.Errorf("core: defense %s: %w", name, err)
 		}
 		cmp, err := Compare(attacked, baseline)
 		if err != nil {
 			return DefenseResult{}, err
 		}
 		res := DefenseResult{
-			Defense:        f.name,
+			Defense:        name,
 			Q:              cmp.Q,
 			Flagged:        attacked.FlaggedRequests,
 			Repaired:       attacked.RepairedTampered,
 			FalsePositives: attacked.FlaggedRequests - attacked.RepairedTampered,
 		}
-		if f.dualPath {
+		if dcfg.DualPath {
 			res.Flagged += attacked.DualPathMismatches
 		}
 		return res, nil

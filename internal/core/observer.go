@@ -1,0 +1,58 @@
+package core
+
+// EpochSample is one typed streaming observation, emitted to an Observer
+// at the end of every budgeting epoch while a campaign runs. It extends
+// the trace's EpochRecord with the quantities a live consumer wants
+// without waiting for the final Report: the manager's grant activity,
+// the filter's flag count, and the running infection rate.
+type EpochSample struct {
+	EpochRecord
+	// GrantsIssued counts POWER_GRANT packets the manager issued for this
+	// epoch's allocation round.
+	GrantsIssued int
+	// FlaggedRequests is this epoch's delta of requests the manager-side
+	// filter marked suspect (zero without a configured defense).
+	FlaggedRequests uint64
+	// InfectionRunning is the cumulative infection rate observed at the
+	// manager through the end of this epoch — the streaming view of the
+	// Report's InfectionMeasured.
+	InfectionRunning float64
+}
+
+// Observer receives streaming per-epoch samples during a campaign. A
+// long-running service or live dashboard implements Observer to watch an
+// attack unfold instead of waiting for the end-of-run Report; to abort a
+// run early, cancel the context passed to RunContext — the simulation
+// stops within a fraction of an epoch. Samples arrive synchronously on
+// the simulation goroutine, in epoch order, warmup epochs included.
+type Observer interface {
+	// ObserveEpoch is called once per budgeting epoch, after the epoch's
+	// grants are issued and accounted.
+	ObserveEpoch(EpochSample)
+}
+
+// MultiObserver fans one sample stream out to several observers in order.
+// A nil or empty MultiObserver is a valid no-op observer.
+type MultiObserver []Observer
+
+var _ Observer = MultiObserver(nil)
+
+// ObserveEpoch implements Observer.
+func (m MultiObserver) ObserveEpoch(s EpochSample) {
+	for _, o := range m {
+		o.ObserveEpoch(s)
+	}
+}
+
+// sample assembles the streaming sample for the epoch just recorded (the
+// last entry of the trace).
+func (r *run) sample(grants int) EpochSample {
+	s := EpochSample{
+		EpochRecord:      r.trace[len(r.trace)-1],
+		GrantsIssued:     grants,
+		FlaggedRequests:  r.manager.FlaggedTotal - r.prevFlagged,
+		InfectionRunning: r.infection.Rate(),
+	}
+	r.prevFlagged = r.manager.FlaggedTotal
+	return s
+}

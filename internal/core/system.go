@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -85,7 +86,7 @@ type run struct {
 	// last seen memory stats, for per-epoch latency deltas
 	prevMissCount, prevMissLat uint64
 	// last seen manager counters, for per-epoch trace deltas
-	prevReceived, prevTampered uint64
+	prevReceived, prevTampered, prevFlagged uint64
 }
 
 var _ mem.Env = (*run)(nil)
@@ -101,6 +102,17 @@ func (r *run) Inject(p *noc.Packet) error { return r.net.Inject(p) }
 
 // Run executes one campaign and returns its report.
 func (s *System) Run(sc Scenario) (*Report, error) {
+	return s.RunContext(context.Background(), sc, nil)
+}
+
+// RunContext executes one campaign with cooperative cancellation and
+// optional streaming observation. The context is checked between epochs
+// and every few hundred cycles inside an epoch, so cancelling it — from
+// an observer callback included — stops the simulation promptly and
+// returns the context's error. obs, when non-nil, receives one typed
+// EpochSample per budgeting epoch as the run progresses (see Observer);
+// a nil obs streams nothing.
+func (s *System) RunContext(ctx context.Context, sc Scenario, obs Observer) (*Report, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
@@ -110,6 +122,9 @@ func (s *System) Run(sc Scenario) (*Report, error) {
 	}
 	active := false
 	for epoch := 0; epoch < s.cfg.Epochs; epoch++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		wantActive := sc.dutyActive(epoch)
 		if r.fleet != nil && (epoch == 0 || wantActive != active) {
 			r.broadcastConfig(sc, wantActive)
@@ -119,13 +134,18 @@ func (s *System) Run(sc Scenario) (*Report, error) {
 			active = wantActive
 		}
 		r.sendPowerRequests(epoch)
-		r.runEpochCycles()
-		r.deliverGrants()
+		if err := r.runEpochCycles(ctx); err != nil {
+			return nil, err
+		}
+		grants := r.deliverGrants()
 		r.updateMemLatency()
 		if epoch >= s.cfg.WarmupEpochs {
 			r.accountEpoch()
 		}
 		r.recordEpoch(epoch, active)
+		if obs != nil {
+			obs.ObserveEpoch(r.sample(grants))
+		}
 	}
 	r.drain()
 	return r.report(sc)
@@ -137,19 +157,29 @@ func (s *System) Run(sc Scenario) (*Report, error) {
 // filter), so they fan out over the worker pool; Config.Workers = 1 forces
 // the sequential order and produces bit-identical reports.
 func (s *System) RunPair(sc Scenario) (*Report, *Report, error) {
+	return s.RunPairContext(context.Background(), sc, nil)
+}
+
+// RunPairContext is RunPair with cooperative cancellation and optional
+// streaming observation. Cancelling ctx aborts both runs through the
+// worker pool. The observer, when non-nil, streams the attacked run only:
+// interleaving two concurrent runs' samples into one callback would make
+// the stream unreadable, and the baseline's epochs carry no attack
+// signal.
+func (s *System) RunPairContext(ctx context.Context, sc Scenario, obs Observer) (*Report, *Report, error) {
 	workers := exp.Workers(s.cfg.Workers)
 	if workers > 2 {
 		workers = 2
 	}
-	reports, err := exp.Run(workers, 2, func(i int) (*Report, error) {
+	reports, err := exp.RunCtx(ctx, workers, 2, func(ctx context.Context, i int) (*Report, error) {
 		if i == 0 {
-			attacked, err := s.Run(sc)
+			attacked, err := s.RunContext(ctx, sc, obs)
 			if err != nil {
 				return nil, fmt.Errorf("core: attacked run: %w", err)
 			}
 			return attacked, nil
 		}
-		baseline, err := s.Run(sc.WithoutTrojans())
+		baseline, err := s.RunContext(ctx, sc.WithoutTrojans(), nil)
 		if err != nil {
 			return nil, fmt.Errorf("core: baseline run: %w", err)
 		}
@@ -400,10 +430,16 @@ func (r *run) sendPowerRequests(epoch int) {
 }
 
 // runEpochCycles advances the chip by one epoch, generating cache traffic
-// along the way.
-func (r *run) runEpochCycles() {
+// along the way. The context is polled every 512 cycles so cancellation
+// interrupts even very long epochs promptly.
+func (r *run) runEpochCycles(ctx context.Context) error {
 	cfg := r.sys.cfg
 	for c := uint64(0); c < cfg.EpochCycles; c++ {
+		if c&511 == 511 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		if r.memsys != nil {
 			r.generateTraffic()
 		}
@@ -412,6 +448,7 @@ func (r *run) runEpochCycles() {
 			panic(fmt.Sprintf("core: kernel: %v", err))
 		}
 	}
+	return nil
 }
 
 // generateTraffic lets each application core issue memory operations at its
@@ -433,8 +470,9 @@ func (r *run) generateTraffic() {
 	}
 }
 
-// deliverGrants runs the manager's epoch allocation and ships the grants.
-func (r *run) deliverGrants() {
+// deliverGrants runs the manager's epoch allocation, ships the grants,
+// and returns how many were issued.
+func (r *run) deliverGrants() int {
 	if r.voter != nil {
 		// Copies whose duplicates were destroyed still feed the allocator
 		// (the core must not starve), and count as anomalies.
@@ -445,12 +483,14 @@ func (r *run) deliverGrants() {
 			})
 		}
 	}
-	for _, g := range r.manager.AllocateEpoch() {
+	grants := r.manager.AllocateEpoch()
+	for _, g := range grants {
 		p := &noc.Packet{Src: r.sys.gm, Dst: g.Core, Type: noc.TypePowerGrant, Payload: g.GrantMW}
 		if err := r.net.Inject(p); err != nil {
 			panic(fmt.Sprintf("core: grant: %v", err))
 		}
 	}
+	return len(grants)
 }
 
 // updateMemLatency folds the epoch's observed miss latency into the IPC

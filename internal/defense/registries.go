@@ -1,0 +1,56 @@
+package defense
+
+import (
+	"repro/internal/budget"
+	"repro/internal/registry"
+)
+
+// Config is one named, deployable defense configuration: an optional
+// manager-side request filter plus the route-diverse dual-path switch.
+// The registered configurations are exactly the rows of the X2 defense
+// study, so a spec or SDK option can select any studied countermeasure by
+// its table name.
+type Config struct {
+	// Filter builds the request filter from the chip's DVFS level table in
+	// milliwatts (ascending); nil when the configuration installs none.
+	Filter func(levelsMW []uint32) (budget.RequestFilter, error)
+	// DualPath enables dual-path request verification (each core sends its
+	// request over XY and YX routes and the manager's voter compares them).
+	DualPath bool
+}
+
+// Registry is the defense plugin registry ("none", "range-guard",
+// "history-guard", "both", "dual-path", "dual-path+range").
+var Registry = registry.New[Config]("defense", "defense")
+
+// studyHistoryGuard builds the history guard with the X2 study's
+// parameters (EWMA weight 0.3, ±40 % tolerance).
+func studyHistoryGuard(_ []uint32) (budget.RequestFilter, error) {
+	return NewHistoryGuard(0.3, 0.4), nil
+}
+
+// studyRangeGuard builds the range guard from the DVFS table.
+func studyRangeGuard(levelsMW []uint32) (budget.RequestFilter, error) {
+	return NewRangeGuard(levelsMW)
+}
+
+func init() {
+	Registry.Register("none", func() Config { return Config{} })
+	Registry.Register("range-guard", func() Config { return Config{Filter: studyRangeGuard} })
+	Registry.Register("history-guard", func() Config { return Config{Filter: studyHistoryGuard} })
+	Registry.Register("both", func() Config {
+		return Config{Filter: func(levelsMW []uint32) (budget.RequestFilter, error) {
+			rg, err := NewRangeGuard(levelsMW)
+			if err != nil {
+				return nil, err
+			}
+			return NewChain(rg, NewHistoryGuard(0.3, 0.4)), nil
+		}}
+	})
+	Registry.Register("dual-path", func() Config { return Config{DualPath: true} })
+	Registry.Register("dual-path+range", func() Config { return Config{Filter: studyRangeGuard, DualPath: true} })
+	Registry.Alias("range+history", "both")
+}
+
+// ByName returns the named defense configuration.
+func ByName(name string) (Config, error) { return Registry.Lookup(name) }

@@ -15,6 +15,7 @@
 package exp
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -40,6 +41,17 @@ func TrialSeed(base int64, trial int) int64 { return base + int64(trial) }
 // fail; the error of the lowest-indexed failing trial is returned, so the
 // reported error is as deterministic as the results.
 func Run[T any](workers, trials int, fn func(trial int) (T, error)) ([]T, error) {
+	return RunCtx(context.Background(), workers, trials, func(_ context.Context, trial int) (T, error) {
+		return fn(trial)
+	})
+}
+
+// RunCtx is Run with cooperative cancellation: no new trial starts once
+// ctx is done, the trial function receives ctx so long-running trials can
+// stop mid-flight, and a cancelled pool returns ctx's error (taking
+// precedence over per-trial errors, which on cancellation are expected
+// casualties rather than results).
+func RunCtx[T any](ctx context.Context, workers, trials int, fn func(ctx context.Context, trial int) (T, error)) ([]T, error) {
 	if trials <= 0 {
 		return nil, nil
 	}
@@ -50,8 +62,8 @@ func Run[T any](workers, trials int, fn func(trial int) (T, error)) ([]T, error)
 		workers = trials
 	}
 	if workers == 1 {
-		for i := 0; i < trials; i++ {
-			results[i], errs[i] = fn(i)
+		for i := 0; i < trials && ctx.Err() == nil; i++ {
+			results[i], errs[i] = fn(ctx, i)
 		}
 	} else {
 		var next atomic.Int64
@@ -60,16 +72,19 @@ func Run[T any](workers, trials int, fn func(trial int) (T, error)) ([]T, error)
 		for w := 0; w < workers; w++ {
 			go func() {
 				defer wg.Done()
-				for {
+				for ctx.Err() == nil {
 					i := int(next.Add(1)) - 1
 					if i >= trials {
 						return
 					}
-					results[i], errs[i] = fn(i)
+					results[i], errs[i] = fn(ctx, i)
 				}
 			}()
 		}
 		wg.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	for _, err := range errs {
 		if err != nil {

@@ -3,9 +3,12 @@ package metrics
 import "repro/internal/noc"
 
 // InfectionRateXY is the closed-form infection-rate predictor for
-// deterministic XY routing: the fraction of source nodes whose power
-// requests cross at least one infected router on the way to the global
-// manager. Sources defaults to every node except the manager when nil.
+// deterministic dimension-order routing: the fraction of source nodes
+// whose power requests cross at least one infected router on the way to
+// the global manager. The walked path is Mesh.PathXY's — straight-line XY
+// on a plain mesh, the minimal wraparound path of TorusRouting on a
+// torus — so prediction and simulation trace the same routers on either
+// topology. Sources defaults to every node except the manager when nil.
 // Both endpoints count: an HT in the source's own router or in the
 // manager's router sees the packet at its RC stage.
 func InfectionRateXY(m noc.Mesh, gm noc.NodeID, infected map[noc.NodeID]bool, sources []noc.NodeID) float64 {
@@ -32,29 +35,14 @@ func InfectionRateXY(m noc.Mesh, gm noc.NodeID, infected map[noc.NodeID]bool, so
 	return float64(hit) / float64(len(sources))
 }
 
-// pathCrossesInfected walks the XY path without materialising it.
+// pathCrossesInfected walks the PathXY route without materialising it.
 func pathCrossesInfected(m noc.Mesh, src, dst noc.NodeID, infected map[noc.NodeID]bool) bool {
-	cs, cd := m.Coord(src), m.Coord(dst)
-	c := cs
+	c, cd := m.Coord(src), m.Coord(dst)
 	if infected[m.ID(c)] {
 		return true
 	}
-	for c.X != cd.X {
-		if c.X < cd.X {
-			c.X++
-		} else {
-			c.X--
-		}
-		if infected[m.ID(c)] {
-			return true
-		}
-	}
-	for c.Y != cd.Y {
-		if c.Y < cd.Y {
-			c.Y++
-		} else {
-			c.Y--
-		}
+	for c != cd {
+		c = m.StepToward(c, cd)
 		if infected[m.ID(c)] {
 			return true
 		}

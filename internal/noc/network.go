@@ -51,6 +51,16 @@ func (c Config) Validate() error {
 	case c.AltRouting != nil && c.VCs < 2:
 		return errors.New("noc: a second traffic class needs at least two virtual channels")
 	}
+	// Dateline VC management splits a class's VC range in half, so every
+	// wrap-routed class needs at least two channels of its own.
+	for class := 0; class < 2; class++ {
+		if _, wrap := c.classRouting(class).(WrapRouting); !wrap {
+			continue
+		}
+		if lo, hi := c.classVCRange(class); hi-lo < 2 {
+			return errors.New("noc: wraparound routing needs at least two virtual channels per traffic class (for dateline management)")
+		}
+	}
 	return nil
 }
 
@@ -270,6 +280,12 @@ type Network struct {
 	// divide/modulo out of the switch-allocation loop.
 	saDir []Direction
 
+	// dateline flags the traffic classes whose routing traverses
+	// wraparound links; VC allocation then bands the class's VC range into
+	// a pre-dateline lower half and a post-dateline upper half, which
+	// breaks the ring channel-dependency cycles of the torus.
+	dateline [2]bool
+
 	// flitPool recycles Flit objects between ejection and injection so
 	// steady-state traffic does not churn the garbage collector.
 	flitPool []*Flit
@@ -289,6 +305,12 @@ func New(mesh Mesh, cfg Config) (*Network, error) {
 	}
 	if mesh.Nodes() == 0 {
 		return nil, errors.New("noc: empty mesh")
+	}
+	for class := 0; class < 2; class++ {
+		alg := cfg.classRouting(class)
+		if _, wrap := alg.(WrapRouting); wrap && !mesh.Wrap {
+			return nil, fmt.Errorf("noc: %s routing requires a wraparound topology", alg.Name())
+		}
 	}
 	n := &Network{
 		mesh:     mesh,
@@ -310,6 +332,9 @@ func New(mesh Mesh, cfg Config) (*Network, error) {
 	n.saDir = make([]Direction, vcsPerRouter)
 	for i := range n.saDir {
 		n.saDir[i] = Direction(i / cfg.VCs)
+	}
+	for class := 0; class < 2; class++ {
+		_, n.dateline[class] = cfg.classRouting(class).(WrapRouting)
 	}
 	n.freeFn = func(d Direction) bool {
 		return n.downstreamHasFreeVC(n.freeFrom, d, n.freeClass)
@@ -374,6 +399,7 @@ func (n *Network) Inject(p *Packet) error {
 	p.InjectedAt = n.now
 	p.OriginalPayload = p.Payload
 	p.rx = 0
+	p.dlDim, p.dlCrossed = 0, false
 	ni := n.nis[p.Src]
 	count := p.FlitCount()
 	if count == 1 {
@@ -673,15 +699,38 @@ func (n *Network) vcAllocate() {
 				// Routing algorithms never route off-mesh; defensive.
 				continue
 			}
+			p := vc.peek().Packet
 			base := int(vc.route.Opposite()) * n.cfg.VCs
-			lo, hi := n.cfg.classVCRange(vc.peek().Packet.Class)
+			lo, hi := n.cfg.classVCRange(p.Class)
+			dim, crossed, wrap := int8(0), false, false
+			if n.dateline[p.Class] {
+				// Dateline banding: the class's VC range splits into a
+				// pre-dateline lower half and a post-dateline upper half.
+				// A packet rides the lower band until its hop crosses the
+				// current dimension's wraparound link, then the upper band
+				// for the rest of that dimension; switching dimensions
+				// resets it. Each unidirectional ring's dependency chain is
+				// therefore acyclic, which keeps the torus deadlock-free.
+				dim = dimOf(vc.route)
+				crossed = p.dlCrossed && p.dlDim == dim
+				wrap = n.mesh.wrapsAt(r.id, vc.route)
+				half := (hi - lo) / 2
+				if crossed || wrap {
+					lo += half
+				} else {
+					hi = lo + half
+				}
+			}
 			dvcs := n.routers[nb].vcs
 			for out := lo; out < hi; out++ {
 				if dvc := &dvcs[base+out]; dvc.free() {
-					dvc.owner = vc.peek().Packet
+					dvc.owner = p
 					vc.outVC = out
 					vc.outVCValid = true
 					vc.reservedDst = dvc
+					if n.dateline[p.Class] {
+						p.dlDim, p.dlCrossed = dim, crossed || wrap
+					}
 					break
 				}
 			}
@@ -750,6 +799,19 @@ func (n *Network) arbitrateOutput(r *router, out Direction, usedInput *[numDirec
 			vc.reset()
 		}
 		return
+	}
+}
+
+// dimOf maps a direction to its mesh dimension for dateline tracking:
+// 1 for the X axis (east/west), 2 for Y (north/south), 0 for Local.
+func dimOf(d Direction) int8 {
+	switch d {
+	case East, West:
+		return 1
+	case North, South:
+		return 2
+	default:
+		return 0
 	}
 }
 

@@ -1,6 +1,6 @@
 package noc
 
-import "fmt"
+import "repro/internal/registry"
 
 // RoutingAlgorithm decides the output port for a packet at a router.
 // Implementations must be deadlock-free on a 2D mesh.
@@ -115,16 +115,74 @@ func (WestFirstRouting) Route(m Mesh, cur, dst NodeID, free func(Direction) bool
 	return candidates[0]
 }
 
-// RoutingByName returns the named algorithm, for CLI flag parsing.
-func RoutingByName(name string) (RoutingAlgorithm, error) {
-	switch name {
-	case "xy":
-		return XYRouting{}, nil
-	case "yx":
-		return YXRouting{}, nil
-	case "west-first", "westfirst", "adaptive":
-		return WestFirstRouting{}, nil
-	default:
-		return nil, fmt.Errorf("noc: unknown routing algorithm %q", name)
+// TorusRouting is minimal dimension-order routing for wraparound tori:
+// fully in X, then in Y, always along the shorter way around each ring
+// (ties go to the positive — east/south — direction). On its own it would
+// deadlock on the ring channels; the network breaks those cycles with
+// dateline virtual-channel management (see WrapRouting), which is why the
+// algorithm carries the marker method and Config.Validate demands at
+// least two virtual channels per traffic class for it.
+type TorusRouting struct{}
+
+var _ RoutingAlgorithm = TorusRouting{}
+var _ WrapRouting = TorusRouting{}
+
+// Name implements RoutingAlgorithm.
+func (TorusRouting) Name() string { return "torus-xy" }
+
+// UsesWraparound implements WrapRouting.
+func (TorusRouting) UsesWraparound() {}
+
+// Route implements RoutingAlgorithm.
+func (TorusRouting) Route(m Mesh, cur, dst NodeID, _ func(Direction) bool) Direction {
+	cc, cd := m.Coord(cur), m.Coord(dst)
+	if d := torusStep(cc.X, cd.X, m.Width, East, West); d != Local {
+		return d
 	}
+	return torusStep(cc.Y, cd.Y, m.Height, South, North)
 }
+
+// torusStep picks the minimal ring direction along one dimension, or Local
+// when the coordinate already matches. Ties (opposite ways equally long)
+// break toward the positive direction, matching Mesh.PathXY on wrapped
+// meshes so the analytic path model traces the same routers the router
+// pipeline uses.
+func torusStep(cur, dst, k int, pos, neg Direction) Direction {
+	if cur == dst {
+		return Local
+	}
+	fwd := ((dst - cur) + k) % k
+	if fwd <= k-fwd {
+		return pos
+	}
+	return neg
+}
+
+// WrapRouting marks routing algorithms that traverse wraparound links.
+// The network enables dateline virtual-channel management for the traffic
+// classes routed by a WrapRouting: within the class's VC range the lower
+// half carries packets that have not yet crossed the current dimension's
+// wraparound link and the upper half those that have, which breaks the
+// channel-dependency cycles of the rings and keeps the torus
+// deadlock-free.
+type WrapRouting interface {
+	RoutingAlgorithm
+	// UsesWraparound is the marker method.
+	UsesWraparound()
+}
+
+// Routings is the routing-algorithm plugin registry ("xy", "yx",
+// "west-first", "torus-xy", with "westfirst" and "adaptive" as aliases).
+var Routings = registry.New[RoutingAlgorithm]("noc", "routing algorithm")
+
+func init() {
+	Routings.Register("xy", func() RoutingAlgorithm { return XYRouting{} })
+	Routings.Register("yx", func() RoutingAlgorithm { return YXRouting{} })
+	Routings.Register("west-first", func() RoutingAlgorithm { return WestFirstRouting{} })
+	Routings.Register("torus-xy", func() RoutingAlgorithm { return TorusRouting{} })
+	Routings.Alias("westfirst", "west-first")
+	Routings.Alias("adaptive", "west-first")
+}
+
+// RoutingByName returns the named algorithm, for CLI flag parsing.
+func RoutingByName(name string) (RoutingAlgorithm, error) { return Routings.Lookup(name) }

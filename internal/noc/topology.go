@@ -8,7 +8,11 @@
 // The network exposes that point as the Inspector interface.
 package noc
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/registry"
+)
 
 // NodeID identifies one tile (core + caches + router) in the mesh.
 type NodeID int
@@ -18,9 +22,14 @@ type Coord struct {
 	X, Y int
 }
 
-// Mesh describes a Width×Height 2D mesh.
+// Mesh describes a Width×Height 2D grid topology. With Wrap unset it is
+// the paper's plain 2D mesh; with Wrap set every row and column closes
+// into a ring (a 2D torus), Neighbor wraps at the edges, and the distance
+// and path helpers measure along the shorter way around each ring.
 type Mesh struct {
 	Width, Height int
+	// Wrap adds wraparound links: the topology becomes a 2D torus.
+	Wrap bool
 }
 
 // MeshForSize returns the most-square mesh with Width ≥ Height whose node
@@ -41,6 +50,37 @@ func MeshForSize(n int) (Mesh, error) {
 	}
 	return best, nil
 }
+
+// TorusForSize returns the most-square 2D torus whose node count is
+// exactly n: the MeshForSize factorisation with wraparound links. Sizes
+// whose best factorisation degenerates to a single row or column are
+// rejected — a 1-wide ring would make a node its own neighbour.
+func TorusForSize(n int) (Mesh, error) {
+	m, err := MeshForSize(n)
+	if err != nil {
+		return Mesh{}, err
+	}
+	if m.Width < 2 || m.Height < 2 {
+		return Mesh{}, fmt.Errorf("noc: size %d has no torus factorisation (needs at least 2x2)", n)
+	}
+	m.Wrap = true
+	return m, nil
+}
+
+// TopologyFunc builds the topology for a core count — the registered
+// constructor form of MeshForSize and TorusForSize.
+type TopologyFunc func(cores int) (Mesh, error)
+
+// Topologies is the topology plugin registry ("mesh", "torus").
+var Topologies = registry.New[TopologyFunc]("noc", "topology")
+
+func init() {
+	Topologies.Register("mesh", func() TopologyFunc { return MeshForSize })
+	Topologies.Register("torus", func() TopologyFunc { return TorusForSize })
+}
+
+// TopologyByName returns the named topology constructor.
+func TopologyByName(name string) (TopologyFunc, error) { return Topologies.Lookup(name) }
 
 // Nodes returns the total node count.
 func (m Mesh) Nodes() int { return m.Width * m.Height }
@@ -66,10 +106,38 @@ func (m Mesh) Center() NodeID {
 // Corner returns the node at the north-west corner (0, 0).
 func (m Mesh) Corner() NodeID { return m.ID(Coord{}) }
 
-// ManhattanDistance returns the Manhattan (hop) distance between two nodes.
+// ManhattanDistance returns the Manhattan (hop) distance between two
+// nodes; on a wrapped mesh each dimension measures the shorter way around
+// its ring.
 func (m Mesh) ManhattanDistance(a, b NodeID) int {
 	ca, cb := m.Coord(a), m.Coord(b)
-	return abs(ca.X-cb.X) + abs(ca.Y-cb.Y)
+	return m.axisDist(ca.X, cb.X, m.Width) + m.axisDist(ca.Y, cb.Y, m.Height)
+}
+
+// axisDist is the one-dimensional hop distance, wrap-aware.
+func (m Mesh) axisDist(a, b, k int) int {
+	d := abs(a - b)
+	if m.Wrap && k-d < d {
+		return k - d
+	}
+	return d
+}
+
+// stepCoord advances one coordinate a single hop toward its destination:
+// straight-line on a plain mesh, the shorter way around the ring (ties to
+// the positive direction, matching TorusRouting) on a wrapped one.
+func (m Mesh) stepCoord(cur, dst, k int) int {
+	if !m.Wrap {
+		if cur < dst {
+			return cur + 1
+		}
+		return cur - 1
+	}
+	fwd := ((dst - cur) + k) % k
+	if fwd <= k-fwd {
+		return (cur + 1) % k
+	}
+	return (cur - 1 + k) % k
 }
 
 // Direction identifies a router port. Local is deliberately the zero value:
@@ -124,7 +192,8 @@ func (d Direction) Opposite() Direction {
 }
 
 // Neighbor returns the node adjacent to id in direction d and true, or
-// (0, false) at a mesh edge or for Local.
+// (0, false) at a mesh edge or for Local. On a wrapped mesh every
+// direction has a neighbour: edges wrap around to the opposite side.
 func (m Mesh) Neighbor(id NodeID, d Direction) (NodeID, bool) {
 	c := m.Coord(id)
 	switch d {
@@ -140,33 +209,61 @@ func (m Mesh) Neighbor(id NodeID, d Direction) (NodeID, bool) {
 		return 0, false
 	}
 	if !m.Contains(c) {
-		return 0, false
+		if !m.Wrap {
+			return 0, false
+		}
+		c.X = (c.X + m.Width) % m.Width
+		c.Y = (c.Y + m.Height) % m.Height
 	}
 	return m.ID(c), true
 }
 
-// PathXY returns the sequence of routers an XY-routed packet traverses from
-// src to dst, inclusive of both endpoints. This is the closed-form path
-// model used by the fast infection-rate predictor.
-func (m Mesh) PathXY(src, dst NodeID) []NodeID {
-	cs, cd := m.Coord(src), m.Coord(dst)
-	path := make([]NodeID, 0, abs(cs.X-cd.X)+abs(cs.Y-cd.Y)+1)
-	c := cs
-	path = append(path, m.ID(c))
-	for c.X != cd.X {
-		if c.X < cd.X {
-			c.X++
-		} else {
-			c.X--
-		}
-		path = append(path, m.ID(c))
+// wrapsAt reports whether a hop from id in direction d crosses the
+// wraparound link of its ring — the dateline of that dimension.
+func (m Mesh) wrapsAt(id NodeID, d Direction) bool {
+	if !m.Wrap {
+		return false
 	}
-	for c.Y != cd.Y {
-		if c.Y < cd.Y {
-			c.Y++
-		} else {
-			c.Y--
-		}
+	c := m.Coord(id)
+	switch d {
+	case East:
+		return c.X == m.Width-1
+	case West:
+		return c.X == 0
+	case South:
+		return c.Y == m.Height-1
+	case North:
+		return c.Y == 0
+	default:
+		return false
+	}
+}
+
+// StepToward advances c one hop along the primary-class dimension-order
+// route toward dst: fully in X first, then in Y — straight-line on a
+// plain mesh (XYRouting's path), shorter way around each ring on a
+// wrapped one (TorusRouting's path). c must differ from dst.
+func (m Mesh) StepToward(c, dst Coord) Coord {
+	if c.X != dst.X {
+		c.X = m.stepCoord(c.X, dst.X, m.Width)
+		return c
+	}
+	c.Y = m.stepCoord(c.Y, dst.Y, m.Height)
+	return c
+}
+
+// PathXY returns the sequence of routers a primary-class packet traverses
+// from src to dst, inclusive of both endpoints. This is the closed-form
+// path model used by the fast infection-rate predictor: XY routing on a
+// plain mesh, and on a wrapped mesh the minimal dimension-order path of
+// TorusRouting (shorter way around each ring, ties broken toward
+// east/south).
+func (m Mesh) PathXY(src, dst NodeID) []NodeID {
+	c, cd := m.Coord(src), m.Coord(dst)
+	path := make([]NodeID, 0, m.ManhattanDistance(src, dst)+1)
+	path = append(path, m.ID(c))
+	for c != cd {
+		c = m.StepToward(c, cd)
 		path = append(path, m.ID(c))
 	}
 	return path
@@ -174,7 +271,9 @@ func (m Mesh) PathXY(src, dst NodeID) []NodeID {
 
 // PathYX returns the routers a YX-routed packet traverses from src to dst,
 // inclusive of both endpoints — the alternate-class path of the dual-path
-// defense.
+// defense. It deliberately ignores wraparound links even on a torus: the
+// alternate class is routed by YXRouting, whose coordinate-compare
+// routing never takes them.
 func (m Mesh) PathYX(src, dst NodeID) []NodeID {
 	cs, cd := m.Coord(src), m.Coord(dst)
 	path := make([]NodeID, 0, abs(cs.X-cd.X)+abs(cs.Y-cd.Y)+1)

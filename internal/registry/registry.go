@@ -1,0 +1,135 @@
+// Package registry provides the generic plugin registry behind every
+// swappable axis of the simulator — topologies, routing algorithms, budget
+// allocators, manager-side defenses, Trojan strategies and attack modes,
+// workload profiles, mixes, and placement generators. Each axis package
+// declares one Registry[T] and registers its implementations by name at
+// init time; the SDK (pkg/htsim), the CLIs, and the campaign engine all
+// resolve and enumerate plugins through it, so an implementation
+// registered once is discoverable everywhere with a single shared
+// "unknown name" error path.
+package registry
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Registry is a named collection of plugin factories for one axis. Names
+// keep their registration order, which makes Names and All deterministic:
+// each axis registers its plugins from a single init function, so the
+// order is fixed at compile time (and matches the historical hand-rolled
+// lists the registry replaced). A Registry is safe for concurrent lookups;
+// registration is expected to happen at package init time.
+type Registry[T any] struct {
+	// kind labels the axis in error messages, e.g. "budget: unknown
+	// allocator ...".
+	pkg, kind string
+
+	mu      sync.RWMutex
+	names   []string // canonical names in registration order
+	entries map[string]entry[T]
+}
+
+// entry is one registered plugin (or an alias pointing at one).
+type entry[T any] struct {
+	factory   func() T
+	canonical string
+}
+
+// New creates an empty registry for one plugin axis. pkg is the owning
+// package name and kind the plugin noun, both used verbatim in error
+// messages ("<pkg>: unknown <kind> %q (known: ...)").
+func New[T any](pkg, kind string) *Registry[T] {
+	return &Registry[T]{pkg: pkg, kind: kind, entries: make(map[string]entry[T])}
+}
+
+// Register adds a named plugin factory. The factory is invoked on every
+// Lookup, so plugins with mutable state hand out fresh instances. Register
+// panics on an empty name or a duplicate: both are programming errors in
+// the registering package, not runtime conditions.
+func (r *Registry[T]) Register(name string, factory func() T) {
+	if name == "" || factory == nil {
+		panic(fmt.Sprintf("registry: %s %s registered with empty name or nil factory", r.pkg, r.kind))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.entries[name]; dup {
+		panic(fmt.Sprintf("registry: duplicate %s %s %q", r.pkg, r.kind, name))
+	}
+	r.entries[name] = entry[T]{factory: factory, canonical: name}
+	r.names = append(r.names, name)
+}
+
+// Alias makes an alternate name resolve to an already-registered plugin.
+// Aliases resolve through Lookup but do not appear in Names or All, so
+// listings stay canonical. Alias panics if the canonical name is missing
+// or the alias collides with an existing name.
+func (r *Registry[T]) Alias(alias, canonical string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	target, ok := r.entries[canonical]
+	if !ok {
+		panic(fmt.Sprintf("registry: alias %q for unregistered %s %s %q", alias, r.pkg, r.kind, canonical))
+	}
+	if _, dup := r.entries[alias]; dup {
+		panic(fmt.Sprintf("registry: duplicate %s %s %q", r.pkg, r.kind, alias))
+	}
+	r.entries[alias] = entry[T]{factory: target.factory, canonical: canonical}
+}
+
+// Lookup resolves a name (or alias) to a fresh plugin instance. Unknown
+// names produce the axis's single canonical error, listing every
+// registered name in registration order.
+func (r *Registry[T]) Lookup(name string) (T, error) {
+	r.mu.RLock()
+	e, ok := r.entries[name]
+	r.mu.RUnlock()
+	if !ok {
+		var zero T
+		return zero, fmt.Errorf("%s: unknown %s %q (known: %s)", r.pkg, r.kind, name, strings.Join(r.Names(), ", "))
+	}
+	return e.factory(), nil
+}
+
+// Canonical resolves a name or alias to its canonical registered name,
+// with the same error as Lookup for unknown names.
+func (r *Registry[T]) Canonical(name string) (string, error) {
+	r.mu.RLock()
+	e, ok := r.entries[name]
+	r.mu.RUnlock()
+	if !ok {
+		return "", fmt.Errorf("%s: unknown %s %q (known: %s)", r.pkg, r.kind, name, strings.Join(r.Names(), ", "))
+	}
+	return e.canonical, nil
+}
+
+// Has reports whether a name or alias resolves.
+func (r *Registry[T]) Has(name string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.entries[name]
+	return ok
+}
+
+// Names returns the canonical plugin names in registration order. The
+// returned slice is a copy.
+func (r *Registry[T]) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, len(r.names))
+	copy(out, r.names)
+	return out
+}
+
+// All returns one fresh instance of every registered plugin, in
+// registration order.
+func (r *Registry[T]) All() []T {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]T, 0, len(r.names))
+	for _, name := range r.names {
+		out = append(out, r.entries[name].factory())
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+)
+
+func newTestRegistry() *Registry[string] {
+	r := New[string]("axis", "widget")
+	r.Register("alpha", func() string { return "A" })
+	r.Register("beta", func() string { return "B" })
+	r.Register("gamma", func() string { return "C" })
+	return r
+}
+
+func TestLookup(t *testing.T) {
+	r := newTestRegistry()
+	v, err := r.Lookup("beta")
+	if err != nil {
+		t.Fatalf("Lookup(beta): %v", err)
+	}
+	if v != "B" {
+		t.Fatalf("Lookup(beta) = %q, want B", v)
+	}
+}
+
+func TestUnknownNameError(t *testing.T) {
+	r := newTestRegistry()
+	_, err := r.Lookup("delta")
+	if err == nil {
+		t.Fatal("unknown name must fail")
+	}
+	want := `axis: unknown widget "delta" (known: alpha, beta, gamma)`
+	if err.Error() != want {
+		t.Fatalf("error = %q, want %q", err.Error(), want)
+	}
+}
+
+func TestNamesKeepRegistrationOrder(t *testing.T) {
+	r := newTestRegistry()
+	got := strings.Join(r.Names(), ",")
+	if got != "alpha,beta,gamma" {
+		t.Fatalf("Names = %s, want registration order", got)
+	}
+	// The returned slice is a copy: mutating it must not corrupt the
+	// registry.
+	names := r.Names()
+	names[0] = "zzz"
+	if r.Names()[0] != "alpha" {
+		t.Fatal("Names must return a copy")
+	}
+}
+
+func TestAllInstantiatesEveryPlugin(t *testing.T) {
+	r := newTestRegistry()
+	all := r.All()
+	if len(all) != 3 || all[0] != "A" || all[1] != "B" || all[2] != "C" {
+		t.Fatalf("All = %v", all)
+	}
+}
+
+func TestAliasResolvesButStaysOutOfListings(t *testing.T) {
+	r := newTestRegistry()
+	r.Alias("a", "alpha")
+	v, err := r.Lookup("a")
+	if err != nil || v != "A" {
+		t.Fatalf("Lookup(alias) = %q, %v", v, err)
+	}
+	if len(r.Names()) != 3 {
+		t.Fatalf("aliases must not appear in Names: %v", r.Names())
+	}
+	c, err := r.Canonical("a")
+	if err != nil || c != "alpha" {
+		t.Fatalf("Canonical(a) = %q, %v", c, err)
+	}
+	if !r.Has("a") || !r.Has("alpha") || r.Has("zeta") {
+		t.Fatal("Has must resolve names and aliases only")
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := newTestRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register must panic")
+		}
+	}()
+	r.Register("alpha", func() string { return "again" })
+}
+
+func TestAliasForMissingCanonicalPanics(t *testing.T) {
+	r := newTestRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("alias to unregistered name must panic")
+		}
+	}()
+	r.Alias("x", "missing")
+}
+
+func TestFactoryRunsPerLookup(t *testing.T) {
+	r := New[*int]("axis", "counter")
+	n := 0
+	r.Register("count", func() *int { n++; v := n; return &v })
+	a, _ := r.Lookup("count")
+	b, _ := r.Lookup("count")
+	if *a == *b {
+		t.Fatal("each Lookup must invoke the factory")
+	}
+}

@@ -1,0 +1,28 @@
+package trojan
+
+import "repro/internal/registry"
+
+// Strategies is the payload-rewrite strategy plugin registry: "zero" is
+// the literal Fig 2 circuit (victim requests rewritten to all-zero) and
+// "scale" the parameterised default used by the headline experiments
+// (victims cut to a quarter, attackers boosted by half).
+var Strategies = registry.New[Strategy]("trojan", "strategy")
+
+// Modes is the Section II-B attack-class plugin registry ("false-data",
+// "drop", "loopback").
+var Modes = registry.New[Mode]("trojan", "attack mode")
+
+func init() {
+	Strategies.Register("scale", func() Strategy { return DefaultStrategy() })
+	Strategies.Register("zero", func() Strategy { return ZeroStrategy{} })
+	Modes.Register("false-data", func() Mode { return ModeFalseData })
+	Modes.Register("drop", func() Mode { return ModeDrop })
+	Modes.Register("loopback", func() Mode { return ModeLoopback })
+}
+
+// StrategyByName returns the named payload strategy with default
+// parameters.
+func StrategyByName(name string) (Strategy, error) { return Strategies.Lookup(name) }
+
+// ModeByName returns the named Section II-B attack class.
+func ModeByName(name string) (Mode, error) { return Modes.Lookup(name) }

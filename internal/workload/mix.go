@@ -1,6 +1,10 @@
 package workload
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/registry"
+)
 
 // Mix is one attacker/victim benchmark combination from Table III.
 type Mix struct {
@@ -20,22 +24,22 @@ var mixes = []Mix{
 	{Name: "mix-4", Attackers: []string{"barnes", "streamcluster", "freqmine"}, Victims: []string{"raytrace"}},
 }
 
-// Mixes returns the Table III combinations in order.
-func Mixes() []Mix {
-	out := make([]Mix, len(mixes))
-	copy(out, mixes)
-	return out
+// MixRegistry is the attacker/victim mix plugin registry (Table III's
+// mix-1 … mix-4 by default).
+var MixRegistry = registry.New[Mix]("workload", "mix")
+
+func init() {
+	for _, m := range mixes {
+		m := m
+		MixRegistry.Register(m.Name, func() Mix { return m })
+	}
 }
 
+// Mixes returns the Table III combinations in order.
+func Mixes() []Mix { return MixRegistry.All() }
+
 // MixByName returns the named Table III combination.
-func MixByName(name string) (Mix, error) {
-	for _, m := range mixes {
-		if m.Name == name {
-			return m, nil
-		}
-	}
-	return Mix{}, fmt.Errorf("workload: unknown mix %q", name)
-}
+func MixByName(name string) (Mix, error) { return MixRegistry.Lookup(name) }
 
 // Apps returns all benchmark names in the mix, attackers first.
 func (m Mix) Apps() []string {

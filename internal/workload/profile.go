@@ -19,8 +19,9 @@
 package workload
 
 import (
-	"fmt"
 	"sort"
+
+	"repro/internal/registry"
 )
 
 // Profile is one benchmark's analytic performance model.
@@ -106,20 +107,22 @@ var profiles = []Profile{
 	{Name: "raytrace", Suite: "SPLASH-2", CPICore: 0.50, MPI: 0.0040, WorkingSetLines: 4096, WriteFraction: 0.15},
 }
 
+// Benchmarks is the Table II benchmark-profile plugin registry.
+var Benchmarks = registry.New[Profile]("workload", "benchmark")
+
+func init() {
+	for _, p := range profiles {
+		p := p
+		Benchmarks.Register(p.Name, func() Profile { return p })
+	}
+}
+
 // All returns the Table II benchmark profiles sorted by name.
 func All() []Profile {
-	out := make([]Profile, len(profiles))
-	copy(out, profiles)
+	out := Benchmarks.All()
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 
 // ByName returns the named profile.
-func ByName(name string) (Profile, error) {
-	for _, p := range profiles {
-		if p.Name == name {
-			return p, nil
-		}
-	}
-	return Profile{}, fmt.Errorf("workload: unknown benchmark %q", name)
-}
+func ByName(name string) (Profile, error) { return Benchmarks.Lookup(name) }

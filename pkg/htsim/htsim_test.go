@@ -1,0 +1,268 @@
+package htsim
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/noc"
+)
+
+func TestNewDefaultsMatchTableI(t *testing.T) {
+	sim, err := New(WithMemTraffic(false))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	cfg := sim.Config()
+	want := core.DefaultConfig()
+	if cfg.Cores != want.Cores || cfg.BudgetFraction != want.BudgetFraction ||
+		cfg.Allocator.Name() != want.Allocator.Name() || cfg.NoC.Routing.Name() != "xy" {
+		t.Errorf("SDK defaults diverged from core.DefaultConfig: %+v", cfg)
+	}
+	if m := sim.Mesh(); m.Width != 16 || m.Height != 16 || m.Wrap {
+		t.Errorf("default topology = %+v, want 16x16 mesh", m)
+	}
+}
+
+func TestOptionsResolvePluginNames(t *testing.T) {
+	sim, err := New(
+		WithCores(64),
+		WithTopology("torus"),
+		WithAllocator("pi"),
+		WithDefense("history-guard"),
+		WithRouting("torus-xy"),
+		WithGMPlacement("corner"),
+		WithMemTraffic(false),
+		WithEpochs(6),
+		WithSeed(7),
+	)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	cfg := sim.Config()
+	if cfg.Topology != "torus" || !sim.Mesh().Wrap {
+		t.Errorf("topology not applied: %+v", cfg)
+	}
+	if cfg.Allocator.Name() != "pi" {
+		t.Errorf("allocator = %s, want pi", cfg.Allocator.Name())
+	}
+	if cfg.Filter == nil || cfg.Filter.Name() != "history-guard" {
+		t.Errorf("defense filter not installed: %+v", cfg.Filter)
+	}
+	if cfg.GM != core.GMCorner || cfg.Epochs != 6 || cfg.Seed != 7 {
+		t.Errorf("options not applied: %+v", cfg)
+	}
+}
+
+func TestTorusAutoSelectsWrapRouting(t *testing.T) {
+	sim, err := New(WithCores(64), WithTopology("torus"), WithMemTraffic(false))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if name := sim.Config().NoC.Routing.Name(); name != "torus-xy" {
+		t.Errorf("routing = %s, want auto-selected torus-xy", name)
+	}
+	// An explicit routing choice wins over the auto-selection.
+	sim, err = New(WithCores(64), WithTopology("torus"), WithRouting("xy"), WithMemTraffic(false))
+	if err != nil {
+		t.Fatalf("New with explicit routing: %v", err)
+	}
+	if name := sim.Config().NoC.Routing.Name(); name != "xy" {
+		t.Errorf("routing = %s, want explicit xy", name)
+	}
+}
+
+func TestUnknownPluginNamesFailWithKnownList(t *testing.T) {
+	cases := []Option{
+		WithTopology("hypercube"),
+		WithRouting("zigzag"),
+		WithAllocator("magic"),
+		WithDefense("firewall"),
+	}
+	for i, opt := range cases {
+		_, err := New(opt)
+		if err == nil {
+			t.Fatalf("case %d: unknown plugin name must fail", i)
+		}
+		if !strings.Contains(err.Error(), "known:") {
+			t.Errorf("case %d: error %q does not list known plugins", i, err)
+		}
+	}
+	if _, err := MixScenario("mix-9", 8); err == nil {
+		t.Error("unknown mix must fail")
+	}
+	if _, err := Strategy("nuke"); err == nil {
+		t.Error("unknown strategy must fail")
+	}
+	if _, err := AttackMode("teleport"); err == nil {
+		t.Error("unknown attack mode must fail")
+	}
+}
+
+// sampleCollector counts streamed epochs.
+type sampleCollector struct {
+	samples []EpochSample
+}
+
+func (c *sampleCollector) ObserveEpoch(s EpochSample) { c.samples = append(c.samples, s) }
+
+func TestTorusScenarioEndToEndWithObserver(t *testing.T) {
+	// The acceptance scenario: a torus-topology chip, plugins resolved by
+	// name on every axis, streaming observer attached, run end to end.
+	col := &sampleCollector{}
+	sim, err := New(
+		WithCores(64),
+		WithTopology("torus"),
+		WithAllocator("greedy"),
+		WithMemTraffic(false),
+		WithEpochs(8),
+		WithObserver(col),
+	)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	sc, err := MixScenario("mix-1", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strategy, err := Strategy("scale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Strategy = strategy
+	trojans, err := sim.Trojans("ring", 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Trojans = trojans
+	attacked, baseline, err := sim.RunPair(context.Background(), sc)
+	if err != nil {
+		t.Fatalf("RunPair: %v", err)
+	}
+	cmp, err := Compare(attacked, baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attacked.InfectionMeasured <= 0 {
+		t.Error("torus campaign measured zero infection under a ring fleet")
+	}
+	if cmp.Q <= 0 {
+		t.Errorf("attack effect Q = %v, want positive", cmp.Q)
+	}
+	if len(col.samples) != 8 {
+		t.Errorf("streamed %d samples, want 8 (attacked run epochs)", len(col.samples))
+	}
+	if attacked.Net.Delivered == 0 {
+		t.Error("no packets delivered on the torus")
+	}
+}
+
+func TestRunHonoursContextCancellation(t *testing.T) {
+	sim, err := New(WithCores(64), WithMemTraffic(false), WithEpochs(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := MixScenario("mix-1", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sim.Run(ctx, sc); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestBuildConfigMatchesLegacyAssembly(t *testing.T) {
+	// The campaign engine builds its configs through BuildConfig; the
+	// result must be indistinguishable from the historical hand-assembled
+	// core.DefaultConfig mutation, or golden artifacts would drift.
+	got, err := BuildConfig(WithCores(64), WithEpochs(6), WithMemTraffic(false), WithSeed(3), WithWorkers(2))
+	if err != nil {
+		t.Fatalf("BuildConfig: %v", err)
+	}
+	want := core.DefaultConfig()
+	want.Cores = 64
+	want.Epochs = 6
+	want.MemTraffic = false
+	want.Seed = 3
+	want.Workers = 2
+	if got.Cores != want.Cores || got.Epochs != want.Epochs || got.MemTraffic != want.MemTraffic ||
+		got.Seed != want.Seed || got.Workers != want.Workers ||
+		got.BudgetFraction != want.BudgetFraction || got.EpochCycles != want.EpochCycles ||
+		got.WarmupEpochs != want.WarmupEpochs || got.GM != want.GM ||
+		got.Allocator.Name() != want.Allocator.Name() || got.Topology != "" {
+		t.Errorf("BuildConfig = %+v, want %+v", got, want)
+	}
+}
+
+func TestAxesCoverEveryRegistry(t *testing.T) {
+	axes := Axes()
+	wantAxes := []string{"topology", "routing", "allocator", "defense",
+		"trojan-strategy", "attack-mode", "placement", "mix", "benchmark"}
+	if len(axes) != len(wantAxes) {
+		t.Fatalf("Axes lists %d axes, want %d", len(axes), len(wantAxes))
+	}
+	for i, a := range axes {
+		if a.Name != wantAxes[i] {
+			t.Errorf("axis %d = %s, want %s", i, a.Name, wantAxes[i])
+		}
+		if len(a.Plugins) == 0 {
+			t.Errorf("axis %s has no plugins", a.Name)
+		}
+	}
+	mustContain := map[string]string{
+		"topology":        "torus",
+		"routing":         "torus-xy",
+		"allocator":       "pi",
+		"defense":         "dual-path+range",
+		"trojan-strategy": "zero",
+		"attack-mode":     "loopback",
+		"placement":       "ring",
+		"mix":             "mix-4",
+		"benchmark":       "canneal",
+	}
+	for _, a := range axes {
+		want, ok := mustContain[a.Name]
+		if !ok {
+			continue
+		}
+		found := false
+		for _, p := range a.Plugins {
+			if p == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("axis %s missing %q: %v", a.Name, want, a.Plugins)
+		}
+	}
+}
+
+func TestTrojansForInfection(t *testing.T) {
+	sim, err := New(WithCores(64), WithMemTraffic(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, predicted := sim.TrojansForInfection(0.5)
+	if p.Size() == 0 || predicted <= 0 {
+		t.Errorf("placement %d HTs predicted %v, want a non-trivial fleet", p.Size(), predicted)
+	}
+}
+
+func TestWithConfigEscapeHatch(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Cores = 64
+	cfg.MemTraffic = false
+	cfg.NoC.Routing = noc.YXRouting{}
+	sim, err := New(WithConfig(cfg), WithAllocator("dp"))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	got := sim.Config()
+	if got.NoC.Routing.Name() != "yx" || got.Allocator.Name() != "dp" || got.Cores != 64 {
+		t.Errorf("WithConfig composition broken: %+v", got)
+	}
+}

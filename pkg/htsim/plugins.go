@@ -1,0 +1,64 @@
+package htsim
+
+import (
+	"repro/internal/attack"
+	"repro/internal/budget"
+	"repro/internal/defense"
+	"repro/internal/noc"
+	"repro/internal/trojan"
+	"repro/internal/workload"
+)
+
+// Axis is one plugin axis of the simulator: a registry name and its
+// registered plugin names in canonical order.
+type Axis struct {
+	// Name identifies the axis ("topology", "allocator", ...).
+	Name string
+	// Plugins are the registered names, in registration order.
+	Plugins []string
+}
+
+// Axes enumerates every plugin axis and its registered names. This is the
+// single discovery point the CLIs (`htcampaign list`), the docs gate, and
+// SDK consumers share: registering a plugin anywhere makes it appear
+// here.
+func Axes() []Axis {
+	return []Axis{
+		{Name: "topology", Plugins: noc.Topologies.Names()},
+		{Name: "routing", Plugins: noc.Routings.Names()},
+		{Name: "allocator", Plugins: budget.Registry.Names()},
+		{Name: "defense", Plugins: defense.Registry.Names()},
+		{Name: "trojan-strategy", Plugins: trojan.Strategies.Names()},
+		{Name: "attack-mode", Plugins: trojan.Modes.Names()},
+		{Name: "placement", Plugins: attack.Placements.Names()},
+		{Name: "mix", Plugins: workload.MixRegistry.Names()},
+		{Name: "benchmark", Plugins: workload.Benchmarks.Names()},
+	}
+}
+
+// Topologies lists the registered topology names.
+func Topologies() []string { return noc.Topologies.Names() }
+
+// Routings lists the registered routing-algorithm names.
+func Routings() []string { return noc.Routings.Names() }
+
+// Allocators lists the registered budget-allocator names.
+func Allocators() []string { return budget.Registry.Names() }
+
+// Defenses lists the registered defense-configuration names.
+func Defenses() []string { return defense.Registry.Names() }
+
+// TrojanStrategies lists the registered payload-strategy names.
+func TrojanStrategies() []string { return trojan.Strategies.Names() }
+
+// AttackModes lists the registered Section II-B attack-class names.
+func AttackModes() []string { return trojan.Modes.Names() }
+
+// Placements lists the registered placement-generator names.
+func Placements() []string { return attack.Placements.Names() }
+
+// Mixes lists the registered workload-mix names.
+func Mixes() []string { return workload.MixRegistry.Names() }
+
+// Benchmarks lists the registered benchmark-profile names.
+func Benchmarks() []string { return workload.Benchmarks.Names() }

@@ -1,12 +1,16 @@
-// Command docgate is the documentation CI gate. It enforces two
-// invariants and exits non-zero when either fails:
+// Command docgate is the documentation CI gate. It enforces three
+// invariants and exits non-zero when any fails:
 //
-//  1. Every package under internal/ carries a package-level doc comment
-//     (the godoc paragraph stating its paper section and role).
+//  1. Every package under internal/ and pkg/ carries a package-level doc
+//     comment (the godoc paragraph stating its paper section and role).
 //  2. Every repository-relative reference in the front-door documents —
 //     markdown links and backticked paths like `internal/core` or
 //     `specs/paper.json` — resolves to an existing file or directory, so
 //     doc drift fails the build.
+//  3. Every plugin name registered on any pkg/htsim axis appears in
+//     EXPERIMENTS.md's plugin substitution table, so the registries and
+//     the documentation cannot drift apart (the companion check for
+//     `htcampaign list` output lives in cmd/htcampaign's tests).
 //
 // Usage (from the repository root):
 //
@@ -21,6 +25,8 @@ import (
 	"path/filepath"
 	"regexp"
 	"strings"
+
+	"repro/pkg/htsim"
 )
 
 func main() { os.Exit(run()) }
@@ -28,22 +34,60 @@ func main() { os.Exit(run()) }
 // docFiles are the markdown documents whose references are checked.
 var docFiles = []string{"README.md", "DESIGN.md", "EXPERIMENTS.md", "BENCH_NOTES.md", "ROADMAP.md"}
 
-// run performs both checks and returns the process exit code.
+// run performs all checks and returns the process exit code.
 func run() int {
 	failed := false
-	if !checkPackageDocs("internal") {
-		failed = true
+	for _, root := range []string{"internal", "pkg"} {
+		if !checkPackageDocs(root) {
+			failed = true
+		}
 	}
 	for _, doc := range docFiles {
 		if !checkReferences(doc) {
 			failed = true
 		}
 	}
+	if !checkPluginCoverage("EXPERIMENTS.md") {
+		failed = true
+	}
 	if failed {
 		return 1
 	}
-	fmt.Println("docgate: all package docs present, all doc references resolve")
+	fmt.Println("docgate: all package docs present, all doc references resolve, all plugins documented")
 	return 0
+}
+
+// checkPluginCoverage verifies every registered plugin name of every
+// pkg/htsim axis appears in the named document (EXPERIMENTS.md's plugin
+// substitution table). Plugin names must appear as whole backticked code
+// spans (`torus`), not as substrings of other names — "xy" inside
+// `torus-xy` does not count — so deleting a row from the table cannot
+// pass vacuously.
+func checkPluginCoverage(doc string) bool {
+	data, err := os.ReadFile(doc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "docgate: %v\n", err)
+		return false
+	}
+	text := string(data)
+	spans := make(map[string]bool)
+	for _, m := range backtickRef.FindAllStringSubmatch(text, -1) {
+		spans[m[1]] = true
+	}
+	ok := true
+	for _, axis := range htsim.Axes() {
+		if !strings.Contains(text, axis.Name) {
+			fmt.Fprintf(os.Stderr, "docgate: %s does not mention plugin axis %q\n", doc, axis.Name)
+			ok = false
+		}
+		for _, plugin := range axis.Plugins {
+			if !spans[plugin] {
+				fmt.Fprintf(os.Stderr, "docgate: %s does not list %s plugin `%s`\n", doc, axis.Name, plugin)
+				ok = false
+			}
+		}
+	}
+	return ok
 }
 
 // checkPackageDocs walks every package directory under root and reports
