@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/attack"
 	"repro/internal/budget"
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/noc"
 	"repro/internal/trojan"
@@ -250,6 +251,37 @@ func runCampaignQ(b *testing.B, cfg core.Config, strategy trojan.Strategy) float
 		b.Fatal(err)
 	}
 	return cmp.Q
+}
+
+// BenchmarkCampaignPaper times the whole declarative campaign engine on a
+// scaled-down version of specs/paper.json (every experiment family at
+// smoke scale, artifacts written and discarded) — the end-to-end number
+// the simulation service pays per uncached campaign job, recorded in
+// BENCH_NOTES.md as the server-era baseline.
+func BenchmarkCampaignPaper(b *testing.B) {
+	spec := &campaign.Spec{
+		Name: "bench-paper",
+		Seed: 1,
+		Experiments: []campaign.ExperimentSpec{
+			{ID: "E1", Params: campaign.Params{Size: 64}},
+			{ID: "E2"},
+			{ID: "E3", Params: campaign.Params{Trials: 5}},
+			{ID: "E4", Params: campaign.Params{Trials: 5}},
+			{ID: "E5", Params: campaign.Params{Sizes: []int{64, 128}, Trials: 5}},
+			{ID: "E6", Params: campaign.Params{Sizes: []int{64, 128}, Trials: 5}},
+			{ID: "E7", Params: campaign.Params{Size: 64, Mixes: []string{"mix-1"}, Threads: 15, Epochs: 5, Targets: []float64{0, 0.4, 0.8}}},
+			{ID: "E8", Params: campaign.Params{Size: 64, Mixes: []string{"mix-1"}, Threads: 15, Epochs: 5, Targets: []float64{0, 0.4, 0.8}}},
+			{ID: "E9", Params: campaign.Params{Size: 64, Mixes: []string{"mix-1"}, Threads: 15, Epochs: 5, HTs: 6, Samples: 5}},
+			{ID: "E10", Params: campaign.Params{Size: 64, Threads: 15, Epochs: 5}},
+			{ID: "X1", Params: campaign.Params{Size: 64, Threads: 15, Epochs: 5}},
+			{ID: "X2", Params: campaign.Params{Size: 64, Threads: 15, Epochs: 8}},
+		},
+	}
+	for i := 0; i < b.N; i++ {
+		if _, _, err := campaign.Run(spec, b.TempDir(), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // Substrate micro-benchmarks: the NoC under the Fig 3 traffic pattern and

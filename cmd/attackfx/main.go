@@ -22,10 +22,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/campaign"
 	"repro/internal/results"
@@ -34,13 +37,15 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "attackfx:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("attackfx", flag.ContinueOnError)
 	var (
 		fig      = fs.String("fig", "", "figure to regenerate: 5 or 6")
@@ -91,7 +96,7 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("need -fig 5, -fig 6, -ablation, -variants, or -defense")
 	}
-	t, err := campaign.BuildTable(id, p, *seed, *parallel)
+	t, err := campaign.BuildTableCtx(ctx, id, p, *seed, *parallel)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func smallArgs(extra ...string) []string {
 	base := []string{"-size", "64", "-threads", "15", "-epochs", "5"}
@@ -8,7 +11,7 @@ func smallArgs(extra ...string) []string {
 }
 
 func TestRunVariantsSmall(t *testing.T) {
-	if err := run(smallArgs("-variants")); err != nil {
+	if err := run(context.Background(), smallArgs("-variants")); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
@@ -17,7 +20,7 @@ func TestRunDefenseSmall(t *testing.T) {
 	if testing.Short() {
 		t.Skip("defense study runs eight campaigns")
 	}
-	if err := run(smallArgs("-defense", "-epochs", "8")); err != nil {
+	if err := run(context.Background(), smallArgs("-defense", "-epochs", "8")); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
@@ -26,7 +29,7 @@ func TestRunAblationSmall(t *testing.T) {
 	if testing.Short() {
 		t.Skip("ablation runs eight campaigns")
 	}
-	if err := run(smallArgs("-ablation")); err != nil {
+	if err := run(context.Background(), smallArgs("-ablation")); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
@@ -35,19 +38,19 @@ func TestRunFig5SingleMix(t *testing.T) {
 	if testing.Short() {
 		t.Skip("figure sweep is slow")
 	}
-	if err := run(smallArgs("-fig", "5", "-mix", "mix-3")); err != nil {
+	if err := run(context.Background(), smallArgs("-fig", "5", "-mix", "mix-3")); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunRequiresAction(t *testing.T) {
-	if err := run(nil); err == nil {
+	if err := run(context.Background(), nil); err == nil {
 		t.Fatal("missing action must fail")
 	}
 }
 
 func TestRunRejectsUnknownMix(t *testing.T) {
-	if err := run([]string{"-fig", "5", "-mix", "mix-9"}); err == nil {
+	if err := run(context.Background(), []string{"-fig", "5", "-mix", "mix-9"}); err == nil {
 		t.Fatal("unknown mix must fail")
 	}
 }

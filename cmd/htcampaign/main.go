@@ -14,11 +14,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/campaign"
 	"repro/internal/results"
@@ -26,19 +29,21 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "htcampaign:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	if len(args) == 0 {
 		return fmt.Errorf("need a subcommand: run, validate, or list")
 	}
 	switch args[0] {
 	case "run":
-		return runCampaign(args[1:], out)
+		return runCampaign(ctx, args[1:], out)
 	case "validate":
 		return validateSpec(args[1:], out)
 	case "list":
@@ -48,7 +53,7 @@ func run(args []string, out io.Writer) error {
 	}
 }
 
-func runCampaign(args []string, out io.Writer) error {
+func runCampaign(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("htcampaign run", flag.ContinueOnError)
 	var (
 		specPath = fs.String("spec", "", "campaign spec file (JSON)")
@@ -66,7 +71,7 @@ func runCampaign(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	man, tables, err := campaign.Run(spec, *outDir, *parallel)
+	man, tables, err := campaign.RunCtx(ctx, spec, *outDir, *parallel, campaign.Progress{})
 	if err != nil {
 		return err
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -32,7 +33,7 @@ func TestRunWritesArtifacts(t *testing.T) {
 	spec := writeSpec(t, smallSpec)
 	out := filepath.Join(t.TempDir(), "results")
 	var buf bytes.Buffer
-	if err := run([]string{"run", "-spec", spec, "-out", out}, &buf); err != nil {
+	if err := run(context.Background(), []string{"run", "-spec", spec, "-out", out}, &buf); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	for _, name := range []string{"e1.json", "e1.csv", "e3.json", "e3.csv", "manifest.json"} {
@@ -51,7 +52,7 @@ func TestRunWritesArtifacts(t *testing.T) {
 func TestRunQuiet(t *testing.T) {
 	spec := writeSpec(t, smallSpec)
 	var buf bytes.Buffer
-	if err := run([]string{"run", "-spec", spec, "-out", t.TempDir(), "-quiet"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"run", "-spec", spec, "-out", t.TempDir(), "-quiet"}, &buf); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if strings.Contains(buf.String(), "E3 · ") {
@@ -62,7 +63,7 @@ func TestRunQuiet(t *testing.T) {
 func TestValidate(t *testing.T) {
 	spec := writeSpec(t, smallSpec)
 	var buf bytes.Buffer
-	if err := run([]string{"validate", "-spec", spec}, &buf); err != nil {
+	if err := run(context.Background(), []string{"validate", "-spec", spec}, &buf); err != nil {
 		t.Fatalf("validate: %v", err)
 	}
 	if !strings.Contains(buf.String(), "is valid") {
@@ -72,14 +73,14 @@ func TestValidate(t *testing.T) {
 
 func TestValidateRejectsMalformed(t *testing.T) {
 	spec := writeSpec(t, `{"name": "x", "experiments": [{"id": "E99"}]}`)
-	if err := run([]string{"validate", "-spec", spec}, &bytes.Buffer{}); err == nil {
+	if err := run(context.Background(), []string{"validate", "-spec", spec}, &bytes.Buffer{}); err == nil {
 		t.Fatal("malformed spec must fail validation")
 	}
 }
 
 func TestList(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"list"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"list"}, &buf); err != nil {
 		t.Fatalf("list: %v", err)
 	}
 	for _, id := range []string{"E1", "E10", "X2"} {
@@ -98,7 +99,7 @@ func TestRunRejectsBadUsage(t *testing.T) {
 		{"list", "extra"},
 	}
 	for _, args := range tests {
-		if err := run(args, &bytes.Buffer{}); err == nil {
+		if err := run(context.Background(), args, &bytes.Buffer{}); err == nil {
 			t.Errorf("args %v must fail", args)
 		}
 	}
@@ -111,7 +112,7 @@ func TestRunRejectsBadUsage(t *testing.T) {
 // to the same standard).
 func TestListCoversEveryRegisteredPlugin(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"list"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"list"}, &buf); err != nil {
 		t.Fatalf("list: %v", err)
 	}
 	// Parse each axis line into its exact comma-separated plugin tokens —

@@ -13,10 +13,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/campaign"
 	"repro/internal/results"
@@ -24,13 +27,15 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "htplace:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("htplace", flag.ContinueOnError)
 	var (
 		areapower = fs.Bool("areapower", false, "print the Section III-D area/power table")
@@ -50,7 +55,7 @@ func run(args []string) error {
 	}
 	switch {
 	case *areapower:
-		t, err := campaign.BuildTable("E2", campaign.Params{}, *seed, *parallel)
+		t, err := campaign.BuildTableCtx(ctx, "E2", campaign.Params{}, *seed, *parallel)
 		if err != nil {
 			return err
 		}
@@ -60,7 +65,7 @@ func run(args []string) error {
 		}
 		return results.WriteText(os.Stdout, t)
 	case *optimize:
-		t, err := campaign.BuildTable("E9", campaign.Params{
+		t, err := campaign.BuildTableCtx(ctx, "E9", campaign.Params{
 			Size: *size, Mixes: []string{*mixName}, Threads: *threads, HTs: *hts, Samples: *samples,
 			Topology: *topology, Allocator: *alloc,
 		}, *seed, *parallel)

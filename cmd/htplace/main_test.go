@@ -1,9 +1,12 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestRunAreaPower(t *testing.T) {
-	if err := run([]string{"-areapower"}); err != nil {
+	if err := run(context.Background(), []string{"-areapower"}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
@@ -12,20 +15,20 @@ func TestRunOptimizeSmall(t *testing.T) {
 	if testing.Short() {
 		t.Skip("optimise study is slow")
 	}
-	err := run([]string{"-optimize", "-mix", "mix-1", "-size", "64", "-threads", "15", "-hts", "6", "-samples", "5"})
+	err := run(context.Background(), []string{"-optimize", "-mix", "mix-1", "-size", "64", "-threads", "15", "-hts", "6", "-samples", "5"})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunRequiresAction(t *testing.T) {
-	if err := run(nil); err == nil {
+	if err := run(context.Background(), nil); err == nil {
 		t.Fatal("missing action must fail")
 	}
 }
 
 func TestRunRejectsUnknownMix(t *testing.T) {
-	if err := run([]string{"-optimize", "-mix", "mix-7", "-size", "64"}); err == nil {
+	if err := run(context.Background(), []string{"-optimize", "-mix", "mix-7", "-size", "64"}); err == nil {
 		t.Fatal("unknown mix must fail")
 	}
 }

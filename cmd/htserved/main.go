@@ -1,0 +1,100 @@
+// Command htserved runs the simulation service: an HTTP API that queues
+// campaign specs and single-sim requests, caches results by content
+// address, and streams live per-epoch progress as Server-Sent Events.
+// See internal/server for the API surface and DESIGN.md §8 for the
+// architecture.
+//
+// Examples:
+//
+//	htserved -addr :8080
+//	htserved -addr 127.0.0.1:8099 -parallel 8 -jobs 2 -cache-dir /var/cache/htserved
+//
+//	curl -XPOST --data-binary @specs/paper.json localhost:8080/v1/campaigns
+//	curl localhost:8080/v1/jobs/job-000001
+//	curl localhost:8080/v1/jobs/job-000001/events           # SSE stream
+//	curl localhost:8080/v1/jobs/job-000001/artifacts/e7.csv
+//	curl -XDELETE localhost:8080/v1/jobs/job-000001
+//
+// SIGINT/SIGTERM shut the service down gracefully: the listener stops,
+// running jobs are cancelled through their contexts, and in-flight
+// handlers get a short drain window.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "htserved:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses flags, starts the service, and blocks until the listener
+// fails or ctx is cancelled (then shuts down gracefully).
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("htserved", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", ":8080", "listen address")
+		parallel = fs.Int("parallel", 0, "exp-pool worker budget per job (0 = one per CPU; results identical for any value)")
+		jobs     = fs.Int("jobs", 1, "concurrently running jobs")
+		queue    = fs.Int("queue", 16, "job queue depth (submissions beyond it get 429)")
+		entries  = fs.Int("cache-entries", 64, "in-memory result cache entries (LRU)")
+		cacheDir = fs.String("cache-dir", "", "directory for the disk cache tier (empty = memory only)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	svc, err := server.New(server.Options{
+		Workers:      *parallel,
+		Jobs:         *jobs,
+		QueueDepth:   *queue,
+		CacheEntries: *entries,
+		CacheDir:     *cacheDir,
+	})
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	fmt.Fprintf(out, "htserved: listening on %s (jobs %d, queue %d, cache %d entries)\n",
+		ln.Addr(), *jobs, *queue, *entries)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(out, "htserved: shutting down")
+	// Cancel jobs first: that seals every event log, so open SSE streams
+	// end and Shutdown's drain isn't held hostage by live watchers.
+	svc.Close()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

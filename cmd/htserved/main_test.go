@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a mutex-guarded bytes.Buffer: the server goroutine writes
+// logs while the test polls them.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestServeAndShutdown boots the service on an ephemeral port, submits a
+// tiny campaign over real HTTP, and verifies cancelling the context shuts
+// the server down cleanly.
+func TestServeAndShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var buf syncBuffer
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, []string{"-addr", "127.0.0.1:0", "-parallel", "1"}, &buf)
+	}()
+
+	// The listen address is printed once the listener is up.
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && base == "" {
+		if line := buf.String(); strings.Contains(line, "listening on ") {
+			rest := line[strings.Index(line, "listening on ")+len("listening on "):]
+			base = "http://" + strings.Fields(rest)[0]
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if base == "" {
+		t.Fatalf("server never reported its address; output: %q", buf.String())
+	}
+
+	resp, err := http.Get(base + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	spec := `{"name":"boot","seed":1,"experiments":[{"id":"E2"}]}`
+	resp, err = http.Post(base+"/v1/campaigns", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for time.Now().Before(deadline) && st.State != "done" {
+		r, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s", base, st.ID))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st.State != "done" {
+		t.Fatalf("job state %q, want done", st.State)
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run returned %v after shutdown", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+	if !strings.Contains(buf.String(), "shutting down") {
+		t.Errorf("missing shutdown log; output: %q", buf.String())
+	}
+}
+
+// TestBadFlags rejects unknown flags.
+func TestBadFlags(t *testing.T) {
+	if err := run(context.Background(), []string{"-nope"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("want flag error")
+	}
+}

@@ -20,7 +20,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/noc"
@@ -29,7 +31,9 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "htsim:", err)
 		os.Exit(1)
 	}
@@ -38,7 +42,7 @@ func main() {
 // choices renders a registry's names for flag help text.
 func choices(names []string) string { return strings.Join(names, ", ") }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("htsim", flag.ContinueOnError)
 	var (
 		printConfig = fs.Bool("print-config", false, "print the Table I configuration and exit")
@@ -128,7 +132,7 @@ func run(args []string) error {
 		sc.Trojans = p
 	}
 
-	attacked, baseline, err := sim.RunPair(context.Background(), sc)
+	attacked, baseline, err := sim.RunPair(ctx, sc)
 	if err != nil {
 		return err
 	}

@@ -1,22 +1,25 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestRunPrintConfig(t *testing.T) {
-	if err := run([]string{"-print-config"}); err != nil {
+	if err := run(context.Background(), []string{"-print-config"}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunSmallCampaign(t *testing.T) {
-	err := run([]string{"-size", "64", "-threads", "15", "-hts", "6", "-placement", "ring", "-epochs", "6"})
+	err := run(context.Background(), []string{"-size", "64", "-threads", "15", "-hts", "6", "-placement", "ring", "-epochs", "6"})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunInfectionTarget(t *testing.T) {
-	err := run([]string{"-size", "64", "-threads", "15", "-infection", "0.5", "-epochs", "6"})
+	err := run(context.Background(), []string{"-size", "64", "-threads", "15", "-infection", "0.5", "-epochs", "6"})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -30,14 +33,14 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"-size", "64", "-placement", "diagonal"},
 	}
 	for _, args := range tests {
-		if err := run(args); err == nil {
+		if err := run(context.Background(), args); err == nil {
 			t.Fatalf("args %v must fail", args)
 		}
 	}
 }
 
 func TestRunDualPathTrace(t *testing.T) {
-	err := run([]string{"-size", "64", "-threads", "15", "-hts", "4", "-placement", "ring",
+	err := run(context.Background(), []string{"-size", "64", "-threads", "15", "-hts", "4", "-placement", "ring",
 		"-epochs", "5", "-dualpath", "-trace"})
 	if err != nil {
 		t.Fatalf("run: %v", err)

@@ -15,9 +15,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/campaign"
 	"repro/internal/results"
@@ -27,13 +30,15 @@ import (
 var figures = map[string]string{"3a": "E3", "3b": "E4", "4a": "E5", "4b": "E6"}
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "infection:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("infection", flag.ContinueOnError)
 	var (
 		fig      = fs.String("fig", "", "figure to regenerate: 3a, 3b, 4a, 4b")
@@ -47,7 +52,7 @@ func run(args []string) error {
 	}
 	if *all {
 		for _, f := range []string{"3a", "3b", "4a", "4b"} {
-			if err := emit(f, *trials, *seed, *parallel); err != nil {
+			if err := emit(ctx, f, *trials, *seed, *parallel); err != nil {
 				return err
 			}
 			fmt.Println()
@@ -57,17 +62,17 @@ func run(args []string) error {
 	if *fig == "" {
 		return fmt.Errorf("need -fig or -all")
 	}
-	return emit(*fig, *trials, *seed, *parallel)
+	return emit(ctx, *fig, *trials, *seed, *parallel)
 }
 
 // emit builds the figure's results table through the campaign registry
 // and prints it.
-func emit(fig string, trials int, seed int64, workers int) error {
+func emit(ctx context.Context, fig string, trials int, seed int64, workers int) error {
 	id, ok := figures[fig]
 	if !ok {
 		return fmt.Errorf("unknown figure %q (want 3a, 3b, 4a, 4b)", fig)
 	}
-	t, err := campaign.BuildTable(id, campaign.Params{Trials: trials}, seed, workers)
+	t, err := campaign.BuildTableCtx(ctx, id, campaign.Params{Trials: trials}, seed, workers)
 	if err != nil {
 		return err
 	}

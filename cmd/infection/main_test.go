@@ -1,39 +1,42 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestRunFig3a(t *testing.T) {
-	if err := run([]string{"-fig", "3a", "-trials", "3"}); err != nil {
+	if err := run(context.Background(), []string{"-fig", "3a", "-trials", "3"}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunFig4b(t *testing.T) {
-	if err := run([]string{"-fig", "4b", "-trials", "3"}); err != nil {
+	if err := run(context.Background(), []string{"-fig", "4b", "-trials", "3"}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunAll(t *testing.T) {
-	if err := run([]string{"-all", "-trials", "2"}); err != nil {
+	if err := run(context.Background(), []string{"-all", "-trials", "2"}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunRejectsUnknownFigure(t *testing.T) {
-	if err := run([]string{"-fig", "7"}); err == nil {
+	if err := run(context.Background(), []string{"-fig", "7"}); err == nil {
 		t.Fatal("unknown figure must fail")
 	}
 }
 
 func TestRunRejectsBadTrials(t *testing.T) {
-	if err := run([]string{"-fig", "3a", "-trials", "-4"}); err == nil {
+	if err := run(context.Background(), []string{"-fig", "3a", "-trials", "-4"}); err == nil {
 		t.Fatal("negative trials must fail")
 	}
 }
 
 func TestRunRequiresFigure(t *testing.T) {
-	if err := run(nil); err == nil {
+	if err := run(context.Background(), nil); err == nil {
 		t.Fatal("missing -fig must fail")
 	}
 }

@@ -1,8 +1,14 @@
 package campaign
 
 import (
+	"context"
+	"errors"
 	"strings"
+	"sync"
 	"testing"
+
+	"repro/internal/core"
+	"repro/internal/results"
 )
 
 // TestParseSpecValid parses a well-formed spec with overrides.
@@ -127,5 +133,82 @@ func TestPaperSpecValid(t *testing.T) {
 		if strings.HasSuffix(path, "paper.json") && len(spec.Experiments) != len(registry) {
 			t.Errorf("paper.json names %d experiments, registry has %d", len(spec.Experiments), len(registry))
 		}
+	}
+}
+
+// TestBuildTablesReportsProgress runs a two-experiment spec through the
+// job-granular entry point and checks the full progress chain: lifecycle
+// callbacks for every experiment, per-epoch samples streamed from the
+// cycle-simulated one (tagged with its ID and in increasing epoch order
+// per run), and none from the analytic one.
+func TestBuildTablesReportsProgress(t *testing.T) {
+	spec := &Spec{
+		Name: "progress",
+		Seed: 1,
+		Experiments: []ExperimentSpec{
+			{ID: "E3", Params: Params{Trials: 2}},
+			{ID: "X1", Params: Params{Size: 64, Threads: 15, Epochs: 5}},
+		},
+	}
+	var mu sync.Mutex
+	started := map[string]bool{}
+	done := map[string]bool{}
+	epochsByExp := map[string]int{}
+	tables, err := BuildTables(context.Background(), spec, 1, Progress{
+		ExperimentStarted: func(id string) {
+			mu.Lock()
+			defer mu.Unlock()
+			started[id] = true
+		},
+		ExperimentDone: func(id string, tab results.Table, err error) {
+			mu.Lock()
+			defer mu.Unlock()
+			done[id] = true
+			if err != nil {
+				t.Errorf("experiment %s failed: %v", id, err)
+			}
+			if tab == nil {
+				t.Errorf("experiment %s reported no table", id)
+			}
+		},
+		Epoch: func(id string, s core.EpochSample) {
+			mu.Lock()
+			defer mu.Unlock()
+			epochsByExp[id]++
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("BuildTables returned %d tables, want 2", len(tables))
+	}
+	for _, id := range []string{"E3", "X1"} {
+		if !started[id] || !done[id] {
+			t.Errorf("experiment %s lifecycle incomplete (started=%v done=%v)", id, started[id], done[id])
+		}
+	}
+	if epochsByExp["E3"] != 0 {
+		t.Errorf("analytic E3 streamed %d epochs, want 0", epochsByExp["E3"])
+	}
+	// X1 runs one clean baseline plus one attacked campaign per attack
+	// mode, 5 epochs each; the exact count is an implementation detail,
+	// but samples must flow and be tagged with the experiment.
+	if epochsByExp["X1"] < 5 {
+		t.Errorf("cycle-simulated X1 streamed %d epochs, want >= 5", epochsByExp["X1"])
+	}
+}
+
+// TestBuildTablesHonoursCancellation asserts a pre-cancelled context
+// stops the campaign before any experiment completes.
+func TestBuildTablesHonoursCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	spec := &Spec{
+		Name:        "cancelled",
+		Experiments: []ExperimentSpec{{ID: "E3", Params: Params{Trials: 2}}},
+	}
+	if _, err := BuildTables(ctx, spec, 1, Progress{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("BuildTables on cancelled ctx = %v, want context.Canceled", err)
 	}
 }

@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -20,11 +21,20 @@ import (
 
 // runCtx carries one experiment's resolved execution context.
 type runCtx struct {
+	// ctx cancels the experiment cooperatively: trial pools stop issuing
+	// work and in-flight campaigns abort mid-epoch.
+	ctx context.Context
 	// p holds the merged (defaults + overrides) parameters.
 	p Params
 	// seed is the effective seed; workers the execution pool size.
 	seed    int64
 	workers int
+	// obs, when non-nil, streams one EpochSample per budgeting epoch of
+	// every cycle-simulated campaign the experiment runs (threaded through
+	// the configuration via htsim.WithObserver). Observers never change
+	// results; analytic experiments (E3–E6) run no epochs and stream
+	// nothing.
+	obs core.Observer
 	// effects memoizes the Fig 5/6 sweep shared by E7 and E8.
 	effects *effectCache
 }
@@ -79,6 +89,9 @@ func simConfig(rc runCtx) (core.Config, error) {
 	if rc.p.Epochs != 0 {
 		opts = append(opts, htsim.WithEpochs(rc.p.Epochs))
 	}
+	if rc.obs != nil {
+		opts = append(opts, htsim.WithObserver(rc.obs))
+	}
 	opts = append(opts, rc.p.pluginOptions()...)
 	return htsim.BuildConfig(opts...)
 }
@@ -132,7 +145,7 @@ func (c *effectCache) tables(rc runCtx) (*results.EffectTable, *results.AppEffec
 			pair.err = err
 			return
 		}
-		pair.effect, pair.apps, pair.err = core.EffectTables(cfg, rc.p.Mixes, rc.p.Threads, rc.p.Targets)
+		pair.effect, pair.apps, pair.err = core.EffectTablesCtx(rc.ctx, cfg, rc.p.Mixes, rc.p.Threads, rc.p.Targets)
 	})
 	return pair.effect, pair.apps, pair.err
 }
@@ -163,7 +176,7 @@ var registry = map[string]entry{
 		defaults: Params{Size: 64, HTCounts: Counts(30, 7), Trials: 50},
 		run: func(rc runCtx) (results.Table, error) {
 			title := fmt.Sprintf("Fig 3(a): infection rate vs HT count, %d cores", rc.p.Size)
-			return core.InfectionCurveTable("E3", title, rc.p.Size, rc.p.HTCounts, rc.p.Trials, rc.seed, rc.workers)
+			return core.InfectionCurveTableCtx(rc.ctx, "E3", title, rc.p.Size, rc.p.HTCounts, rc.p.Trials, rc.seed, rc.workers)
 		},
 	},
 	"E4": {
@@ -172,7 +185,7 @@ var registry = map[string]entry{
 		defaults: Params{Size: 512, HTCounts: Counts(60, 7), Trials: 50},
 		run: func(rc runCtx) (results.Table, error) {
 			title := fmt.Sprintf("Fig 3(b): infection rate vs HT count, %d cores", rc.p.Size)
-			return core.InfectionCurveTable("E4", title, rc.p.Size, rc.p.HTCounts, rc.p.Trials, rc.seed, rc.workers)
+			return core.InfectionCurveTableCtx(rc.ctx, "E4", title, rc.p.Size, rc.p.HTCounts, rc.p.Trials, rc.seed, rc.workers)
 		},
 	},
 	"E5": {
@@ -181,7 +194,7 @@ var registry = map[string]entry{
 		defaults: Params{Sizes: paperSizes(), Denominator: 16, Trials: 50},
 		run: func(rc runCtx) (results.Table, error) {
 			title := fmt.Sprintf("Fig 4(a): infection rate by HT distribution, HTs = size/%d", rc.p.Denominator)
-			return core.DistributionTable("E5", title, rc.p.Sizes, rc.p.Denominator, rc.p.Trials, rc.seed, rc.workers)
+			return core.DistributionTableCtx(rc.ctx, "E5", title, rc.p.Sizes, rc.p.Denominator, rc.p.Trials, rc.seed, rc.workers)
 		},
 	},
 	"E6": {
@@ -190,7 +203,7 @@ var registry = map[string]entry{
 		defaults: Params{Sizes: paperSizes(), Denominator: 8, Trials: 50},
 		run: func(rc runCtx) (results.Table, error) {
 			title := fmt.Sprintf("Fig 4(b): infection rate by HT distribution, HTs = size/%d", rc.p.Denominator)
-			return core.DistributionTable("E6", title, rc.p.Sizes, rc.p.Denominator, rc.p.Trials, rc.seed, rc.workers)
+			return core.DistributionTableCtx(rc.ctx, "E6", title, rc.p.Sizes, rc.p.Denominator, rc.p.Trials, rc.seed, rc.workers)
 		},
 	},
 	"E7": {
@@ -226,7 +239,7 @@ var registry = map[string]entry{
 			if err != nil {
 				return nil, err
 			}
-			return core.PlacementTableFor(cfg, rc.p.Mixes, rc.p.Threads, rc.p.HTs, rc.p.Samples, rc.seed)
+			return core.PlacementTableForCtx(rc.ctx, cfg, rc.p.Mixes, rc.p.Threads, rc.p.HTs, rc.p.Samples, rc.seed)
 		},
 	},
 	"E10": {
@@ -238,7 +251,7 @@ var registry = map[string]entry{
 			if err != nil {
 				return nil, err
 			}
-			return core.AblationTableFor(cfg, rc.p.Mix, rc.p.Threads, rc.p.TargetInfection)
+			return core.AblationTableForCtx(rc.ctx, cfg, rc.p.Mix, rc.p.Threads, rc.p.TargetInfection)
 		},
 	},
 	"X1": {
@@ -250,7 +263,7 @@ var registry = map[string]entry{
 			if err != nil {
 				return nil, err
 			}
-			return core.VariantTableFor(cfg, rc.p.Mix, rc.p.Threads, rc.p.HTs)
+			return core.VariantTableForCtx(rc.ctx, cfg, rc.p.Mix, rc.p.Threads, rc.p.HTs)
 		},
 	},
 	"X2": {
@@ -262,7 +275,7 @@ var registry = map[string]entry{
 			if err != nil {
 				return nil, err
 			}
-			return core.DefenseTableFor(cfg, rc.p.Mix, rc.p.Threads, rc.p.HTs)
+			return core.DefenseTableForCtx(rc.ctx, cfg, rc.p.Mix, rc.p.Threads, rc.p.HTs)
 		},
 	},
 }
@@ -291,6 +304,14 @@ func Experiments() []Experiment {
 // printed by a CLI and the matching htcampaign artifact can never drift.
 // A zero seed means the default campaign seed.
 func BuildTable(id string, over Params, seed int64, workers int) (results.Table, error) {
+	return BuildTableCtx(context.Background(), id, over, seed, workers)
+}
+
+// BuildTableCtx is BuildTable with cooperative cancellation: a cancelled
+// context stops the experiment's trial pools and in-flight campaigns
+// promptly and returns the context's error — the path the CLIs' signal
+// handling and the simulation service's DELETE /v1/jobs/{id} both use.
+func BuildTableCtx(ctx context.Context, id string, over Params, seed int64, workers int) (results.Table, error) {
 	ent, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("campaign: unknown experiment %q (known: %s)", id, knownIDs())
@@ -300,7 +321,7 @@ func BuildTable(id string, over Params, seed int64, workers int) (results.Table,
 		return nil, fmt.Errorf("campaign: experiment %s: %w", id, err)
 	}
 	spec := &Spec{Seed: seed}
-	return ent.run(runCtx{p: p, seed: spec.seedFor(p), workers: workers, effects: &effectCache{}})
+	return ent.run(runCtx{ctx: ctx, p: p, seed: spec.seedFor(p), workers: workers, effects: &effectCache{}})
 }
 
 // Artifact records one experiment's serialized outputs in the manifest.
@@ -327,6 +348,76 @@ type Manifest struct {
 	Artifacts []Artifact `json:"artifacts"`
 }
 
+// Progress receives job-granular callbacks while a campaign runs. Any
+// field may be nil; the zero value reports nothing. Experiments fan out
+// over a worker pool, so callbacks fire concurrently and must be safe for
+// concurrent use. Callbacks observe execution only — they can never change
+// results or artifacts.
+type Progress struct {
+	// ExperimentStarted fires when an experiment's driver begins.
+	ExperimentStarted func(id string)
+	// ExperimentDone fires when an experiment's driver returns, with its
+	// table (nil on failure) and error.
+	ExperimentDone func(id string, t results.Table, err error)
+	// Epoch streams one sample per budgeting epoch of every cycle-simulated
+	// campaign an experiment runs, tagged with the experiment ID. Analytic
+	// experiments (E1–E6) simulate no epochs and stream nothing. The E7/E8
+	// sweep is shared: its epochs are tagged with whichever of the two
+	// experiments claimed the memoized sweep first.
+	Epoch func(id string, s core.EpochSample)
+}
+
+// observerFor wraps the Epoch callback as an experiment-tagged observer,
+// or returns nil when no callback is registered.
+func (p Progress) observerFor(id string) core.Observer {
+	if p.Epoch == nil {
+		return nil
+	}
+	return core.ObserverFunc(func(s core.EpochSample) { p.Epoch(id, s) })
+}
+
+// BuildTables executes a validated spec and returns the produced tables in
+// spec order without writing anything — the job-granular entry point the
+// simulation service runs queued campaigns through. Experiments fan out
+// over the exp pool with the given worker count (0 = one per CPU; results
+// are identical for any value); ctx cancels the whole campaign promptly;
+// prog reports per-experiment lifecycle and per-epoch samples as the run
+// progresses. Each returned table's metadata records the spec's
+// declarative worker count, exactly as the written artifacts do.
+func BuildTables(ctx context.Context, spec *Spec, workers int, prog Progress) ([]results.Table, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	effects := &effectCache{}
+	return exp.RunCtx(ctx, workers, len(spec.Experiments), func(ctx context.Context, i int) (results.Table, error) {
+		e := spec.Experiments[i]
+		ent := registry[e.ID]
+		p := merge(ent.defaults, e.Params)
+		if prog.ExperimentStarted != nil {
+			prog.ExperimentStarted(e.ID)
+		}
+		t, err := ent.run(runCtx{
+			ctx:     ctx,
+			p:       p,
+			seed:    spec.seedFor(p),
+			workers: workers,
+			obs:     prog.observerFor(e.ID),
+			effects: effects,
+		})
+		if prog.ExperimentDone != nil {
+			prog.ExperimentDone(e.ID, t, err)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("campaign: %s: %w", e.ID, err)
+		}
+		// The table records the spec's declarative worker count, never the
+		// execution pool size — byte-identity across -parallel values
+		// depends on it.
+		t.TableMeta().Workers = spec.Workers
+		return t, nil
+	})
+}
+
 // Run executes a validated spec: experiments fan out over the exp pool
 // with the given worker count (0 = one per CPU; results are identical for
 // any value), artifacts are written to outDir in spec order, and the
@@ -339,20 +430,15 @@ type Manifest struct {
 // time-slices well, and the alternative (splitting the budget) starves
 // whichever level happens to carry the work in a given spec.
 func Run(spec *Spec, outDir string, workers int) (*Manifest, []results.Table, error) {
-	if err := spec.Validate(); err != nil {
-		return nil, nil, err
-	}
-	effects := &effectCache{}
-	tables, err := exp.Run(workers, len(spec.Experiments), func(i int) (results.Table, error) {
-		e := spec.Experiments[i]
-		ent := registry[e.ID]
-		p := merge(ent.defaults, e.Params)
-		t, err := ent.run(runCtx{p: p, seed: spec.seedFor(p), workers: workers, effects: effects})
-		if err != nil {
-			return nil, fmt.Errorf("campaign: %s: %w", e.ID, err)
-		}
-		return t, nil
-	})
+	return RunCtx(context.Background(), spec, outDir, workers, Progress{})
+}
+
+// RunCtx is Run with cooperative cancellation and progress reporting: the
+// campaign stops promptly when ctx is cancelled (no artifacts are written
+// for a cancelled run), and prog receives the same job-granular events
+// BuildTables reports.
+func RunCtx(ctx context.Context, spec *Spec, outDir string, workers int, prog Progress) (*Manifest, []results.Table, error) {
+	tables, err := BuildTables(ctx, spec, workers, prog)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -363,10 +449,6 @@ func Run(spec *Spec, outDir string, workers int) (*Manifest, []results.Table, er
 		Revision: results.Revision(),
 	}
 	for _, t := range tables {
-		// The artifact records the spec's declarative worker count, never
-		// the execution pool size — byte-identity across -parallel values
-		// depends on it.
-		t.TableMeta().Workers = spec.Workers
 		jsonPath, csvPath, err := results.WriteArtifact(outDir, t)
 		if err != nil {
 			return nil, nil, fmt.Errorf("campaign: write %s: %w", t.TableMeta().Experiment, err)

@@ -79,6 +79,14 @@ type Config struct {
 	// bit-identical for every setting — trials derive their random streams
 	// from (Seed, trial index), never from a shared RNG.
 	Workers int
+	// Observer, when non-nil, is the configuration owner's streaming hook:
+	// every attacked campaign built from this configuration feeds it one
+	// EpochSample per budgeting epoch, in addition to any observer passed
+	// to RunContext directly. The clean baseline of a RunPair stays silent,
+	// matching the per-run observer contract. Experiment drivers may run
+	// many campaigns concurrently over one configuration, so the observer
+	// must be safe for concurrent use; samples never influence results.
+	Observer Observer
 }
 
 // DefaultConfig returns the Table I configuration: 256 cores on a 16×16

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -39,6 +40,13 @@ func InfectionVsHTCount(size int, gm GMPlacement, htCounts []int, trials int, se
 // seeds its own RNG from the campaign seed and its flat trial index, so
 // the returned rates are bit-identical for every worker count.
 func InfectionVsHTCountN(size int, gm GMPlacement, htCounts []int, trials int, seed int64, workers int) ([]InfectionPoint, error) {
+	return InfectionVsHTCountCtx(context.Background(), size, gm, htCounts, trials, seed, workers)
+}
+
+// InfectionVsHTCountCtx is InfectionVsHTCountN with cooperative
+// cancellation: no new trial starts once ctx is done and the pool returns
+// ctx's error.
+func InfectionVsHTCountCtx(ctx context.Context, size int, gm GMPlacement, htCounts []int, trials int, seed int64, workers int) ([]InfectionPoint, error) {
 	mesh, err := noc.MeshForSize(size)
 	if err != nil {
 		return nil, err
@@ -55,7 +63,7 @@ func InfectionVsHTCountN(size int, gm GMPlacement, htCounts []int, trials int, s
 	if trials < 1 {
 		return nil, fmt.Errorf("core: need at least one trial")
 	}
-	rates, err := exp.Run(workers, len(htCounts)*trials, func(trial int) (float64, error) {
+	rates, err := exp.RunCtx(ctx, workers, len(htCounts)*trials, func(_ context.Context, trial int) (float64, error) {
 		m := htCounts[trial/trials]
 		if m == 0 {
 			return 0, nil
@@ -111,6 +119,12 @@ func InfectionByDistribution(dist Distribution, sizes []int, denominator, trials
 // own RNG from the campaign seed and its flat trial index, so the returned
 // rates are bit-identical for every worker count.
 func InfectionByDistributionN(dist Distribution, sizes []int, denominator, trials int, seed int64, workers int) ([]DistributionPoint, error) {
+	return InfectionByDistributionCtx(context.Background(), dist, sizes, denominator, trials, seed, workers)
+}
+
+// InfectionByDistributionCtx is InfectionByDistributionN with cooperative
+// cancellation through the trial pool.
+func InfectionByDistributionCtx(ctx context.Context, dist Distribution, sizes []int, denominator, trials int, seed int64, workers int) ([]DistributionPoint, error) {
 	if denominator < 1 {
 		return nil, fmt.Errorf("core: invalid denominator %d", denominator)
 	}
@@ -122,7 +136,7 @@ func InfectionByDistributionN(dist Distribution, sizes []int, denominator, trial
 	if trials < 1 {
 		trials = 1
 	}
-	rates, err := exp.Run(workers, len(sizes)*trials, func(trial int) (float64, error) {
+	rates, err := exp.RunCtx(ctx, workers, len(sizes)*trials, func(_ context.Context, trial int) (float64, error) {
 		size := sizes[trial/trials]
 		mesh, err := noc.MeshForSize(size)
 		if err != nil {
@@ -181,6 +195,13 @@ type QPoint struct {
 // campaign is simulated, and Q is evaluated against the shared clean
 // baseline.
 func QVsInfection(cfg Config, mixName string, threads int, targets []float64) ([]QPoint, error) {
+	return QVsInfectionCtx(context.Background(), cfg, mixName, threads, targets)
+}
+
+// QVsInfectionCtx is QVsInfection with cooperative cancellation: each
+// campaign in the sweep runs under ctx and a cancelled sweep returns
+// promptly with ctx's error.
+func QVsInfectionCtx(ctx context.Context, cfg Config, mixName string, threads int, targets []float64) ([]QPoint, error) {
 	mix, err := workload.MixByName(mixName)
 	if err != nil {
 		return nil, err
@@ -193,7 +214,7 @@ func QVsInfection(cfg Config, mixName string, threads int, targets []float64) ([
 	if err != nil {
 		return nil, err
 	}
-	baseline, err := sys.Run(sc.WithoutTrojans())
+	baseline, err := sys.RunContext(ctx, sc.WithoutTrojans(), nil)
 	if err != nil {
 		return nil, fmt.Errorf("core: baseline: %w", err)
 	}
@@ -239,7 +260,7 @@ func QVsInfection(cfg Config, mixName string, threads int, targets []float64) ([
 			} else {
 				sc.Trojans = attack.Placement{}
 			}
-			attacked, err := sys.Run(sc)
+			attacked, err := sys.RunContext(ctx, sc, nil)
 			if err != nil {
 				return nil, fmt.Errorf("core: target %.2f: %w", target, err)
 			}
@@ -295,6 +316,12 @@ type PlacementStudy struct {
 // fleet is drawn from its own (seed, sample index) RNG, so the study is
 // bit-identical for every worker count.
 func OptimalVsRandom(cfg Config, mixName string, threads, nHTs, samples int, seed int64) (*PlacementStudy, error) {
+	return OptimalVsRandomCtx(context.Background(), cfg, mixName, threads, nHTs, samples, seed)
+}
+
+// OptimalVsRandomCtx is OptimalVsRandom with cooperative cancellation
+// through the training and shortlist pools.
+func OptimalVsRandomCtx(ctx context.Context, cfg Config, mixName string, threads, nHTs, samples int, seed int64) (*PlacementStudy, error) {
 	if samples < 4 {
 		return nil, fmt.Errorf("core: need at least 4 samples to fit Eqn 9")
 	}
@@ -310,7 +337,7 @@ func OptimalVsRandom(cfg Config, mixName string, threads, nHTs, samples int, see
 	if err != nil {
 		return nil, err
 	}
-	baseline, err := sys.Run(sc.WithoutTrojans())
+	baseline, err := sys.RunContext(ctx, sc.WithoutTrojans(), nil)
 	if err != nil {
 		return nil, err
 	}
@@ -343,17 +370,17 @@ func OptimalVsRandom(cfg Config, mixName string, threads, nHTs, samples int, see
 			placements = append(placements, placement)
 		}
 	}
-	simulateQ := func(placement attack.Placement) (*Comparison, error) {
+	simulateQ := func(ctx context.Context, placement attack.Placement) (*Comparison, error) {
 		psc := sc
 		psc.Trojans = placement
-		attacked, err := sys.Run(psc)
+		attacked, err := sys.RunContext(ctx, psc, nil)
 		if err != nil {
 			return nil, err
 		}
 		return Compare(attacked, baseline)
 	}
-	cmps, err := exp.Run(cfg.Workers, len(placements), func(i int) (*Comparison, error) {
-		return simulateQ(placements[i])
+	cmps, err := exp.RunCtx(ctx, cfg.Workers, len(placements), func(ctx context.Context, i int) (*Comparison, error) {
+		return simulateQ(ctx, placements[i])
 	})
 	if err != nil {
 		return nil, err
@@ -387,8 +414,8 @@ func OptimalVsRandom(cfg Config, mixName string, threads, nHTs, samples int, see
 	if err != nil {
 		return nil, fmt.Errorf("core: Eqn 10 enumeration: %w", err)
 	}
-	topCmps, err := exp.Run(cfg.Workers, len(top), func(i int) (*Comparison, error) {
-		return simulateQ(top[i].Placement)
+	topCmps, err := exp.RunCtx(ctx, cfg.Workers, len(top), func(ctx context.Context, i int) (*Comparison, error) {
+		return simulateQ(ctx, top[i].Placement)
 	})
 	if err != nil {
 		return nil, err

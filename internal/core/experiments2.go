@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/attack"
@@ -35,6 +36,12 @@ type VariantResult struct {
 // drop and loopback are the taxonomy baselines. The three campaigns share
 // one clean baseline and fan out over cfg.Workers.
 func DoSVariantStudy(cfg Config, mixName string, threads int, placement attack.Placement) ([]VariantResult, error) {
+	return DoSVariantStudyCtx(context.Background(), cfg, mixName, threads, placement)
+}
+
+// DoSVariantStudyCtx is DoSVariantStudy with cooperative cancellation
+// through the variant pool and each variant's campaign.
+func DoSVariantStudyCtx(ctx context.Context, cfg Config, mixName string, threads int, placement attack.Placement) ([]VariantResult, error) {
 	mix, err := workload.MixByName(mixName)
 	if err != nil {
 		return nil, err
@@ -47,17 +54,17 @@ func DoSVariantStudy(cfg Config, mixName string, threads int, placement attack.P
 	if err != nil {
 		return nil, err
 	}
-	baseline, err := sys.Run(sc.WithoutTrojans())
+	baseline, err := sys.RunContext(ctx, sc.WithoutTrojans(), nil)
 	if err != nil {
 		return nil, err
 	}
 	modes := trojan.Modes.All()
-	return exp.Run(cfg.Workers, len(modes), func(i int) (VariantResult, error) {
+	return exp.RunCtx(ctx, cfg.Workers, len(modes), func(ctx context.Context, i int) (VariantResult, error) {
 		mode := modes[i]
 		vsc := sc
 		vsc.Trojans = placement
 		vsc.Mode = mode
-		attacked, err := sys.Run(vsc)
+		attacked, err := sys.RunContext(ctx, vsc, nil)
 		if err != nil {
 			return VariantResult{}, fmt.Errorf("core: variant %v: %w", mode, err)
 		}
@@ -113,6 +120,12 @@ type DefenseResult struct {
 // its activation (the paper's stealth recommendation), which is exactly
 // the transition signature history-based detection needs.
 func DefenseStudy(cfg Config, mixName string, threads int, placement attack.Placement) ([]DefenseResult, error) {
+	return DefenseStudyCtx(context.Background(), cfg, mixName, threads, placement)
+}
+
+// DefenseStudyCtx is DefenseStudy with cooperative cancellation through
+// the per-defense pool and each configuration's paired runs.
+func DefenseStudyCtx(ctx context.Context, cfg Config, mixName string, threads int, placement attack.Placement) ([]DefenseResult, error) {
 	mix, err := workload.MixByName(mixName)
 	if err != nil {
 		return nil, err
@@ -137,7 +150,7 @@ func DefenseStudy(cfg Config, mixName string, threads int, placement attack.Plac
 	// Every registered defense configuration is an independent chip: fan
 	// out over cfg.Workers. Stateful filters are cloned per run inside
 	// setup, so concurrent configurations never share detector state.
-	return exp.Run(cfg.Workers, len(names), func(i int) (DefenseResult, error) {
+	return exp.RunCtx(ctx, cfg.Workers, len(names), func(ctx context.Context, i int) (DefenseResult, error) {
 		name := names[i]
 		dcfg, err := defense.ByName(name)
 		if err != nil {
@@ -155,7 +168,7 @@ func DefenseStudy(cfg Config, mixName string, threads int, placement attack.Plac
 		if err != nil {
 			return DefenseResult{}, err
 		}
-		attacked, baseline, err := sys.RunPair(baseScenario)
+		attacked, baseline, err := sys.RunPairContext(ctx, baseScenario, nil)
 		if err != nil {
 			return DefenseResult{}, fmt.Errorf("core: defense %s: %w", name, err)
 		}

@@ -31,6 +31,15 @@ type Observer interface {
 	ObserveEpoch(EpochSample)
 }
 
+// ObserverFunc adapts a plain function to the Observer interface — the
+// idiom service bridges use to forward samples into an event stream.
+type ObserverFunc func(EpochSample)
+
+var _ Observer = ObserverFunc(nil)
+
+// ObserveEpoch implements Observer.
+func (f ObserverFunc) ObserveEpoch(s EpochSample) { f(s) }
+
 // MultiObserver fans one sample stream out to several observers in order.
 // A nil or empty MultiObserver is a valid no-op observer.
 type MultiObserver []Observer

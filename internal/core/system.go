@@ -111,8 +111,28 @@ func (s *System) Run(sc Scenario) (*Report, error) {
 // an observer callback included — stops the simulation promptly and
 // returns the context's error. obs, when non-nil, receives one typed
 // EpochSample per budgeting epoch as the run progresses (see Observer);
-// a nil obs streams nothing.
+// a nil obs streams nothing. A Config.Observer, when set, receives the
+// same samples in addition to obs.
 func (s *System) RunContext(ctx context.Context, sc Scenario, obs Observer) (*Report, error) {
+	return s.runCampaign(ctx, sc, s.mergeObserver(obs))
+}
+
+// mergeObserver combines the configuration's streaming hook with a per-run
+// observer; either (or both) may be nil.
+func (s *System) mergeObserver(obs Observer) Observer {
+	switch {
+	case s.cfg.Observer == nil:
+		return obs
+	case obs == nil:
+		return s.cfg.Observer
+	default:
+		return MultiObserver{s.cfg.Observer, obs}
+	}
+}
+
+// runCampaign is the epoch loop behind RunContext; obs is the final,
+// already-merged observer (nil streams nothing).
+func (s *System) runCampaign(ctx context.Context, sc Scenario, obs Observer) (*Report, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
@@ -162,10 +182,10 @@ func (s *System) RunPair(sc Scenario) (*Report, *Report, error) {
 
 // RunPairContext is RunPair with cooperative cancellation and optional
 // streaming observation. Cancelling ctx aborts both runs through the
-// worker pool. The observer, when non-nil, streams the attacked run only:
-// interleaving two concurrent runs' samples into one callback would make
-// the stream unreadable, and the baseline's epochs carry no attack
-// signal.
+// worker pool. The observers — obs and any Config.Observer — stream the
+// attacked run only: interleaving two concurrent runs' samples into one
+// callback would make the stream unreadable, and the baseline's epochs
+// carry no attack signal.
 func (s *System) RunPairContext(ctx context.Context, sc Scenario, obs Observer) (*Report, *Report, error) {
 	workers := exp.Workers(s.cfg.Workers)
 	if workers > 2 {
@@ -173,13 +193,13 @@ func (s *System) RunPairContext(ctx context.Context, sc Scenario, obs Observer) 
 	}
 	reports, err := exp.RunCtx(ctx, workers, 2, func(ctx context.Context, i int) (*Report, error) {
 		if i == 0 {
-			attacked, err := s.RunContext(ctx, sc, obs)
+			attacked, err := s.runCampaign(ctx, sc, s.mergeObserver(obs))
 			if err != nil {
 				return nil, fmt.Errorf("core: attacked run: %w", err)
 			}
 			return attacked, nil
 		}
-		baseline, err := s.RunContext(ctx, sc.WithoutTrojans(), nil)
+		baseline, err := s.runCampaign(ctx, sc.WithoutTrojans(), nil)
 		if err != nil {
 			return nil, fmt.Errorf("core: baseline run: %w", err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/attack"
@@ -85,11 +86,17 @@ func AreaPowerTableFor() *results.AreaPowerTable {
 // infection rate versus HT count for the center- and corner-manager
 // placements.
 func InfectionCurveTable(id, title string, size int, htCounts []int, trials int, seed int64, workers int) (*results.InfectionTable, error) {
-	center, err := InfectionVsHTCountN(size, GMCenter, htCounts, trials, seed, workers)
+	return InfectionCurveTableCtx(context.Background(), id, title, size, htCounts, trials, seed, workers)
+}
+
+// InfectionCurveTableCtx is InfectionCurveTable with cooperative
+// cancellation through the trial pools.
+func InfectionCurveTableCtx(ctx context.Context, id, title string, size int, htCounts []int, trials int, seed int64, workers int) (*results.InfectionTable, error) {
+	center, err := InfectionVsHTCountCtx(ctx, size, GMCenter, htCounts, trials, seed, workers)
 	if err != nil {
 		return nil, err
 	}
-	corner, err := InfectionVsHTCountN(size, GMCorner, htCounts, trials, seed, workers)
+	corner, err := InfectionVsHTCountCtx(ctx, size, GMCorner, htCounts, trials, seed, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -117,6 +124,12 @@ func InfectionCurveTable(id, title string, size int, htCounts []int, trials int,
 // with size/8): infection rate versus system size for the three HT
 // distributions with the manager at the center.
 func DistributionTable(id, title string, sizes []int, denominator, trials int, seed int64, workers int) (*results.InfectionTable, error) {
+	return DistributionTableCtx(context.Background(), id, title, sizes, denominator, trials, seed, workers)
+}
+
+// DistributionTableCtx is DistributionTable with cooperative cancellation
+// through the trial pools.
+func DistributionTableCtx(ctx context.Context, id, title string, sizes []int, denominator, trials int, seed int64, workers int) (*results.InfectionTable, error) {
 	dists := []Distribution{DistCenter, DistRandom, DistCorner}
 	params := struct {
 		Sizes       []int `json:"sizes"`
@@ -131,7 +144,7 @@ func DistributionTable(id, title string, sizes []int, denominator, trials int, s
 	}
 	series := make([][]DistributionPoint, len(dists))
 	for di, dist := range dists {
-		pts, err := InfectionByDistributionN(dist, sizes, denominator, trials, seed, workers)
+		pts, err := InfectionByDistributionCtx(ctx, dist, sizes, denominator, trials, seed, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -163,8 +176,14 @@ type effectParams struct {
 // performance changes behind it (Fig 6). Mixes fan out over cfg.Workers;
 // each mix's sweep is an independent campaign with its own baseline.
 func EffectTables(cfg Config, mixNames []string, threads int, targets []float64) (*results.EffectTable, *results.AppEffectTable, error) {
-	series, err := exp.Run(cfg.Workers, len(mixNames), func(i int) ([]QPoint, error) {
-		pts, err := QVsInfection(cfg, mixNames[i], threads, targets)
+	return EffectTablesCtx(context.Background(), cfg, mixNames, threads, targets)
+}
+
+// EffectTablesCtx is EffectTables with cooperative cancellation through
+// the mix pool and every campaign beneath it.
+func EffectTablesCtx(ctx context.Context, cfg Config, mixNames []string, threads int, targets []float64) (*results.EffectTable, *results.AppEffectTable, error) {
+	series, err := exp.RunCtx(ctx, cfg.Workers, len(mixNames), func(ctx context.Context, i int) ([]QPoint, error) {
+		pts, err := QVsInfectionCtx(ctx, cfg, mixNames[i], threads, targets)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", mixNames[i], err)
 		}
@@ -207,6 +226,12 @@ func EffectTables(cfg Config, mixNames []string, threads int, targets []float64)
 // PlacementTableFor builds the E9 artifact: the Section V-C optimal versus
 // random placement study, one row per mix.
 func PlacementTableFor(cfg Config, mixNames []string, threads, nHTs, samples int, seed int64) (*results.PlacementTable, error) {
+	return PlacementTableForCtx(context.Background(), cfg, mixNames, threads, nHTs, samples, seed)
+}
+
+// PlacementTableForCtx is PlacementTableFor with cooperative cancellation
+// through each mix's training and shortlist pools.
+func PlacementTableForCtx(ctx context.Context, cfg Config, mixNames []string, threads, nHTs, samples int, seed int64) (*results.PlacementTable, error) {
 	params := struct {
 		Cores   int      `json:"cores"`
 		Mixes   []string `json:"mixes"`
@@ -219,7 +244,7 @@ func PlacementTableFor(cfg Config, mixNames []string, threads, nHTs, samples int
 		Meta: results.NewMeta("E9", "Section V-C: optimal vs random Trojan placement", seed, 0, params),
 	}
 	for _, name := range mixNames {
-		study, err := OptimalVsRandom(cfg, name, threads, nHTs, samples, seed)
+		study, err := OptimalVsRandomCtx(ctx, cfg, name, threads, nHTs, samples, seed)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", name, err)
 		}
@@ -250,12 +275,18 @@ type AblationResult struct {
 // the power budgeting algorithm" claim. Allocators fan out over
 // cfg.Workers; each gets its own chip.
 func AllocatorAblation(cfg Config, mixName string, threads int, targetInfection float64) ([]AblationResult, error) {
+	return AllocatorAblationCtx(context.Background(), cfg, mixName, threads, targetInfection)
+}
+
+// AllocatorAblationCtx is AllocatorAblation with cooperative cancellation
+// through the allocator pool and each allocator's paired runs.
+func AllocatorAblationCtx(ctx context.Context, cfg Config, mixName string, threads int, targetInfection float64) ([]AblationResult, error) {
 	mix, err := workload.MixByName(mixName)
 	if err != nil {
 		return nil, err
 	}
 	allocs := budget.All()
-	return exp.Run(cfg.Workers, len(allocs), func(i int) (AblationResult, error) {
+	return exp.RunCtx(ctx, cfg.Workers, len(allocs), func(ctx context.Context, i int) (AblationResult, error) {
 		c := cfg
 		c.Allocator = allocs[i]
 		sys, err := NewSystem(c)
@@ -268,7 +299,7 @@ func AllocatorAblation(cfg Config, mixName string, threads int, targetInfection 
 		}
 		placement, _ := attack.ForInfectionRate(sys.Mesh(), sys.ManagerNode(), targetInfection, sys.Mesh().Nodes()/4)
 		sc.Trojans = placement
-		attacked, baseline, err := sys.RunPair(sc)
+		attacked, baseline, err := sys.RunPairContext(ctx, sc, nil)
 		if err != nil {
 			return AblationResult{}, fmt.Errorf("core: ablation %s: %w", allocs[i].Name(), err)
 		}
@@ -282,7 +313,12 @@ func AllocatorAblation(cfg Config, mixName string, threads int, targetInfection 
 
 // AblationTableFor builds the E10 artifact from AllocatorAblation.
 func AblationTableFor(cfg Config, mixName string, threads int, targetInfection float64) (*results.AblationTable, error) {
-	rows, err := AllocatorAblation(cfg, mixName, threads, targetInfection)
+	return AblationTableForCtx(context.Background(), cfg, mixName, threads, targetInfection)
+}
+
+// AblationTableForCtx is AblationTableFor with cooperative cancellation.
+func AblationTableForCtx(ctx context.Context, cfg Config, mixName string, threads int, targetInfection float64) (*results.AblationTable, error) {
+	rows, err := AllocatorAblationCtx(ctx, cfg, mixName, threads, targetInfection)
 	if err != nil {
 		return nil, err
 	}
@@ -331,11 +367,16 @@ type studyParams struct {
 // classes (false-data, drop, loopback) under an identical near-manager
 // ring fleet of nHTs Trojans.
 func VariantTableFor(cfg Config, mixName string, threads, nHTs int) (*results.VariantTable, error) {
+	return VariantTableForCtx(context.Background(), cfg, mixName, threads, nHTs)
+}
+
+// VariantTableForCtx is VariantTableFor with cooperative cancellation.
+func VariantTableForCtx(ctx context.Context, cfg Config, mixName string, threads, nHTs int) (*results.VariantTable, error) {
 	_, placement, err := nearManagerRing(cfg, nHTs)
 	if err != nil {
 		return nil, err
 	}
-	rows, err := DoSVariantStudy(cfg, mixName, threads, placement)
+	rows, err := DoSVariantStudyCtx(ctx, cfg, mixName, threads, placement)
 	if err != nil {
 		return nil, err
 	}
@@ -360,11 +401,16 @@ func VariantTableFor(cfg Config, mixName string, threads, nHTs int) (*results.Va
 // under a duty-cycled attack from a near-manager ring fleet of nHTs
 // Trojans.
 func DefenseTableFor(cfg Config, mixName string, threads, nHTs int) (*results.DefenseTable, error) {
+	return DefenseTableForCtx(context.Background(), cfg, mixName, threads, nHTs)
+}
+
+// DefenseTableForCtx is DefenseTableFor with cooperative cancellation.
+func DefenseTableForCtx(ctx context.Context, cfg Config, mixName string, threads, nHTs int) (*results.DefenseTable, error) {
 	_, placement, err := nearManagerRing(cfg, nHTs)
 	if err != nil {
 		return nil, err
 	}
-	rows, err := DefenseStudy(cfg, mixName, threads, placement)
+	rows, err := DefenseStudyCtx(ctx, cfg, mixName, threads, placement)
 	if err != nil {
 		return nil, err
 	}

@@ -30,6 +30,58 @@ func Workers(requested int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// Gate is a context-aware counting semaphore bounding how many holders run
+// at once. The simulation service uses one to cap concurrent jobs on the
+// same worker budget the trial pools draw from: a job Acquires a slot
+// before fanning its experiments out over Run/RunCtx and Releases it when
+// the campaign finishes, so queued jobs wait instead of oversubscribing
+// the machine. A Gate is safe for concurrent use; the zero value is not
+// usable — construct with NewGate.
+type Gate struct {
+	slots chan struct{}
+}
+
+// NewGate returns a Gate admitting n concurrent holders (n < 1 is treated
+// as 1).
+func NewGate(n int) *Gate {
+	if n < 1 {
+		n = 1
+	}
+	return &Gate{slots: make(chan struct{}, n)}
+}
+
+// Acquire blocks until a slot is free or ctx is done, returning ctx's
+// error in the latter case. Every successful Acquire must be paired with
+// exactly one Release.
+func (g *Gate) Acquire(ctx context.Context) error {
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// TryAcquire takes a slot without blocking, reporting whether it got one.
+func (g *Gate) TryAcquire() bool {
+	select {
+	case g.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release frees a slot taken by Acquire or TryAcquire. Releasing more
+// than was acquired panics — it is always a caller bug.
+func (g *Gate) Release() {
+	select {
+	case <-g.slots:
+	default:
+		panic("exp: Gate.Release without Acquire")
+	}
+}
+
 // TrialSeed derives the RNG seed for one trial of a campaign. Seeding by
 // offset keeps every trial's stream independent of worker count and
 // schedule while staying reproducible from the single campaign seed.

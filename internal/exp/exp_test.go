@@ -1,10 +1,14 @@
 package exp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestWorkersResolution(t *testing.T) {
@@ -98,5 +102,60 @@ func TestRunAllTrialsCompleteDespiteError(t *testing.T) {
 		if !r {
 			t.Fatalf("trial %d never ran", i)
 		}
+	}
+}
+
+// TestGateBoundsConcurrency verifies the Gate admits at most its capacity
+// of concurrent holders while all work still completes.
+func TestGateBoundsConcurrency(t *testing.T) {
+	const cap, tasks = 3, 20
+	g := NewGate(cap)
+	var cur, peak, done atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < tasks; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := g.Acquire(context.Background()); err != nil {
+				t.Error(err)
+				return
+			}
+			defer g.Release()
+			n := cur.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+			done.Add(1)
+		}()
+	}
+	wg.Wait()
+	if got := done.Load(); got != tasks {
+		t.Errorf("%d tasks completed, want %d", got, tasks)
+	}
+	if p := peak.Load(); p > cap {
+		t.Errorf("peak concurrency %d exceeds gate capacity %d", p, cap)
+	}
+}
+
+// TestGateAcquireHonoursContext verifies a full gate unblocks with the
+// context's error when the waiter is cancelled.
+func TestGateAcquireHonoursContext(t *testing.T) {
+	g := NewGate(1)
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer g.Release()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := g.Acquire(ctx); err != context.Canceled {
+		t.Fatalf("Acquire on cancelled ctx = %v, want context.Canceled", err)
+	}
+	if g.TryAcquire() {
+		t.Fatal("TryAcquire succeeded on a full gate")
 	}
 }

@@ -31,8 +31,8 @@ func WriteJSON(w io.Writer, t Table) error {
 // the file round-trips losslessly.
 func WriteCSV(w io.Writer, t Table) error {
 	m := t.TableMeta()
-	preamble := fmt.Sprintf("# experiment: %s\n# title: %s\n# seed: %d\n# workers: %d\n# config: %s\n# revision: %s\n",
-		m.Experiment, m.Title, m.Seed, m.Workers, m.ConfigHash, m.Revision)
+	preamble := fmt.Sprintf("# experiment: %s\n# title: %s\n# seed: %d\n# workers: %d\n# config: %s\n# revision: %s\n# go: %s\n",
+		m.Experiment, m.Title, m.Seed, m.Workers, m.ConfigHash, m.Revision, m.GoVersion)
 	if _, err := io.WriteString(w, preamble); err != nil {
 		return err
 	}
@@ -110,6 +110,39 @@ func WriteText(w io.Writer, t Table) error {
 		}
 	}
 	return nil
+}
+
+// Formats lists the serialization formats every table renders to, in
+// canonical order: "json", "csv", and "txt" (aligned human text).
+func Formats() []string { return []string{"json", "csv", "txt"} }
+
+// WriteFormat renders a table in one named format through the same
+// emitters the CLIs and the campaign artifacts use — the single
+// serialization path the simulation service serves artifacts from. The
+// format is one of Formats.
+func WriteFormat(w io.Writer, t Table, format string) error {
+	switch format {
+	case "json":
+		return WriteJSON(w, t)
+	case "csv":
+		return WriteCSV(w, t)
+	case "txt":
+		return WriteText(w, t)
+	default:
+		return fmt.Errorf("results: unknown format %q (known: %s)", format, strings.Join(Formats(), ", "))
+	}
+}
+
+// ContentType reports the MIME type of one named format (see Formats).
+func ContentType(format string) string {
+	switch format {
+	case "json":
+		return "application/json"
+	case "csv":
+		return "text/csv; charset=utf-8"
+	default:
+		return "text/plain; charset=utf-8"
+	}
 }
 
 // WriteArtifact writes a table's JSON and CSV files into dir, named after

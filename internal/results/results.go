@@ -20,6 +20,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"runtime"
 	"runtime/debug"
 	"strconv"
 )
@@ -45,6 +46,10 @@ type Meta struct {
 	// Revision is the VCS revision of the generating binary, "unknown"
 	// when the build carries no VCS stamp (e.g. test binaries).
 	Revision string `json:"revision"`
+	// GoVersion is the toolchain that built the generating binary
+	// (runtime.Version()), so an artifact's numeric drift can be traced to
+	// a toolchain change as well as a code change.
+	GoVersion string `json:"go_version"`
 }
 
 // NewMeta assembles the provenance block for one experiment artifact,
@@ -57,6 +62,7 @@ func NewMeta(experiment, title string, seed int64, workers int, params any) Meta
 		Workers:    workers,
 		ConfigHash: HashConfig(params),
 		Revision:   Revision(),
+		GoVersion:  runtime.Version(),
 	}
 }
 

@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"encoding/csv"
 	"encoding/json"
+	"io"
 	"reflect"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
@@ -160,5 +162,58 @@ func TestWriteArtifact(t *testing.T) {
 	}
 	if !strings.HasSuffix(jsonPath, "e3.json") || !strings.HasSuffix(csvPath, "e3.csv") {
 		t.Errorf("paths = %q, %q", jsonPath, csvPath)
+	}
+}
+
+// TestMetaCarriesGoVersion asserts NewMeta stamps the running toolchain
+// and both machine emitters carry it.
+func TestMetaCarriesGoVersion(t *testing.T) {
+	m := NewMeta("E1", "t", 1, 0, struct{}{})
+	if m.GoVersion != runtime.Version() {
+		t.Fatalf("GoVersion = %q, want %q", m.GoVersion, runtime.Version())
+	}
+	tab := &ConfigTable{Meta: m, Entries: []ConfigEntry{{Key: "k", Value: "v"}}}
+	var j, c bytes.Buffer
+	if err := WriteJSON(&j, tab); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(j.String(), `"go_version": "`+runtime.Version()+`"`) {
+		t.Errorf("JSON missing go_version: %s", j.String())
+	}
+	if err := WriteCSV(&c, tab); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(c.String(), "# go: "+runtime.Version()+"\n") {
+		t.Errorf("CSV preamble missing go line: %s", c.String())
+	}
+}
+
+// TestWriteFormatDispatchesEveryFormat verifies the single render path
+// matches the dedicated emitters and rejects unknown formats.
+func TestWriteFormatDispatchesEveryFormat(t *testing.T) {
+	tab := &ConfigTable{Meta: NewMeta("E1", "t", 1, 0, struct{}{}), Entries: []ConfigEntry{{Key: "k", Value: "v"}}}
+	emitters := map[string]func(io.Writer, Table) error{
+		"json": WriteJSON, "csv": WriteCSV, "txt": WriteText,
+	}
+	if got, want := len(Formats()), len(emitters); got != want {
+		t.Fatalf("Formats() lists %d formats, want %d", got, want)
+	}
+	for _, format := range Formats() {
+		var direct, dispatched bytes.Buffer
+		if err := emitters[format](&direct, tab); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteFormat(&dispatched, tab, format); err != nil {
+			t.Fatal(err)
+		}
+		if direct.String() != dispatched.String() {
+			t.Errorf("WriteFormat(%q) differs from the dedicated emitter", format)
+		}
+		if ContentType(format) == "" {
+			t.Errorf("ContentType(%q) empty", format)
+		}
+	}
+	if err := WriteFormat(&bytes.Buffer{}, tab, "xml"); err == nil || !strings.Contains(err.Error(), "unknown format") {
+		t.Errorf("WriteFormat(xml) = %v, want unknown-format error", err)
 	}
 }

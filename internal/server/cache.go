@@ -1,0 +1,143 @@
+package server
+
+import (
+	"container/list"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/results"
+)
+
+// This file is the content-addressed result cache: finished jobs are
+// stored under a key fingerprinting the submission (spec or sim request),
+// the binary's VCS revision, and the Go toolchain, so an identical
+// submission returns instantly without re-simulation. Entries live in an
+// in-memory LRU holding the typed tables; when a cache directory is
+// configured, every entry is also spilled to disk as fully rendered
+// artifacts, surviving both LRU eviction and server restarts.
+
+// cacheEntry is one cached result set.
+type cacheEntry struct {
+	key    string
+	tables []results.Table
+}
+
+// cache is a thread-safe LRU of result tables with optional disk spill.
+type cache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	index    map[string]*list.Element
+	dir      string // "" disables the disk tier
+}
+
+// newCache returns an empty cache of the given capacity (entries below 1
+// are clamped to 1) spilling into dir when non-empty.
+func newCache(capacity int, dir string) *cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &cache{capacity: capacity, ll: list.New(), index: make(map[string]*list.Element), dir: dir}
+}
+
+// get returns the cached tables for key, promoting the entry to
+// most-recently-used.
+func (c *cache) get(key string) ([]results.Table, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.index[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).tables, true
+}
+
+// put stores tables under key, evicting the least-recently-used entry
+// beyond capacity and spilling rendered artifacts to the disk tier.
+func (c *cache) put(key string, tables []results.Table) error {
+	c.mu.Lock()
+	if el, ok := c.index[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).tables = tables
+	} else {
+		c.index[key] = c.ll.PushFront(&cacheEntry{key: key, tables: tables})
+		if c.ll.Len() > c.capacity {
+			last := c.ll.Back()
+			c.ll.Remove(last)
+			delete(c.index, last.Value.(*cacheEntry).key)
+		}
+	}
+	c.mu.Unlock()
+	if c.dir == "" {
+		return nil
+	}
+	return c.spill(key, tables)
+}
+
+// spill renders every table in every format into dir/key. A partially
+// written entry is never visible: artifacts are written into a temporary
+// directory and renamed into place.
+func (c *cache) spill(key string, tables []results.Table) error {
+	tmp, err := os.MkdirTemp(c.dir, "spill-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	for _, t := range tables {
+		base := strings.ToLower(t.TableMeta().Experiment)
+		for _, format := range results.Formats() {
+			f, err := os.Create(filepath.Join(tmp, base+"."+format))
+			if err != nil {
+				return err
+			}
+			err = results.WriteFormat(f, t, format)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	final := c.diskPath(key)
+	os.RemoveAll(final)
+	return os.Rename(tmp, final)
+}
+
+// diskLoad reports whether key exists in the disk tier and the artifact
+// file names it holds, sorted.
+func (c *cache) diskLoad(key string) ([]string, bool) {
+	if c.dir == "" {
+		return nil, false
+	}
+	entries, err := os.ReadDir(c.diskPath(key))
+	if err != nil || len(entries) == 0 {
+		return nil, false
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, true
+}
+
+// diskOpen opens one spilled artifact file for streaming.
+func (c *cache) diskOpen(key, name string) (io.ReadCloser, error) {
+	if c.dir == "" {
+		return nil, fmt.Errorf("server: no cache directory configured")
+	}
+	return os.Open(filepath.Join(c.diskPath(key), name))
+}
+
+// diskPath is the spill directory of one key (keys are hex fingerprints,
+// safe as path elements).
+func (c *cache) diskPath(key string) string { return filepath.Join(c.dir, key) }

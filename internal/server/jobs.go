@@ -1,0 +1,500 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/results"
+)
+
+// This file is the bounded job manager: submissions enter a FIFO queue
+// with a depth limit (a full queue rejects with 429 backpressure), a
+// dispatcher starts them in order through an exp.Gate bounding concurrent
+// jobs, and every job runs under its own cancellable context so
+// DELETE /v1/jobs/{id} aborts it promptly mid-simulation.
+
+// jobState is a job's lifecycle phase.
+type jobState string
+
+// Job lifecycle: queued → running → done | failed | cancelled (queued
+// jobs may also be cancelled directly).
+const (
+	jobQueued    jobState = "queued"
+	jobRunning   jobState = "running"
+	jobDone      jobState = "done"
+	jobFailed    jobState = "failed"
+	jobCancelled jobState = "cancelled"
+)
+
+// errQueueFull rejects a submission when the FIFO queue is at depth.
+var errQueueFull = errors.New("server: job queue full")
+
+// job is one queued/running/finished unit of work: a whole campaign spec
+// or a single-sim request.
+type job struct {
+	id       string
+	kind     string // "campaign" | "sim"
+	name     string
+	cacheKey string
+	events   *eventLog
+	// epochs counts streamed samples (also aggregated in counters).
+	epochs atomic.Int64
+
+	// spec is set for campaign jobs, sim for sim jobs.
+	spec *campaign.Spec
+	sim  *simRequest
+
+	mu        sync.Mutex
+	state     jobState
+	cacheTier string // "", "memory", "disk" — how the result was served
+	errMsg    string
+	tables    []results.Table
+	diskFiles []string
+	cancel    context.CancelFunc
+	created   time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// jobStatus is the JSON view of a job.
+type jobStatus struct {
+	ID        string     `json:"id"`
+	Kind      string     `json:"kind"`
+	Name      string     `json:"name"`
+	State     jobState   `json:"state"`
+	CacheKey  string     `json:"cache_key"`
+	Cache     string     `json:"cache,omitempty"`
+	Error     string     `json:"error,omitempty"`
+	Artifacts []string   `json:"artifacts,omitempty"`
+	Epochs    int64      `json:"epochs"`
+	Created   time.Time  `json:"created"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+}
+
+// stateEvent is the payload of "state" SSE events.
+type stateEvent struct {
+	State jobState `json:"state"`
+	Cache string   `json:"cache,omitempty"`
+	Error string   `json:"error,omitempty"`
+}
+
+// experimentEvent is the payload of "experiment" SSE events.
+type experimentEvent struct {
+	ID         string `json:"id"`
+	Status     string `json:"status"` // "started" | "done" | "failed"
+	ConfigHash string `json:"config_hash,omitempty"`
+	Error      string `json:"error,omitempty"`
+}
+
+// epochEvent is the payload of "epoch" SSE events: one typed per-epoch
+// sample bridged from the pkg/htsim Observer API. VictimLevel and
+// AttackerLevel are mean DVFS level indices — the victim series is the
+// live throttle signal of the attack.
+type epochEvent struct {
+	Experiment    string  `json:"experiment"`
+	Epoch         int     `json:"epoch"`
+	TrojanActive  bool    `json:"trojan_active"`
+	Requests      uint64  `json:"requests"`
+	Tampered      uint64  `json:"tampered"`
+	Grants        int     `json:"grants"`
+	Flagged       uint64  `json:"flagged"`
+	AttackerLevel float64 `json:"attacker_level"`
+	VictimLevel   float64 `json:"victim_level"`
+	Infection     float64 `json:"infection"`
+}
+
+// epochEventFor maps one streamed sample into its SSE payload.
+func epochEventFor(experiment string, s core.EpochSample) epochEvent {
+	return epochEvent{
+		Experiment:    experiment,
+		Epoch:         s.Epoch,
+		TrojanActive:  s.TrojanActive,
+		Requests:      s.RequestsReceived,
+		Tampered:      s.RequestsTampered,
+		Grants:        s.GrantsIssued,
+		Flagged:       s.FlaggedRequests,
+		AttackerLevel: s.AttackerMeanLevel,
+		VictimLevel:   s.VictimMeanLevel,
+		Infection:     s.InfectionRunning,
+	}
+}
+
+// status snapshots the job for JSON rendering.
+func (j *job) status() jobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := jobStatus{
+		ID:       j.id,
+		Kind:     j.kind,
+		Name:     j.name,
+		State:    j.state,
+		CacheKey: j.cacheKey,
+		Cache:    j.cacheTier,
+		Error:    j.errMsg,
+		Epochs:   j.epochs.Load(),
+		Created:  j.created,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	st.Artifacts = j.artifactNamesLocked()
+	return st
+}
+
+// artifactNamesLocked lists the job's servable artifact files; j.mu held.
+func (j *job) artifactNamesLocked() []string {
+	if len(j.diskFiles) > 0 {
+		return append([]string(nil), j.diskFiles...)
+	}
+	var names []string
+	for _, t := range j.tables {
+		base := strings.ToLower(t.TableMeta().Experiment)
+		for _, format := range results.Formats() {
+			names = append(names, base+"."+format)
+		}
+	}
+	return names
+}
+
+// begin moves a queued job to running, reporting false when the job was
+// cancelled while waiting in the queue.
+func (j *job) begin(cancel context.CancelFunc) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != jobQueued {
+		return false
+	}
+	j.state = jobRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	j.events.publish("state", stateEvent{State: jobRunning})
+	return true
+}
+
+// finish moves the job to a terminal state and seals its event stream.
+func (j *job) finish(state jobState, tables []results.Table, diskFiles []string, cacheTier, errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finishLocked(state, tables, diskFiles, cacheTier, errMsg)
+}
+
+// finishLocked is finish with j.mu already held — the form state-machine
+// transitions use when the decision and the transition must be atomic
+// (cancel-while-queued racing the dispatcher's begin). The eventLog has
+// its own lock and never takes j.mu, so publishing under j.mu is safe.
+func (j *job) finishLocked(state jobState, tables []results.Table, diskFiles []string, cacheTier, errMsg string) {
+	j.state = state
+	j.tables = tables
+	j.diskFiles = diskFiles
+	j.cacheTier = cacheTier
+	j.errMsg = errMsg
+	j.finished = time.Now()
+	j.cancel = nil
+	j.events.publish("state", stateEvent{State: state, Cache: cacheTier, Error: errMsg})
+	j.events.close()
+}
+
+// manager owns the job table, the FIFO queue, and the dispatcher.
+type manager struct {
+	base context.Context
+	stop context.CancelFunc
+	// queue is the FIFO: capacity is the configured depth, a full channel
+	// is backpressure.
+	queue chan *job
+	// gate bounds concurrently running jobs; each admitted job fans its
+	// experiments out over `workers` exp-pool workers.
+	gate    *exp.Gate
+	workers int
+	cache   *cache
+	metrics *counters
+	wg      sync.WaitGroup
+
+	mu    sync.Mutex
+	jobs  map[string]*job
+	order []string
+	seq   int
+}
+
+// newManager starts the dispatcher and returns the manager.
+func newManager(opts Options, cache *cache, metrics *counters) *manager {
+	base, stop := context.WithCancel(context.Background())
+	m := &manager{
+		base:    base,
+		stop:    stop,
+		queue:   make(chan *job, opts.QueueDepth),
+		gate:    exp.NewGate(opts.Jobs),
+		workers: opts.Workers,
+		cache:   cache,
+		metrics: metrics,
+		jobs:    make(map[string]*job),
+	}
+	m.wg.Add(1)
+	go m.dispatch()
+	return m
+}
+
+// shutdown cancels every running job, stops the dispatcher, waits for
+// in-flight work to unwind, and finalises jobs still queued — every event
+// log is sealed afterwards, so no SSE watcher outlives the service.
+func (m *manager) shutdown() {
+	m.stop()
+	m.wg.Wait()
+	m.mu.Lock()
+	jobs := make([]*job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+	for _, j := range jobs {
+		j.mu.Lock()
+		switch j.state {
+		case jobQueued, jobRunning:
+			j.finishLocked(jobCancelled, nil, nil, "", "server shutting down")
+			j.mu.Unlock()
+			m.metrics.jobsCancelled.Add(1)
+		default:
+			j.mu.Unlock()
+		}
+	}
+}
+
+// lookup returns a job by ID, or nil.
+func (m *manager) lookup(id string) *job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.jobs[id]
+}
+
+// list snapshots every job in submission order.
+func (m *manager) list() []jobStatus {
+	m.mu.Lock()
+	ids := append([]string(nil), m.order...)
+	m.mu.Unlock()
+	out := make([]jobStatus, 0, len(ids))
+	for _, id := range ids {
+		if j := m.lookup(id); j != nil {
+			out = append(out, j.status())
+		}
+	}
+	return out
+}
+
+// queueDepths reports (queued, running) gauges for /v1/metrics.
+func (m *manager) queueDepths() (queued, running int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		switch j.state {
+		case jobQueued:
+			queued++
+		case jobRunning:
+			running++
+		}
+		j.mu.Unlock()
+	}
+	return queued, running
+}
+
+// submit registers a job, answers it from the content-addressed cache
+// when possible, and otherwise enqueues it FIFO. A full queue returns
+// errQueueFull (the job is not registered).
+func (m *manager) submit(j *job) error {
+	j.created = time.Now()
+	j.state = jobQueued
+	j.events = newEventLog()
+
+	// Cache tiers are consulted before the queue: an identical submission
+	// returns instantly, without occupying a queue slot or a worker.
+	if tables, ok := m.cache.get(j.cacheKey); ok {
+		m.register(j)
+		m.metrics.jobsSubmitted.Add(1)
+		m.metrics.cacheHits.Add(1)
+		j.events.publish("state", stateEvent{State: jobQueued})
+		j.finish(jobDone, tables, nil, "memory", "")
+		return nil
+	}
+	if files, ok := m.cache.diskLoad(j.cacheKey); ok {
+		m.register(j)
+		m.metrics.jobsSubmitted.Add(1)
+		m.metrics.cacheDiskHits.Add(1)
+		j.events.publish("state", stateEvent{State: jobQueued})
+		j.finish(jobDone, nil, files, "disk", "")
+		return nil
+	}
+
+	m.mu.Lock()
+	// The queue-full check happens under the registration lock so a burst
+	// of submissions cannot overshoot the declared depth.
+	if len(m.queue) == cap(m.queue) {
+		m.mu.Unlock()
+		m.metrics.jobsRejected.Add(1)
+		return errQueueFull
+	}
+	m.registerLocked(j)
+	m.queue <- j
+	m.mu.Unlock()
+	m.metrics.jobsSubmitted.Add(1)
+	m.metrics.cacheMisses.Add(1)
+	j.events.publish("state", stateEvent{State: jobQueued})
+	return nil
+}
+
+// register assigns the next job ID and records the job.
+func (m *manager) register(j *job) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.registerLocked(j)
+}
+
+// registerLocked is register with m.mu already held.
+func (m *manager) registerLocked(j *job) {
+	m.seq++
+	j.id = fmt.Sprintf("job-%06d", m.seq)
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+}
+
+// dispatch pops jobs FIFO and starts each one once the gate admits it, so
+// job start order matches submission order even with several job slots.
+func (m *manager) dispatch() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.base.Done():
+			return
+		case j := <-m.queue:
+			if err := m.gate.Acquire(m.base); err != nil {
+				return
+			}
+			m.wg.Add(1)
+			go func() {
+				defer m.wg.Done()
+				defer m.gate.Release()
+				m.run(j)
+			}()
+		}
+	}
+}
+
+// run executes one job under its own cancellable context and finalises
+// its state, cache entry, and metrics.
+func (m *manager) run(j *job) {
+	ctx, cancel := context.WithCancel(m.base)
+	defer cancel()
+	if !j.begin(cancel) {
+		// Cancelled while queued; cancelJob already finalised it.
+		return
+	}
+	m.metrics.jobsStarted.Add(1)
+
+	epoch := func(experiment string, s core.EpochSample) {
+		j.epochs.Add(1)
+		m.metrics.epochs.Add(1)
+		j.events.publish("epoch", epochEventFor(experiment, s))
+	}
+
+	var tables []results.Table
+	var err error
+	switch j.kind {
+	case "campaign":
+		tables, err = campaign.BuildTables(ctx, j.spec, m.workers, campaign.Progress{
+			ExperimentStarted: func(id string) {
+				j.events.publish("experiment", experimentEvent{ID: id, Status: "started"})
+			},
+			ExperimentDone: func(id string, t results.Table, terr error) {
+				ev := experimentEvent{ID: id, Status: "done"}
+				if terr != nil {
+					ev.Status = "failed"
+					ev.Error = terr.Error()
+				} else if t != nil {
+					ev.ConfigHash = t.TableMeta().ConfigHash
+				}
+				j.events.publish("experiment", ev)
+			},
+			Epoch: epoch,
+		})
+	default:
+		var t results.Table
+		t, err = j.sim.run(ctx, m.workers, func(s core.EpochSample) { epoch("run", s) })
+		if err == nil {
+			tables = []results.Table{t}
+		}
+	}
+
+	switch {
+	case err != nil && (ctx.Err() != nil || errors.Is(err, context.Canceled)):
+		m.metrics.jobsCancelled.Add(1)
+		j.finish(jobCancelled, nil, nil, "", err.Error())
+	case err != nil:
+		m.metrics.jobsFailed.Add(1)
+		j.finish(jobFailed, nil, nil, "", err.Error())
+	default:
+		if cerr := m.cache.put(j.cacheKey, tables); cerr != nil {
+			// A failed disk spill degrades the cache, not the job: the
+			// result is still served from memory.
+			j.events.publish("experiment", experimentEvent{ID: "cache", Status: "failed", Error: cerr.Error()})
+		}
+		m.metrics.jobsDone.Add(1)
+		j.finish(jobDone, tables, nil, "", "")
+	}
+}
+
+// cancelJob cancels a queued or running job. It reports whether the job
+// exists and an error when the job already finished.
+func (m *manager) cancelJob(id string) (found bool, err error) {
+	j := m.lookup(id)
+	if j == nil {
+		return false, nil
+	}
+	j.mu.Lock()
+	switch j.state {
+	case jobQueued:
+		// The transition happens inside the same critical section begin()
+		// checks, so the dispatcher can never start a job whose DELETE was
+		// acknowledged.
+		j.finishLocked(jobCancelled, nil, nil, "", "cancelled while queued")
+		j.mu.Unlock()
+		m.metrics.jobsCancelled.Add(1)
+		return true, nil
+	case jobRunning:
+		cancel := j.cancel
+		j.mu.Unlock()
+		if cancel != nil {
+			// run() observes the cancellation and finalises the job.
+			cancel()
+		}
+		return true, nil
+	default:
+		state := j.state
+		j.mu.Unlock()
+		return true, fmt.Errorf("job already %s", state)
+	}
+}
+
+// cacheKeyFor fingerprints a submission for the content-addressed cache:
+// the request payload plus the binary's VCS revision and Go toolchain, so
+// results simulated by a different build never alias.
+func cacheKeyFor(kind string, payload any) string {
+	return results.HashConfig(struct {
+		Kind     string `json:"kind"`
+		Payload  any    `json:"payload"`
+		Revision string `json:"revision"`
+		Go       string `json:"go"`
+	}{kind, payload, results.Revision(), runtime.Version()})
+}

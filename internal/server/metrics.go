@@ -1,0 +1,56 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// counters are the service's expvar-style metrics: monotonically
+// increasing atomic counters snapshotted as a flat JSON object by
+// GET /v1/metrics. Gauges (queue depth, running jobs) are computed from
+// the job table at snapshot time rather than counted here.
+type counters struct {
+	// start anchors the uptime and the epochs/sec rate.
+	start time.Time
+	// jobsSubmitted counts accepted submissions (cache hits included);
+	// jobsRejected counts submissions refused with 429 backpressure.
+	jobsSubmitted, jobsRejected atomic.Int64
+	// jobsStarted/Done/Failed/Cancelled count job state transitions.
+	jobsStarted, jobsDone, jobsFailed, jobsCancelled atomic.Int64
+	// cacheHits/cacheDiskHits/cacheMisses count content-addressed lookups
+	// at submission time (a disk hit is not also a memory hit).
+	cacheHits, cacheDiskHits, cacheMisses atomic.Int64
+	// epochs counts every EpochSample observed across all jobs — the
+	// service's aggregate simulation throughput.
+	epochs atomic.Int64
+}
+
+// newCounters returns zeroed counters anchored at now.
+func newCounters() *counters { return &counters{start: time.Now()} }
+
+// snapshot renders the counters plus the given gauges as the /v1/metrics
+// payload.
+func (c *counters) snapshot(queued, running int) map[string]any {
+	uptime := time.Since(c.start).Seconds()
+	epochs := c.epochs.Load()
+	perSec := 0.0
+	if uptime > 0 {
+		perSec = float64(epochs) / uptime
+	}
+	return map[string]any{
+		"uptime_seconds":  uptime,
+		"jobs_submitted":  c.jobsSubmitted.Load(),
+		"jobs_rejected":   c.jobsRejected.Load(),
+		"jobs_queued":     queued,
+		"jobs_running":    running,
+		"jobs_started":    c.jobsStarted.Load(),
+		"jobs_done":       c.jobsDone.Load(),
+		"jobs_failed":     c.jobsFailed.Load(),
+		"jobs_cancelled":  c.jobsCancelled.Load(),
+		"cache_hits":      c.cacheHits.Load(),
+		"cache_disk_hits": c.cacheDiskHits.Load(),
+		"cache_misses":    c.cacheMisses.Load(),
+		"epochs_observed": epochs,
+		"epochs_per_sec":  perSec,
+	}
+}

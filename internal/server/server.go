@@ -1,0 +1,292 @@
+// Package server is the concurrent simulation service behind the
+// htserved binary: an HTTP API (stdlib net/http only) that accepts whole
+// campaign specs (POST /v1/campaigns, the same JSON schema as
+// specs/paper.json) and single-sim requests (POST /v1/sims, built through
+// htsim.BuildConfig), runs them on a bounded FIFO job queue with 429
+// backpressure and per-job cancellation (DELETE /v1/jobs/{id}), and
+// serves results from a content-addressed cache keyed by the submission's
+// parameter fingerprint plus the binary revision — an identical
+// submission returns instantly without re-simulation. Live progress
+// bridges the pkg/htsim Observer API to Server-Sent Events
+// (GET /v1/jobs/{id}/events): typed per-epoch samples carrying request,
+// tampering, grant, throttle-level, and running-infection counts.
+// Artifacts (GET /v1/jobs/{id}/artifacts/{table}.{json,csv,txt}) render
+// through the single internal/results serialization path, so a fetched
+// artifact is byte-identical to the file `htcampaign run` writes for the
+// same spec. GET /v1/plugins, /v1/healthz, and /v1/metrics expose the
+// plugin registries, liveness, and expvar-style counters.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"strings"
+
+	"repro/internal/campaign"
+	"repro/internal/results"
+	"repro/pkg/htsim"
+)
+
+// Options configure a Server. The zero value is usable: one job at a
+// time, a 16-deep queue, a 64-entry memory cache, no disk spill.
+type Options struct {
+	// Workers is the exp-pool budget each running job fans its experiments
+	// and trials out over (0 = one per CPU). Results are bit-identical for
+	// any value.
+	Workers int
+	// Jobs bounds concurrently running jobs (default 1). The total CPU
+	// budget is shared: every admitted job gets the same Workers budget,
+	// and the Go scheduler time-slices them.
+	Jobs int
+	// QueueDepth bounds the FIFO queue; a submission past the depth is
+	// rejected with 429 (default 16).
+	QueueDepth int
+	// CacheEntries sizes the in-memory LRU result cache (default 64).
+	CacheEntries int
+	// CacheDir, when non-empty, spills every cached result to disk as
+	// rendered artifacts that survive LRU eviction and restarts.
+	CacheDir string
+}
+
+// withDefaults fills unset options.
+func (o Options) withDefaults() Options {
+	if o.Jobs < 1 {
+		o.Jobs = 1
+	}
+	if o.QueueDepth < 1 {
+		o.QueueDepth = 16
+	}
+	if o.CacheEntries < 1 {
+		o.CacheEntries = 64
+	}
+	return o
+}
+
+// Server is the simulation service. Construct with New, mount Handler,
+// and Close on shutdown to cancel running jobs.
+type Server struct {
+	opts    Options
+	cache   *cache
+	metrics *counters
+	jobs    *manager
+	mux     *http.ServeMux
+}
+
+// New builds a Server (creating the cache directory when configured) and
+// starts its job dispatcher.
+func New(opts Options) (*Server, error) {
+	opts = opts.withDefaults()
+	if opts.CacheDir != "" {
+		if err := os.MkdirAll(opts.CacheDir, 0o755); err != nil {
+			return nil, fmt.Errorf("server: cache dir: %w", err)
+		}
+	}
+	s := &Server{
+		opts:    opts,
+		cache:   newCache(opts.CacheEntries, opts.CacheDir),
+		metrics: newCounters(),
+	}
+	s.jobs = newManager(opts, s.cache, s.metrics)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/campaigns", s.handleSubmitCampaign)
+	s.mux.HandleFunc("POST /v1/sims", s.handleSubmitSim)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleDeleteJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/artifacts/{file}", s.handleArtifact)
+	s.mux.HandleFunc("GET /v1/plugins", s.handlePlugins)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close cancels every queued and running job and waits for workers to
+// unwind. The HTTP listener's lifecycle belongs to the caller.
+func (s *Server) Close() { s.jobs.shutdown() }
+
+// maxBodyBytes bounds submission bodies; campaign specs are small.
+const maxBodyBytes = 1 << 20
+
+// writeJSON renders one JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeError renders a JSON error body.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// submit runs the shared enqueue-or-reject tail of both POST handlers.
+func (s *Server) submit(w http.ResponseWriter, j *job) {
+	if err := s.jobs.submit(j); err != nil {
+		if errors.Is(err, errQueueFull) {
+			writeError(w, http.StatusTooManyRequests, err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+// handleSubmitCampaign accepts a campaign spec (the specs/paper.json
+// schema) and queues it as one job.
+func (s *Server) handleSubmitCampaign(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	spec, err := campaign.ParseSpec(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.submit(w, &job{
+		kind:     "campaign",
+		name:     spec.Name,
+		spec:     spec,
+		cacheKey: cacheKeyFor("campaign", spec),
+	})
+}
+
+// handleSubmitSim accepts a single-sim request and queues it as one job.
+func (s *Server) handleSubmitSim(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	req, err := parseSimRequest(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.submit(w, &job{
+		kind:     "sim",
+		name:     fmt.Sprintf("sim %s x%d", req.Mix, req.Threads),
+		sim:      req,
+		cacheKey: cacheKeyFor("sim", req.cachePayload()),
+	})
+}
+
+// handleListJobs lists every job in submission order.
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.jobs.list()})
+}
+
+// handleGetJob returns one job's status.
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	j := s.jobs.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, errors.New("unknown job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// handleDeleteJob cancels a queued or running job.
+func (s *Server) handleDeleteJob(w http.ResponseWriter, r *http.Request) {
+	found, err := s.jobs.cancelJob(r.PathValue("id"))
+	if !found {
+		writeError(w, http.StatusNotFound, errors.New("unknown job"))
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"state": "cancelling"})
+}
+
+// artifactName validates {file} path values: a lower-case table name plus
+// a rendering format ("e3.json", "run.csv", ...).
+var artifactName = regexp.MustCompile(`^([a-z0-9_-]+)\.(json|csv|txt)$`)
+
+// handleArtifact serves one rendered artifact of a finished job, either
+// from the in-memory tables (rendered on demand through the
+// internal/results emitters) or streamed from the disk cache tier.
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	j := s.jobs.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, errors.New("unknown job"))
+		return
+	}
+	m := artifactName.FindStringSubmatch(r.PathValue("file"))
+	if m == nil {
+		writeError(w, http.StatusNotFound, errors.New("artifact names look like e3.json, e3.csv, or e3.txt"))
+		return
+	}
+	base, format := m[1], m[2]
+	j.mu.Lock()
+	state := j.state
+	tables := j.tables
+	fromDisk := len(j.diskFiles) > 0
+	j.mu.Unlock()
+	if state != jobDone {
+		writeError(w, http.StatusConflict, fmt.Errorf("job is %s; artifacts exist once it is done", state))
+		return
+	}
+	if fromDisk {
+		f, err := s.cache.diskOpen(j.cacheKey, base+"."+format)
+		if err != nil {
+			writeError(w, http.StatusNotFound, errors.New("no such artifact"))
+			return
+		}
+		defer f.Close()
+		w.Header().Set("Content-Type", results.ContentType(format))
+		io.Copy(w, f)
+		return
+	}
+	for _, t := range tables {
+		if strings.ToLower(t.TableMeta().Experiment) != base {
+			continue
+		}
+		w.Header().Set("Content-Type", results.ContentType(format))
+		if err := results.WriteFormat(w, t, format); err != nil {
+			// Headers are gone; the broken stream is the best signal left.
+			return
+		}
+		return
+	}
+	writeError(w, http.StatusNotFound, errors.New("no such artifact"))
+}
+
+// handlePlugins enumerates every plugin axis and its registered names —
+// the service-side mirror of `htcampaign list`.
+func (s *Server) handlePlugins(w http.ResponseWriter, r *http.Request) {
+	axes := htsim.Axes()
+	out := make([]map[string]any, 0, len(axes))
+	for _, a := range axes {
+		out = append(out, map[string]any{"axis": a.Name, "plugins": a.Plugins})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"axes": out})
+}
+
+// handleHealthz is the liveness probe.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"revision": results.Revision(),
+	})
+}
+
+// handleMetrics snapshots the expvar-style counters.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	queued, running := s.jobs.queueDepths()
+	writeJSON(w, http.StatusOK, s.metrics.snapshot(queued, running))
+}

@@ -1,0 +1,169 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// This file is the live-progress side of the service: every job owns an
+// eventLog that buffers its typed events (state transitions, experiment
+// lifecycle, per-epoch samples bridged from the pkg/htsim Observer API),
+// and GET /v1/jobs/{id}/events replays the buffer and then streams new
+// events as Server-Sent Events until the job finishes or the client
+// disconnects.
+
+// event is one Server-Sent Event: a monotonically increasing id, an event
+// name ("state", "experiment", "epoch"), and a JSON payload.
+type event struct {
+	id   int
+	name string
+	data []byte
+}
+
+// maxBufferedEvents caps an eventLog's replay buffer. A paper-scale
+// campaign streams tens of thousands of epoch samples; the buffer keeps
+// the most recent window and late subscribers miss the oldest events
+// (their ids reveal the gap).
+const maxBufferedEvents = 8192
+
+// subscriberBuffer is each subscriber's channel capacity. A consumer that
+// falls further behind than this is disconnected rather than allowed to
+// stall the simulation goroutines publishing into the log.
+const subscriberBuffer = 1024
+
+// eventLog buffers a job's events for replay and fans new events out to
+// live subscribers. Publishing never blocks on slow consumers.
+type eventLog struct {
+	mu     sync.Mutex
+	next   int
+	events []event
+	subs   map[int]chan event
+	nextID int
+	closed bool
+}
+
+// newEventLog returns an empty open log.
+func newEventLog() *eventLog { return &eventLog{subs: make(map[int]chan event)} }
+
+// publish appends one event (marshalling v as its JSON payload) and wakes
+// subscribers. Publishing on a closed log is a no-op.
+func (l *eventLog) publish(name string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		// Payloads are plain structs assembled here; a marshal failure is a
+		// programming error surfaced in the stream rather than hidden.
+		data = []byte(fmt.Sprintf("{\"error\":%q}", err.Error()))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	ev := event{id: l.next, name: name, data: data}
+	l.next++
+	l.events = append(l.events, ev)
+	if len(l.events) > maxBufferedEvents {
+		l.events = l.events[len(l.events)-maxBufferedEvents:]
+	}
+	for id, ch := range l.subs {
+		select {
+		case ch <- ev:
+		default:
+			// The subscriber is too far behind: disconnect it instead of
+			// blocking the simulation goroutine.
+			close(ch)
+			delete(l.subs, id)
+		}
+	}
+}
+
+// close seals the log: subscribers' channels are closed after the replay
+// buffer they already received, and future subscribes replay then end
+// immediately.
+func (l *eventLog) close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.closed = true
+	for id, ch := range l.subs {
+		close(ch)
+		delete(l.subs, id)
+	}
+}
+
+// subscribe returns the buffered replay, a channel of subsequent events
+// (closed when the log closes or the subscriber falls behind), and a
+// cancel function the subscriber must call when done.
+func (l *eventLog) subscribe() (replay []event, ch <-chan event, cancel func()) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	replay = append([]event(nil), l.events...)
+	c := make(chan event, subscriberBuffer)
+	if l.closed {
+		close(c)
+		return replay, c, func() {}
+	}
+	id := l.nextID
+	l.nextID++
+	l.subs[id] = c
+	return replay, c, func() {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		if _, ok := l.subs[id]; ok {
+			close(c)
+			delete(l.subs, id)
+		}
+	}
+}
+
+// writeEvent emits one event in SSE wire format.
+func writeEvent(w http.ResponseWriter, ev event) error {
+	_, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.id, ev.name, ev.data)
+	return err
+}
+
+// handleEvents streams a job's event log as Server-Sent Events: the
+// buffered history first, then live events until the job finishes, the
+// client disconnects, or the consumer falls too far behind.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.jobs.lookup(r.PathValue("id"))
+	if j == nil {
+		http.Error(w, "unknown job", http.StatusNotFound)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	replay, ch, cancel := j.events.subscribe()
+	defer cancel()
+	for _, ev := range replay {
+		if err := writeEvent(w, ev); err != nil {
+			return
+		}
+	}
+	fl.Flush()
+	for {
+		select {
+		case ev, open := <-ch:
+			if !open {
+				return
+			}
+			if err := writeEvent(w, ev); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

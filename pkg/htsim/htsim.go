@@ -26,6 +26,9 @@ type (
 	Comparison = core.Comparison
 	// Observer receives streaming per-epoch samples during a run.
 	Observer = core.Observer
+	// ObserverFunc adapts a plain function to Observer — the idiom service
+	// bridges use to forward samples into an event stream.
+	ObserverFunc = core.ObserverFunc
 	// EpochSample is one typed streaming observation.
 	EpochSample = core.EpochSample
 	// Placement is a set of infected routers.
@@ -47,8 +50,7 @@ const (
 // Sim is a configured chip ready to run scenarios. One Sim evaluates any
 // number of scenarios; each run builds fresh simulation state.
 type Sim struct {
-	sys       *core.System
-	observers core.MultiObserver
+	sys *core.System
 }
 
 // New assembles a simulation from functional options over the Table I
@@ -65,14 +67,15 @@ func New(opts ...Option) (*Sim, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Sim{sys: sys, observers: core.MultiObserver(s.observers)}, nil
+	return &Sim{sys: sys}, nil
 }
 
 // Run executes one campaign. The context cancels the simulation promptly
-// (mid-epoch included); registered observers stream one EpochSample per
-// budgeting epoch while it runs.
+// (mid-epoch included); registered observers (WithObserver, carried on
+// the configuration) stream one EpochSample per budgeting epoch while it
+// runs.
 func (s *Sim) Run(ctx context.Context, sc Scenario) (*Report, error) {
-	return s.sys.RunContext(ctx, sc, s.observer())
+	return s.sys.RunContext(ctx, sc, nil)
 }
 
 // RunPair executes the scenario and its clean baseline under identical
@@ -80,15 +83,7 @@ func (s *Sim) Run(ctx context.Context, sc Scenario) (*Report, error) {
 // out over the worker pool; cancellation aborts both. Observers stream
 // the attacked run.
 func (s *Sim) RunPair(ctx context.Context, sc Scenario) (*Report, *Report, error) {
-	return s.sys.RunPairContext(ctx, sc, s.observer())
-}
-
-// observer returns the registered observer fan-out, or nil when none.
-func (s *Sim) observer() core.Observer {
-	if len(s.observers) == 0 {
-		return nil
-	}
-	return s.observers
+	return s.sys.RunPairContext(ctx, sc, nil)
 }
 
 // Config returns the resolved chip configuration.

@@ -203,7 +203,8 @@ func WithConfig(cfg core.Config) Option {
 }
 
 // resolve applies the options onto the defaults and finalises the
-// configuration (torus auto-routing, named defense installation).
+// configuration (torus auto-routing, named defense installation,
+// observer installation).
 func resolve(opts []Option) (*settings, error) {
 	s := &settings{cfg: core.DefaultConfig()}
 	for _, opt := range opts {
@@ -213,6 +214,19 @@ func resolve(opts []Option) (*settings, error) {
 	}
 	if s.cfg.Topology == "torus" && !s.routingSet {
 		s.cfg.NoC.Routing = noc.TorusRouting{}
+	}
+	// Observers ride on the configuration itself (Config.Observer), so a
+	// config assembled through BuildConfig streams exactly like a Sim
+	// built through New — the campaign engine and the simulation service
+	// rely on this to bridge per-epoch samples out of deeply nested
+	// experiment drivers.
+	if len(s.observers) > 0 {
+		merged := make(core.MultiObserver, 0, len(s.observers)+1)
+		if s.cfg.Observer != nil {
+			merged = append(merged, s.cfg.Observer)
+		}
+		merged = append(merged, s.observers...)
+		s.cfg.Observer = merged
 	}
 	if s.defenseName != "" {
 		dcfg, err := defense.ByName(s.defenseName)
