@@ -8,6 +8,8 @@
 //
 //	htserved -addr :8080
 //	htserved -addr 127.0.0.1:8099 -parallel 8 -jobs 2 -cache-dir /var/cache/htserved
+//	htserved -job-timeout 10m -shutdown-timeout 15s
+//	HTSERVED_FAULTS="job.run:panic:times=1" htserved   # chaos drill
 //
 //	curl -XPOST --data-binary @specs/paper.json localhost:8080/v1/campaigns
 //	curl localhost:8080/v1/jobs/job-000001
@@ -17,7 +19,15 @@
 //
 // SIGINT/SIGTERM shut the service down gracefully: the listener stops,
 // running jobs are cancelled through their contexts, and in-flight
-// handlers get a short drain window.
+// handlers get a -shutdown-timeout drain window.
+//
+// Ops surface: -job-timeout bounds every job's queue-wait plus run,
+// -shutdown-timeout bounds the graceful drain, and the HTTP server runs
+// with ReadHeaderTimeout/IdleTimeout so slow-loris clients and idle
+// keep-alives cannot pin connections (WriteTimeout stays unset — SSE
+// streams are legitimately long-lived). The HTSERVED_FAULTS environment
+// variable arms the internal/faultinject registry for chaos drills; see
+// DESIGN.md §9 for the failure-modes matrix.
 package main
 
 import (
@@ -33,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/server"
 )
 
@@ -50,14 +61,20 @@ func main() {
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("htserved", flag.ContinueOnError)
 	var (
-		addr     = fs.String("addr", ":8080", "listen address")
-		parallel = fs.Int("parallel", 0, "exp-pool worker budget per job (0 = one per CPU; results identical for any value)")
-		jobs     = fs.Int("jobs", 1, "concurrently running jobs")
-		queue    = fs.Int("queue", 16, "job queue depth (submissions beyond it get 429)")
-		entries  = fs.Int("cache-entries", 64, "in-memory result cache entries (LRU)")
-		cacheDir = fs.String("cache-dir", "", "directory for the disk cache tier (empty = memory only)")
+		addr         = fs.String("addr", ":8080", "listen address")
+		parallel     = fs.Int("parallel", 0, "exp-pool worker budget per job (0 = one per CPU; results identical for any value)")
+		jobs         = fs.Int("jobs", 1, "concurrently running jobs")
+		queue        = fs.Int("queue", 16, "job queue depth (submissions beyond it get 429 + Retry-After)")
+		entries      = fs.Int("cache-entries", 64, "in-memory result cache entries (LRU)")
+		cacheDir     = fs.String("cache-dir", "", "directory for the disk cache tier (empty = memory only)")
+		jobTimeout   = fs.Duration("job-timeout", 0, "per-job deadline covering queue-slot wait plus run (0 = none)")
+		drainTimeout = fs.Duration("shutdown-timeout", 5*time.Second, "graceful-shutdown drain window for in-flight requests")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	faults, err := faultinject.FromEnv(os.Getenv)
+	if err != nil {
 		return err
 	}
 	svc, err := server.New(server.Options{
@@ -66,6 +83,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		QueueDepth:   *queue,
 		CacheEntries: *entries,
 		CacheDir:     *cacheDir,
+		JobTimeout:   *jobTimeout,
+		Faults:       faults,
 	})
 	if err != nil {
 		return err
@@ -76,7 +95,15 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: svc.Handler()}
+	srv := &http.Server{
+		Handler: svc.Handler(),
+		// Bound the header read and idle keep-alives so stalled clients
+		// cannot pin connections forever. No WriteTimeout: SSE streams are
+		// long-lived by design, and job-side deadlines come from
+		// -job-timeout instead.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	fmt.Fprintf(out, "htserved: listening on %s (jobs %d, queue %d, cache %d entries)\n",
 		ln.Addr(), *jobs, *queue, *entries)
 
@@ -91,7 +118,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	// Cancel jobs first: that seals every event log, so open SSE streams
 	// end and Shutdown's drain isn't held hostage by live watchers.
 	svc.Close()
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err

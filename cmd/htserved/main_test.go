@@ -40,7 +40,8 @@ func TestServeAndShutdown(t *testing.T) {
 	var buf syncBuffer
 	errc := make(chan error, 1)
 	go func() {
-		errc <- run(ctx, []string{"-addr", "127.0.0.1:0", "-parallel", "1"}, &buf)
+		errc <- run(ctx, []string{"-addr", "127.0.0.1:0", "-parallel", "1",
+			"-job-timeout", "5m", "-shutdown-timeout", "5s"}, &buf)
 	}()
 
 	// The listen address is printed once the listener is up.
@@ -112,5 +113,15 @@ func TestServeAndShutdown(t *testing.T) {
 func TestBadFlags(t *testing.T) {
 	if err := run(context.Background(), []string{"-nope"}, &bytes.Buffer{}); err == nil {
 		t.Fatal("want flag error")
+	}
+}
+
+// TestBadFaultSpec refuses to boot on a malformed HTSERVED_FAULTS value
+// — a chaos drill with a typo must fail loudly, not run without faults.
+func TestBadFaultSpec(t *testing.T) {
+	t.Setenv("HTSERVED_FAULTS", "job.run:explode")
+	err := run(context.Background(), []string{"-addr", "127.0.0.1:0"}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "unknown mode") {
+		t.Fatalf("run with bad fault spec = %v, want unknown-mode parse error", err)
 	}
 }

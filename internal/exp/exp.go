@@ -16,9 +16,12 @@ package exp
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Workers resolves a requested worker count: values above zero are used as
@@ -62,6 +65,32 @@ func (g *Gate) Acquire(ctx context.Context) error {
 	}
 }
 
+// ErrAcquireTimeout reports that AcquireWithin gave up waiting for a
+// slot before its deadline. Callers distinguish it from ctx errors: the
+// gate is merely saturated, the system is not shutting down.
+var ErrAcquireTimeout = errors.New("exp: gate acquire timed out")
+
+// AcquireWithin is Acquire bounded by a deadline: it blocks until a slot
+// frees, ctx is done, or d elapses (returning ErrAcquireTimeout). d <= 0
+// means no deadline. The simulation service uses it so a job with a
+// --job-timeout budget cannot burn that whole budget queued behind the
+// gate.
+func (g *Gate) AcquireWithin(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return g.Acquire(ctx)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return ErrAcquireTimeout
+	}
+}
+
 // TryAcquire takes a slot without blocking, reporting whether it got one.
 func (g *Gate) TryAcquire() bool {
 	select {
@@ -102,20 +131,32 @@ func Run[T any](workers, trials int, fn func(trial int) (T, error)) ([]T, error)
 // ctx is done, the trial function receives ctx so long-running trials can
 // stop mid-flight, and a cancelled pool returns ctx's error (taking
 // precedence over per-trial errors, which on cancellation are expected
-// casualties rather than results).
+// casualties rather than results). A panicking trial does not kill its
+// worker goroutine (or the process): the panic is converted into that
+// trial's error, so one poisoned trial fails one run while every other
+// trial completes — and because errors are reported lowest-index-first,
+// the surfaced failure is as deterministic as the results.
 func RunCtx[T any](ctx context.Context, workers, trials int, fn func(ctx context.Context, trial int) (T, error)) ([]T, error) {
 	if trials <= 0 {
 		return nil, nil
 	}
 	results := make([]T, trials)
 	errs := make([]error, trials)
+	call := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				errs[i] = fmt.Errorf("exp: trial %d panicked: %v", i, r)
+			}
+		}()
+		results[i], errs[i] = fn(ctx, i)
+	}
 	workers = Workers(workers)
 	if workers > trials {
 		workers = trials
 	}
 	if workers == 1 {
 		for i := 0; i < trials && ctx.Err() == nil; i++ {
-			results[i], errs[i] = fn(ctx, i)
+			call(i)
 		}
 	} else {
 		var next atomic.Int64
@@ -129,7 +170,7 @@ func RunCtx[T any](ctx context.Context, workers, trials int, fn func(ctx context
 					if i >= trials {
 						return
 					}
-					results[i], errs[i] = fn(ctx, i)
+					call(i)
 				}
 			}()
 		}

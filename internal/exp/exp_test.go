@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -157,5 +158,61 @@ func TestGateAcquireHonoursContext(t *testing.T) {
 	}
 	if g.TryAcquire() {
 		t.Fatal("TryAcquire succeeded on a full gate")
+	}
+}
+
+// TestGateAcquireWithinTimesOut verifies the bounded acquire: a full
+// gate returns ErrAcquireTimeout after the deadline, a free slot is
+// taken immediately, and d <= 0 degrades to a plain Acquire.
+func TestGateAcquireWithinTimesOut(t *testing.T) {
+	g := NewGate(1)
+	if err := g.AcquireWithin(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err := g.AcquireWithin(context.Background(), 20*time.Millisecond)
+	if !errors.Is(err, ErrAcquireTimeout) {
+		t.Fatalf("AcquireWithin on full gate = %v, want ErrAcquireTimeout", err)
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("AcquireWithin returned before its deadline")
+	}
+	g.Release()
+	if err := g.AcquireWithin(context.Background(), 20*time.Millisecond); err != nil {
+		t.Fatalf("AcquireWithin on free gate = %v", err)
+	}
+	g.Release()
+
+	// Cancellation still beats the deadline.
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer g.Release()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := g.AcquireWithin(ctx, time.Minute); !errors.Is(err, context.Canceled) {
+		t.Fatalf("AcquireWithin on cancelled ctx = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunCtxRecoversTrialPanics verifies a panicking trial fails only
+// its own slot: every other trial completes and the lowest-indexed
+// panic is the reported error, for any worker count.
+func TestRunCtxRecoversTrialPanics(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var completed atomic.Int64
+		_, err := RunCtx(context.Background(), workers, 16, func(_ context.Context, trial int) (int, error) {
+			if trial == 5 || trial == 11 {
+				panic(fmt.Sprintf("poisoned trial %d", trial))
+			}
+			completed.Add(1)
+			return trial, nil
+		})
+		if err == nil || !strings.Contains(err.Error(), "trial 5 panicked") {
+			t.Fatalf("workers=%d: err = %v, want the lowest-indexed panic", workers, err)
+		}
+		if got := completed.Load(); got != 14 {
+			t.Fatalf("workers=%d: %d healthy trials completed, want 14", workers, got)
+		}
 	}
 }

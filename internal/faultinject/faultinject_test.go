@@ -1,0 +1,205 @@
+package faultinject
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNilSetIsInert pins the production fast path: a nil *Set never
+// fires, never wraps, and reports empty counts.
+func TestNilSetIsInert(t *testing.T) {
+	var s *Set
+	if err := s.Fire(context.Background(), "job.run"); err != nil {
+		t.Fatalf("nil set fired: %v", err)
+	}
+	var buf bytes.Buffer
+	if w := s.Writer("cache.disk.write", &buf); w != &buf {
+		t.Fatal("nil set wrapped the writer")
+	}
+	if s.Counts() != nil || s.Total() != 0 || s.Points() != nil {
+		t.Fatal("nil set reports non-empty state")
+	}
+}
+
+// TestParseEmptyAndErrors covers the inert empty spec and every parse
+// failure class.
+func TestParseEmptyAndErrors(t *testing.T) {
+	if s, err := Parse("  "); err != nil || s != nil {
+		t.Fatalf("empty spec = (%v, %v), want (nil, nil)", s, err)
+	}
+	for _, bad := range []string{
+		"job.run",                     // no mode
+		"job.run:explode",             // unknown mode
+		":error",                      // no point
+		"job.run:error:p",             // option not key=value
+		"job.run:error:p=2",           // probability out of range
+		"job.run:error:every=0",       // every must be >= 1
+		"job.run:error:zap=1",         // unknown option
+		"seed=x;job.run:error",        // bad seed
+		"job.run:latency:delay=fast",  // bad duration
+		"job.run:partial-write:bytes", // option not key=value
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted a bad spec", bad)
+		}
+	}
+}
+
+// TestErrorModeCadence verifies every/after/times hit arithmetic and the
+// typed injected error.
+func TestErrorModeCadence(t *testing.T) {
+	s, err := Parse("p:error:after=2:every=3:times=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fires []int
+	for hit := 1; hit <= 14; hit++ {
+		if err := s.Fire(context.Background(), "p"); err != nil {
+			var ie *Error
+			if !errors.As(err, &ie) || ie.Point != "p" {
+				t.Fatalf("hit %d: injected error has wrong type/point: %v", hit, err)
+			}
+			fires = append(fires, hit)
+		}
+	}
+	// Hits 1-2 skipped; then every 3rd of the remainder (5, 8, ...) but
+	// capped at 2 fires.
+	want := []int{5, 8}
+	if len(fires) != len(want) || fires[0] != want[0] || fires[1] != want[1] {
+		t.Fatalf("fired on hits %v, want %v", fires, want)
+	}
+	if got := s.Counts()["p"]; got != 2 {
+		t.Fatalf("Counts = %d, want 2", got)
+	}
+	if s.Total() != 2 {
+		t.Fatalf("Total = %d, want 2", s.Total())
+	}
+}
+
+// TestProbabilityIsSeededDeterministic runs the same p=0.5 spec twice
+// and requires identical fire sequences — chaos runs must replay.
+func TestProbabilityIsSeededDeterministic(t *testing.T) {
+	sequence := func() []bool {
+		s, err := Parse("seed=42;p:error:p=0.5")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []bool
+		for i := 0; i < 64; i++ {
+			out = append(out, s.Fire(context.Background(), "p") != nil)
+		}
+		return out
+	}
+	a, b := sequence(), sequence()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("hit %d differs between identical seeded runs", i+1)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == 64 {
+		t.Fatalf("p=0.5 fired %d/64 times — not probabilistic", fired)
+	}
+}
+
+// TestPanicModeCarriesTypedValue verifies panic injection and its
+// payload.
+func TestPanicModeCarriesTypedValue(t *testing.T) {
+	s, err := Parse("p:panic:times=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered := func() (v any) {
+		defer func() { v = recover() }()
+		s.Fire(context.Background(), "p")
+		return nil
+	}()
+	pv, ok := recovered.(PanicValue)
+	if !ok {
+		t.Fatalf("recovered %T %v, want PanicValue", recovered, recovered)
+	}
+	if pv.Point != "p" || !strings.Contains(pv.String(), "injected panic at p") {
+		t.Fatalf("panic payload %+v", pv)
+	}
+	// times=1 is exhausted: the next hit passes clean.
+	if err := s.Fire(context.Background(), "p"); err != nil {
+		t.Fatalf("exhausted rule still fired: %v", err)
+	}
+}
+
+// TestLatencyModeHonoursContext verifies the stall and that cancellation
+// cuts it short with ctx's error.
+func TestLatencyModeHonoursContext(t *testing.T) {
+	s, err := Parse("p:latency:delay=10ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := s.Fire(context.Background(), "p"); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Fatalf("latency fire returned after %v, want >= 10ms", elapsed)
+	}
+
+	s2, err := Parse("p:latency:delay=10s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s2.Fire(ctx, "p"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled latency fire = %v, want context.Canceled", err)
+	}
+}
+
+// TestPartialWriteTruncatesSilently verifies the torn-write writer: full
+// success reported, only the budget landing.
+func TestPartialWriteTruncatesSilently(t *testing.T) {
+	s, err := Parse("p:partial-write:bytes=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := s.Writer("p", &buf)
+	if w == &buf {
+		t.Fatal("partial-write rule did not wrap the writer")
+	}
+	n, werr := w.Write([]byte("hello world"))
+	if werr != nil || n != 11 {
+		t.Fatalf("Write = (%d, %v), want silent full success", n, werr)
+	}
+	if n, werr = w.Write([]byte("more")); werr != nil || n != 4 {
+		t.Fatalf("post-budget Write = (%d, %v)", n, werr)
+	}
+	if got := buf.String(); got != "hello" {
+		t.Fatalf("landed %q, want %q", got, "hello")
+	}
+	// Fire on a partial-write-only point injects nothing.
+	if err := s.Fire(context.Background(), "p"); err != nil {
+		t.Fatalf("Fire on partial-write rule = %v", err)
+	}
+}
+
+// TestFromEnvAndPoints covers the env entry point and point listing.
+func TestFromEnvAndPoints(t *testing.T) {
+	env := map[string]string{EnvVar: "b:error;a:latency"}
+	s, err := FromEnv(func(k string) string { return env[k] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := s.Points()
+	if len(pts) != 2 || pts[0] != "a" || pts[1] != "b" {
+		t.Fatalf("Points = %v, want [a b]", pts)
+	}
+	if s2, err := FromEnv(func(string) string { return "" }); err != nil || s2 != nil {
+		t.Fatalf("unset env = (%v, %v), want (nil, nil)", s2, err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/faultinject"
 	"repro/internal/results"
 )
 
@@ -21,6 +23,16 @@ import (
 // dispatcher starts them in order through an exp.Gate bounding concurrent
 // jobs, and every job runs under its own cancellable context so
 // DELETE /v1/jobs/{id} aborts it promptly mid-simulation.
+//
+// The execution path assumes jobs will misbehave: each job runs behind a
+// recover barrier (a panicking simulation fails that one job with a
+// structured error and a counted recovery — the dispatcher and every
+// other job keep going), under an optional per-job deadline
+// (--job-timeout, covering both the gate wait and the run), and behind
+// single-flight coalescing — a submission identical to a queued or
+// running job becomes a follower that waits for the leader's result
+// instead of occupying a queue slot or re-simulating (stampede
+// protection, counted as single_flight_dedup).
 
 // jobState is a job's lifecycle phase.
 type jobState string
@@ -222,26 +234,44 @@ type manager struct {
 	workers int
 	cache   *cache
 	metrics *counters
-	wg      sync.WaitGroup
+	faults  *faultinject.Set
+	// closed flips once shutdown starts; ready() reports false from then
+	// on.
+	closed atomic.Bool
+	// jobTimeout bounds each job's gate wait plus run (0 = none).
+	jobTimeout time.Duration
+	// sseBuffer is each SSE subscriber's channel capacity.
+	sseBuffer int
+	wg        sync.WaitGroup
 
 	mu    sync.Mutex
 	jobs  map[string]*job
 	order []string
 	seq   int
+	// inflight maps cache keys to their single-flight leader (the queued
+	// or running job computing that key); followers maps a leader's job ID
+	// to the submissions coalesced onto it.
+	inflight  map[string]*job
+	followers map[string][]*job
 }
 
 // newManager starts the dispatcher and returns the manager.
-func newManager(opts Options, cache *cache, metrics *counters) *manager {
+func newManager(opts Options, cache *cache, metrics *counters, faults *faultinject.Set) *manager {
 	base, stop := context.WithCancel(context.Background())
 	m := &manager{
-		base:    base,
-		stop:    stop,
-		queue:   make(chan *job, opts.QueueDepth),
-		gate:    exp.NewGate(opts.Jobs),
-		workers: opts.Workers,
-		cache:   cache,
-		metrics: metrics,
-		jobs:    make(map[string]*job),
+		base:       base,
+		stop:       stop,
+		queue:      make(chan *job, opts.QueueDepth),
+		gate:       exp.NewGate(opts.Jobs),
+		workers:    opts.Workers,
+		cache:      cache,
+		metrics:    metrics,
+		faults:     faults,
+		jobTimeout: opts.JobTimeout,
+		sseBuffer:  opts.SSEBuffer,
+		jobs:       make(map[string]*job),
+		inflight:   make(map[string]*job),
+		followers:  make(map[string][]*job),
 	}
 	m.wg.Add(1)
 	go m.dispatch()
@@ -252,6 +282,7 @@ func newManager(opts Options, cache *cache, metrics *counters) *manager {
 // in-flight work to unwind, and finalises jobs still queued — every event
 // log is sealed afterwards, so no SSE watcher outlives the service.
 func (m *manager) shutdown() {
+	m.closed.Store(true)
 	m.stop()
 	m.wg.Wait()
 	m.mu.Lock()
@@ -294,6 +325,27 @@ func (m *manager) list() []jobStatus {
 	return out
 }
 
+// ready reports whether the service can accept new work: the queue has
+// room and the manager is not shutting down. /v1/healthz maps it to the
+// live-vs-ready distinction — a saturated service is alive but degraded.
+func (m *manager) ready() bool {
+	if m.closed.Load() {
+		return false
+	}
+	return len(m.queue) < cap(m.queue)
+}
+
+// retryAfterSeconds advises a shed client how long to back off before
+// resubmitting: proportional to the backlog, capped so the hint stays
+// honest under deep queues.
+func (m *manager) retryAfterSeconds() int {
+	s := 1 + len(m.queue)
+	if s > 30 {
+		s = 30
+	}
+	return s
+}
+
 // queueDepths reports (queued, running) gauges for /v1/metrics.
 func (m *manager) queueDepths() (queued, running int) {
 	m.mu.Lock()
@@ -311,13 +363,23 @@ func (m *manager) queueDepths() (queued, running int) {
 	return queued, running
 }
 
-// submit registers a job, answers it from the content-addressed cache
-// when possible, and otherwise enqueues it FIFO. A full queue returns
-// errQueueFull (the job is not registered).
+// submit registers a job, answers it from the content-addressed cache or
+// coalesces it onto an identical in-flight job when possible, and
+// otherwise enqueues it FIFO. A full queue returns errQueueFull (the job
+// is not registered).
 func (m *manager) submit(j *job) error {
 	j.created = time.Now()
 	j.state = jobQueued
-	j.events = newEventLog()
+	j.events = newEventLog(m.sseBuffer, &m.metrics.sseDropped)
+
+	// The queue.admit fault point models a failing admission path (a
+	// broken queue backend, an overloaded admission controller): error
+	// mode rejects this one submission, latency mode delays it, panic
+	// mode is contained by the handler-level recovery.
+	if err := m.faults.Fire(m.base, "queue.admit"); err != nil {
+		m.metrics.jobsRejected.Add(1)
+		return fmt.Errorf("server: admission failed: %w", err)
+	}
 
 	// Cache tiers are consulted before the queue: an identical submission
 	// returns instantly, without occupying a queue slot or a worker.
@@ -339,6 +401,19 @@ func (m *manager) submit(j *job) error {
 	}
 
 	m.mu.Lock()
+	// Single-flight: an identical payload already queued or running makes
+	// this submission a follower — it waits for the leader's result
+	// instead of taking a queue slot and re-simulating the same work
+	// (stampede protection for cache misses).
+	if leader := m.inflight[j.cacheKey]; leader != nil {
+		m.registerLocked(j)
+		m.followers[leader.id] = append(m.followers[leader.id], j)
+		m.mu.Unlock()
+		m.metrics.jobsSubmitted.Add(1)
+		m.metrics.singleFlight.Add(1)
+		j.events.publish("state", stateEvent{State: jobQueued})
+		return nil
+	}
 	// The queue-full check happens under the registration lock so a burst
 	// of submissions cannot overshoot the declared depth.
 	if len(m.queue) == cap(m.queue) {
@@ -347,12 +422,55 @@ func (m *manager) submit(j *job) error {
 		return errQueueFull
 	}
 	m.registerLocked(j)
+	m.inflight[j.cacheKey] = j
 	m.queue <- j
 	m.mu.Unlock()
 	m.metrics.jobsSubmitted.Add(1)
 	m.metrics.cacheMisses.Add(1)
 	j.events.publish("state", stateEvent{State: jobQueued})
 	return nil
+}
+
+// settle finalises a leader's single-flight followers with the leader's
+// outcome and clears the in-flight entry. Call it after the leader
+// reaches any terminal state. A done leader completes its followers with
+// the same tables (cache tier "single-flight"); a failed leader fails
+// them with the same error (the simulation is deterministic — the same
+// payload on the same build fails identically); a cancelled leader fails
+// them with a resubmittable explanation. Followers already finalised
+// (cancelled individually, or swept by shutdown) are left untouched.
+func (m *manager) settle(leader *job) {
+	m.mu.Lock()
+	if m.inflight[leader.cacheKey] == leader {
+		delete(m.inflight, leader.cacheKey)
+	}
+	fs := m.followers[leader.id]
+	delete(m.followers, leader.id)
+	m.mu.Unlock()
+	if len(fs) == 0 {
+		return
+	}
+	leader.mu.Lock()
+	state, tables, diskFiles, errMsg := leader.state, leader.tables, leader.diskFiles, leader.errMsg
+	leader.mu.Unlock()
+	for _, f := range fs {
+		f.mu.Lock()
+		if f.state != jobQueued {
+			f.mu.Unlock()
+			continue
+		}
+		switch state {
+		case jobDone:
+			f.finishLocked(jobDone, tables, diskFiles, "single-flight", "")
+			f.mu.Unlock()
+			m.metrics.jobsDone.Add(1)
+		default:
+			f.finishLocked(jobFailed, nil, nil, "",
+				fmt.Sprintf("coalesced onto job %s which was %s: %s", leader.id, state, errMsg))
+			f.mu.Unlock()
+			m.metrics.jobsFailed.Add(1)
+		}
+	}
 }
 
 // register assigns the next job ID and records the job.
@@ -372,6 +490,10 @@ func (m *manager) registerLocked(j *job) {
 
 // dispatch pops jobs FIFO and starts each one once the gate admits it, so
 // job start order matches submission order even with several job slots.
+// With a job timeout configured, the gate wait is bounded by it: a job
+// that cannot get a slot inside its whole deadline budget is failed and
+// the dispatcher moves on — saturation sheds work, it never wedges the
+// queue.
 func (m *manager) dispatch() {
 	defer m.wg.Done()
 	for {
@@ -379,7 +501,11 @@ func (m *manager) dispatch() {
 		case <-m.base.Done():
 			return
 		case j := <-m.queue:
-			if err := m.gate.Acquire(m.base); err != nil {
+			if err := m.gate.AcquireWithin(m.base, m.jobTimeout); err != nil {
+				if errors.Is(err, exp.ErrAcquireTimeout) {
+					m.timeOutQueued(j)
+					continue
+				}
 				return
 			}
 			m.wg.Add(1)
@@ -392,10 +518,37 @@ func (m *manager) dispatch() {
 	}
 }
 
-// run executes one job under its own cancellable context and finalises
-// its state, cache entry, and metrics.
+// timeOutQueued fails a job whose deadline elapsed while it waited for a
+// job slot (skipping it silently if it was cancelled in the meantime).
+func (m *manager) timeOutQueued(j *job) {
+	j.mu.Lock()
+	if j.state == jobQueued {
+		j.finishLocked(jobFailed, nil, nil, "", fmt.Sprintf("job timed out after %v waiting for a job slot", m.jobTimeout))
+		j.mu.Unlock()
+		m.metrics.jobsFailed.Add(1)
+		m.metrics.jobsTimedOut.Add(1)
+	} else {
+		j.mu.Unlock()
+	}
+	m.settle(j)
+}
+
+// run executes one job under its own cancellable (and, with
+// --job-timeout, deadlined) context, contains any panic the simulation
+// raises, and finalises the job's state, cache entry, metrics, and
+// single-flight followers. One misbehaving job — however it dies — costs
+// exactly that job.
 func (m *manager) run(j *job) {
-	ctx, cancel := context.WithCancel(m.base)
+	defer m.settle(j)
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if m.jobTimeout > 0 {
+		// The deadline budget started when the job left the queue (the
+		// bounded gate wait); what remains bounds the run itself.
+		ctx, cancel = context.WithTimeout(m.base, m.jobTimeout)
+	} else {
+		ctx, cancel = context.WithCancel(m.base)
+	}
 	defer cancel()
 	if !j.begin(cancel) {
 		// Cancelled while queued; cancelJob already finalised it.
@@ -403,17 +556,56 @@ func (m *manager) run(j *job) {
 	}
 	m.metrics.jobsStarted.Add(1)
 
+	tables, err := m.execute(ctx, j)
+
+	switch {
+	case err != nil && errors.Is(ctx.Err(), context.DeadlineExceeded):
+		m.metrics.jobsFailed.Add(1)
+		m.metrics.jobsTimedOut.Add(1)
+		j.finish(jobFailed, nil, nil, "", fmt.Sprintf("job deadline (%v) exceeded: %s", m.jobTimeout, err))
+	case err != nil && (ctx.Err() != nil || errors.Is(err, context.Canceled)):
+		m.metrics.jobsCancelled.Add(1)
+		j.finish(jobCancelled, nil, nil, "", err.Error())
+	case err != nil:
+		m.metrics.jobsFailed.Add(1)
+		j.finish(jobFailed, nil, nil, "", err.Error())
+	default:
+		if cerr := m.cache.put(j.cacheKey, tables); cerr != nil {
+			// A failed disk spill degrades the cache, not the job: the
+			// result is still served from memory.
+			j.events.publish("experiment", experimentEvent{ID: "cache", Status: "failed", Error: cerr.Error()})
+		}
+		m.metrics.jobsDone.Add(1)
+		j.finish(jobDone, tables, nil, "", "")
+	}
+}
+
+// execute runs the job's simulation behind the per-job recover barrier:
+// a panic anywhere in the campaign or sim path (including one injected
+// at the job.run fault point) becomes this job's structured error — the
+// goroutine survives, the dispatcher never notices, and the panic is
+// counted in panics_recovered.
+func (m *manager) execute(ctx context.Context, j *job) (tables []results.Table, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			m.metrics.panicsRecovered.Add(1)
+			tables = nil
+			err = fmt.Errorf("panic in job %s: %v\n%s", j.id, r, firstStackLines(debug.Stack(), 8))
+		}
+	}()
+	if err := m.faults.Fire(ctx, "job.run"); err != nil {
+		return nil, err
+	}
+
 	epoch := func(experiment string, s core.EpochSample) {
 		j.epochs.Add(1)
 		m.metrics.epochs.Add(1)
 		j.events.publish("epoch", epochEventFor(experiment, s))
 	}
 
-	var tables []results.Table
-	var err error
 	switch j.kind {
 	case "campaign":
-		tables, err = campaign.BuildTables(ctx, j.spec, m.workers, campaign.Progress{
+		return campaign.BuildTables(ctx, j.spec, m.workers, campaign.Progress{
 			ExperimentStarted: func(id string) {
 				j.events.publish("experiment", experimentEvent{ID: id, Status: "started"})
 			},
@@ -430,29 +622,22 @@ func (m *manager) run(j *job) {
 			Epoch: epoch,
 		})
 	default:
-		var t results.Table
-		t, err = j.sim.run(ctx, m.workers, func(s core.EpochSample) { epoch("run", s) })
-		if err == nil {
-			tables = []results.Table{t}
+		t, err := j.sim.run(ctx, m.workers, func(s core.EpochSample) { epoch("run", s) })
+		if err != nil {
+			return nil, err
 		}
+		return []results.Table{t}, nil
 	}
+}
 
-	switch {
-	case err != nil && (ctx.Err() != nil || errors.Is(err, context.Canceled)):
-		m.metrics.jobsCancelled.Add(1)
-		j.finish(jobCancelled, nil, nil, "", err.Error())
-	case err != nil:
-		m.metrics.jobsFailed.Add(1)
-		j.finish(jobFailed, nil, nil, "", err.Error())
-	default:
-		if cerr := m.cache.put(j.cacheKey, tables); cerr != nil {
-			// A failed disk spill degrades the cache, not the job: the
-			// result is still served from memory.
-			j.events.publish("experiment", experimentEvent{ID: "cache", Status: "failed", Error: cerr.Error()})
-		}
-		m.metrics.jobsDone.Add(1)
-		j.finish(jobDone, tables, nil, "", "")
+// firstStackLines trims a debug.Stack dump to its first n lines — enough
+// to locate the panic in a structured error without a wall of text.
+func firstStackLines(stack []byte, n int) string {
+	lines := strings.SplitN(string(stack), "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
 	}
+	return strings.Join(lines, "\n")
 }
 
 // cancelJob cancels a queued or running job. It reports whether the job
@@ -471,6 +656,10 @@ func (m *manager) cancelJob(id string) (found bool, err error) {
 		j.finishLocked(jobCancelled, nil, nil, "", "cancelled while queued")
 		j.mu.Unlock()
 		m.metrics.jobsCancelled.Add(1)
+		// The job may have been a single-flight leader (followers fail
+		// with a resubmittable error) or a follower (settle on itself is a
+		// no-op; its leader's settle skips it, already terminal).
+		m.settle(j)
 		return true, nil
 	case jobRunning:
 		cancel := j.cancel

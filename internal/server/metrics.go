@@ -13,13 +13,27 @@ type counters struct {
 	// start anchors the uptime and the epochs/sec rate.
 	start time.Time
 	// jobsSubmitted counts accepted submissions (cache hits included);
-	// jobsRejected counts submissions refused with 429 backpressure.
+	// jobsRejected counts submissions shed with 429 backpressure.
 	jobsSubmitted, jobsRejected atomic.Int64
-	// jobsStarted/Done/Failed/Cancelled count job state transitions.
-	jobsStarted, jobsDone, jobsFailed, jobsCancelled atomic.Int64
+	// jobsStarted/Done/Failed/Cancelled count job state transitions;
+	// jobsTimedOut counts the failed jobs whose cause was the --job-timeout
+	// deadline (also counted in jobsFailed).
+	jobsStarted, jobsDone, jobsFailed, jobsCancelled, jobsTimedOut atomic.Int64
 	// cacheHits/cacheDiskHits/cacheMisses count content-addressed lookups
-	// at submission time (a disk hit is not also a memory hit).
-	cacheHits, cacheDiskHits, cacheMisses atomic.Int64
+	// at submission time (a disk hit is not also a memory hit);
+	// cacheCorrupt counts disk-tier entries that failed checksum
+	// verification and were quarantined for recomputation.
+	cacheHits, cacheDiskHits, cacheMisses, cacheCorrupt atomic.Int64
+	// singleFlight counts submissions coalesced onto an identical
+	// in-flight job instead of re-simulating (stampede protection).
+	singleFlight atomic.Int64
+	// panicsRecovered counts panics contained by the per-job and
+	// per-request recovery layers — each one failed a single job or
+	// request, never the dispatcher.
+	panicsRecovered atomic.Int64
+	// sseDropped counts events dropped from slow subscribers' buffers
+	// (drop-oldest policy; the ids in the stream reveal each gap).
+	sseDropped atomic.Int64
 	// epochs counts every EpochSample observed across all jobs — the
 	// service's aggregate simulation throughput.
 	epochs atomic.Int64
@@ -29,28 +43,44 @@ type counters struct {
 func newCounters() *counters { return &counters{start: time.Now()} }
 
 // snapshot renders the counters plus the given gauges as the /v1/metrics
-// payload.
-func (c *counters) snapshot(queued, running int) map[string]any {
+// payload. faults is the fault-injection registry's per-point fire
+// count (nil when injection is off — the key is then omitted).
+func (c *counters) snapshot(queued, running int, faults map[string]int64) map[string]any {
 	uptime := time.Since(c.start).Seconds()
 	epochs := c.epochs.Load()
 	perSec := 0.0
 	if uptime > 0 {
 		perSec = float64(epochs) / uptime
 	}
-	return map[string]any{
-		"uptime_seconds":  uptime,
-		"jobs_submitted":  c.jobsSubmitted.Load(),
-		"jobs_rejected":   c.jobsRejected.Load(),
-		"jobs_queued":     queued,
-		"jobs_running":    running,
-		"jobs_started":    c.jobsStarted.Load(),
-		"jobs_done":       c.jobsDone.Load(),
-		"jobs_failed":     c.jobsFailed.Load(),
-		"jobs_cancelled":  c.jobsCancelled.Load(),
-		"cache_hits":      c.cacheHits.Load(),
-		"cache_disk_hits": c.cacheDiskHits.Load(),
-		"cache_misses":    c.cacheMisses.Load(),
-		"epochs_observed": epochs,
-		"epochs_per_sec":  perSec,
+	m := map[string]any{
+		"uptime_seconds":            uptime,
+		"jobs_submitted":            c.jobsSubmitted.Load(),
+		"jobs_rejected":             c.jobsRejected.Load(),
+		"requests_shed":             c.jobsRejected.Load(),
+		"jobs_queued":               queued,
+		"jobs_running":              running,
+		"jobs_started":              c.jobsStarted.Load(),
+		"jobs_done":                 c.jobsDone.Load(),
+		"jobs_failed":               c.jobsFailed.Load(),
+		"jobs_cancelled":            c.jobsCancelled.Load(),
+		"jobs_timed_out":            c.jobsTimedOut.Load(),
+		"cache_hits":                c.cacheHits.Load(),
+		"cache_disk_hits":           c.cacheDiskHits.Load(),
+		"cache_misses":              c.cacheMisses.Load(),
+		"cache_corrupt_quarantined": c.cacheCorrupt.Load(),
+		"single_flight_dedup":       c.singleFlight.Load(),
+		"panics_recovered":          c.panicsRecovered.Load(),
+		"sse_events_dropped":        c.sseDropped.Load(),
+		"epochs_observed":           epochs,
+		"epochs_per_sec":            perSec,
 	}
+	if faults != nil {
+		var total int64
+		for _, n := range faults {
+			total += n
+		}
+		m["faults_injected"] = total
+		m["faults_by_point"] = faults
+	}
+	return m
 }

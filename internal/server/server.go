@@ -14,7 +14,18 @@
 // through the single internal/results serialization path, so a fetched
 // artifact is byte-identical to the file `htcampaign run` writes for the
 // same spec. GET /v1/plugins, /v1/healthz, and /v1/metrics expose the
-// plugin registries, liveness, and expvar-style counters.
+// plugin registries, live-vs-ready health, and expvar-style counters.
+//
+// The service is built to degrade, not collapse (the chaos suite in
+// chaos_test.go drives every failure path through the
+// internal/faultinject registry): panics are contained per job and per
+// request (panics_recovered), jobs run under optional --job-timeout
+// deadlines, identical in-flight submissions coalesce single-flight
+// instead of stampeding the simulator, corrupt disk-cache entries are
+// checksum-detected, quarantined, and recomputed, full queues shed load
+// with 429 + Retry-After, and SSE fan-out buffers slow subscribers with
+// a drop-oldest policy plus Last-Event-ID resume. See DESIGN.md §9 for
+// the failure-modes matrix.
 package server
 
 import (
@@ -25,9 +36,12 @@ import (
 	"net/http"
 	"os"
 	"regexp"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/faultinject"
 	"repro/internal/results"
 	"repro/pkg/htsim"
 )
@@ -51,6 +65,20 @@ type Options struct {
 	// CacheDir, when non-empty, spills every cached result to disk as
 	// rendered artifacts that survive LRU eviction and restarts.
 	CacheDir string
+	// JobTimeout bounds each job's life after it leaves the queue: the
+	// wait for a job slot plus the simulation itself. An expired job fails
+	// with a structured deadline error (counted in jobs_timed_out); 0
+	// disables the deadline.
+	JobTimeout time.Duration
+	// SSEBuffer is each SSE subscriber's event channel capacity (default
+	// 1024). A subscriber that falls further behind loses its oldest
+	// buffered events (drop-oldest, counted in sse_events_dropped) rather
+	// than stalling the simulation or being disconnected.
+	SSEBuffer int
+	// Faults is the fault-injection registry driving chaos tests
+	// (cmd/htserved builds it from the HTSERVED_FAULTS environment
+	// variable). Nil disables injection — every fault point passes clean.
+	Faults *faultinject.Set
 }
 
 // withDefaults fills unset options.
@@ -73,6 +101,7 @@ type Server struct {
 	opts    Options
 	cache   *cache
 	metrics *counters
+	faults  *faultinject.Set
 	jobs    *manager
 	mux     *http.ServeMux
 }
@@ -86,12 +115,14 @@ func New(opts Options) (*Server, error) {
 			return nil, fmt.Errorf("server: cache dir: %w", err)
 		}
 	}
+	metrics := newCounters()
 	s := &Server{
 		opts:    opts,
-		cache:   newCache(opts.CacheEntries, opts.CacheDir),
-		metrics: newCounters(),
+		cache:   newCache(opts.CacheEntries, opts.CacheDir, opts.Faults, &metrics.cacheCorrupt),
+		metrics: metrics,
+		faults:  opts.Faults,
 	}
-	s.jobs = newManager(opts, s.cache, s.metrics)
+	s.jobs = newManager(opts, s.cache, s.metrics, opts.Faults)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/campaigns", s.handleSubmitCampaign)
 	s.mux.HandleFunc("POST /v1/sims", s.handleSubmitSim)
@@ -106,8 +137,29 @@ func New(opts Options) (*Server, error) {
 	return s, nil
 }
 
-// Handler returns the service's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the service's HTTP handler, wrapped in the
+// per-request recovery layer: a panic in any handler (including one
+// injected via the queue.admit fault point) answers that one request
+// with a 500 and a counted recovery instead of tearing the connection
+// down with a stack trace — and the listener, the dispatcher, and every
+// other request keep going.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				if rec == http.ErrAbortHandler {
+					// The stdlib's deliberate abort sentinel keeps its meaning.
+					panic(rec)
+				}
+				s.metrics.panicsRecovered.Add(1)
+				// If the handler already started its response the header is
+				// gone; the broken stream is the remaining signal.
+				writeError(w, http.StatusInternalServerError, fmt.Errorf("internal panic (recovered): %v", rec))
+			}
+		}()
+		s.mux.ServeHTTP(w, r)
+	})
+}
 
 // Close cancels every queued and running job and waits for workers to
 // unwind. The HTTP listener's lifecycle belongs to the caller.
@@ -131,9 +183,13 @@ func writeError(w http.ResponseWriter, status int, err error) {
 }
 
 // submit runs the shared enqueue-or-reject tail of both POST handlers.
+// Shed submissions (full queue) get 429 with a Retry-After backoff hint
+// sized to the backlog — load shedding is explicit and negotiable, never
+// a silent drop or a collapse.
 func (s *Server) submit(w http.ResponseWriter, j *job) {
 	if err := s.jobs.submit(j); err != nil {
 		if errors.Is(err, errQueueFull) {
+			w.Header().Set("Retry-After", strconv.Itoa(s.jobs.retryAfterSeconds()))
 			writeError(w, http.StatusTooManyRequests, err)
 			return
 		}
@@ -277,16 +333,36 @@ func (s *Server) handlePlugins(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"axes": out})
 }
 
-// handleHealthz is the liveness probe.
+// handleHealthz is the health probe, distinguishing live from ready:
+// live means the process is serving HTTP at all (always true if this
+// handler runs), ready means it can accept new work (queue has room,
+// not shutting down). A degraded service answers 503 with live=true so
+// orchestrators stop routing new traffic without restarting it;
+// ?probe=live always answers 200 for pure liveness checks.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":   "ok",
+	ready := s.jobs.ready()
+	body := map[string]any{
+		"live":     true,
+		"ready":    ready,
 		"revision": results.Revision(),
-	})
+	}
+	if r.URL.Query().Get("probe") == "live" {
+		body["status"] = "ok"
+		writeJSON(w, http.StatusOK, body)
+		return
+	}
+	status := http.StatusOK
+	body["status"] = "ok"
+	if !ready {
+		status = http.StatusServiceUnavailable
+		body["status"] = "degraded"
+		w.Header().Set("Retry-After", strconv.Itoa(s.jobs.retryAfterSeconds()))
+	}
+	writeJSON(w, status, body)
 }
 
 // handleMetrics snapshots the expvar-style counters.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	queued, running := s.jobs.queueDepths()
-	writeJSON(w, http.StatusOK, s.metrics.snapshot(queued, running))
+	writeJSON(w, http.StatusOK, s.metrics.snapshot(queued, running, s.faults.Counts()))
 }

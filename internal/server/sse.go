@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
+	"sync/atomic"
 )
 
 // This file is the live-progress side of the service: every job owns an
@@ -13,6 +15,17 @@ import (
 // and GET /v1/jobs/{id}/events replays the buffer and then streams new
 // events as Server-Sent Events until the job finishes or the client
 // disconnects.
+//
+// The fan-out is hardened against misbehaving consumers: a subscriber
+// that cannot keep up has its oldest buffered events dropped (counted in
+// /v1/metrics as sse_events_dropped) instead of being disconnected or —
+// worse — allowed to stall the simulation goroutines publishing into the
+// log. Event ids are monotonic, so a consumer sees the gap and can
+// reconnect with a Last-Event-ID header to replay what the log still
+// buffers; the stream opens with an SSE `retry:` hint so EventSource
+// clients back off sanely between reconnects. Subscriber slots are
+// released on every exit path (client disconnect, injected write fault,
+// log close), which the leak test pins at exactly zero residents.
 
 // event is one Server-Sent Event: a monotonically increasing id, an event
 // name ("state", "experiment", "epoch"), and a JSON payload.
@@ -28,10 +41,16 @@ type event struct {
 // (their ids reveal the gap).
 const maxBufferedEvents = 8192
 
-// subscriberBuffer is each subscriber's channel capacity. A consumer that
-// falls further behind than this is disconnected rather than allowed to
-// stall the simulation goroutines publishing into the log.
-const subscriberBuffer = 1024
+// defaultSubscriberBuffer is each subscriber's channel capacity when the
+// server options don't override it. A consumer that falls further behind
+// than this starts losing its oldest buffered events (drop-oldest),
+// never stalling the publisher.
+const defaultSubscriberBuffer = 1024
+
+// retryHintMillis is the SSE `retry:` reconnection hint sent at stream
+// start: how long a disconnected client should wait before dialling
+// back.
+const retryHintMillis = 2000
 
 // eventLog buffers a job's events for replay and fans new events out to
 // live subscribers. Publishing never blocks on slow consumers.
@@ -42,13 +61,29 @@ type eventLog struct {
 	subs   map[int]chan event
 	nextID int
 	closed bool
+	// buffer is each subscriber's channel capacity; dropped counts
+	// drop-oldest evictions across all subscribers (shared with the
+	// service-wide metric, never nil).
+	buffer  int
+	dropped *atomic.Int64
 }
 
-// newEventLog returns an empty open log.
-func newEventLog() *eventLog { return &eventLog{subs: make(map[int]chan event)} }
+// newEventLog returns an empty open log. buffer < 1 takes the default
+// subscriber capacity; dropped may be nil (a private counter is used).
+func newEventLog(buffer int, dropped *atomic.Int64) *eventLog {
+	if buffer < 1 {
+		buffer = defaultSubscriberBuffer
+	}
+	if dropped == nil {
+		dropped = new(atomic.Int64)
+	}
+	return &eventLog{subs: make(map[int]chan event), buffer: buffer, dropped: dropped}
+}
 
 // publish appends one event (marshalling v as its JSON payload) and wakes
-// subscribers. Publishing on a closed log is a no-op.
+// subscribers. A subscriber whose buffer is full loses its oldest
+// buffered event to make room (drop-oldest, counted); publishing never
+// blocks and never disconnects. Publishing on a closed log is a no-op.
 func (l *eventLog) publish(name string, v any) {
 	data, err := json.Marshal(v)
 	if err != nil {
@@ -67,14 +102,24 @@ func (l *eventLog) publish(name string, v any) {
 	if len(l.events) > maxBufferedEvents {
 		l.events = l.events[len(l.events)-maxBufferedEvents:]
 	}
-	for id, ch := range l.subs {
+	for _, ch := range l.subs {
+		select {
+		case ch <- ev:
+			continue
+		default:
+		}
+		// Full buffer: evict the subscriber's oldest event to make room.
+		// The receives/sends race benignly with the consumer draining —
+		// whichever side wins, the new event lands or is counted dropped.
+		select {
+		case <-ch:
+			l.dropped.Add(1)
+		default:
+		}
 		select {
 		case ch <- ev:
 		default:
-			// The subscriber is too far behind: disconnect it instead of
-			// blocking the simulation goroutine.
-			close(ch)
-			delete(l.subs, id)
+			l.dropped.Add(1)
 		}
 	}
 }
@@ -95,14 +140,19 @@ func (l *eventLog) close() {
 	}
 }
 
-// subscribe returns the buffered replay, a channel of subsequent events
-// (closed when the log closes or the subscriber falls behind), and a
-// cancel function the subscriber must call when done.
-func (l *eventLog) subscribe() (replay []event, ch <-chan event, cancel func()) {
+// subscribe returns the buffered events with id > after (-1 replays
+// everything the log still holds — Last-Event-ID resume passes the last
+// id the client saw), a channel of subsequent events (closed when the
+// log closes), and a cancel function the subscriber must call when done.
+func (l *eventLog) subscribe(after int) (replay []event, ch <-chan event, cancel func()) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	replay = append([]event(nil), l.events...)
-	c := make(chan event, subscriberBuffer)
+	for _, ev := range l.events {
+		if ev.id > after {
+			replay = append(replay, ev)
+		}
+	}
+	c := make(chan event, l.buffer)
 	if l.closed {
 		close(c)
 		return replay, c, func() {}
@@ -120,15 +170,40 @@ func (l *eventLog) subscribe() (replay []event, ch <-chan event, cancel func()) 
 	}
 }
 
-// writeEvent emits one event in SSE wire format.
-func writeEvent(w http.ResponseWriter, ev event) error {
+// subscribers reports the live subscriber count — the leak test's probe.
+func (l *eventLog) subscribers() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.subs)
+}
+
+// writeEvent emits one event in SSE wire format, firing the sse.write
+// fault point first so chaos runs can sever or stall individual streams.
+func (s *Server) writeEvent(w http.ResponseWriter, r *http.Request, ev event) error {
+	if err := s.faults.Fire(r.Context(), "sse.write"); err != nil {
+		return err
+	}
 	_, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.id, ev.name, ev.data)
 	return err
 }
 
-// handleEvents streams a job's event log as Server-Sent Events: the
-// buffered history first, then live events until the job finishes, the
-// client disconnects, or the consumer falls too far behind.
+// lastEventID parses the SSE resume header; absent or malformed means
+// "replay everything".
+func lastEventID(r *http.Request) int {
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if id, err := strconv.Atoi(v); err == nil {
+			return id
+		}
+	}
+	return -1
+}
+
+// handleEvents streams a job's event log as Server-Sent Events: a
+// reconnect backoff hint, then the buffered history (everything after
+// the client's Last-Event-ID, when sent), then live events until the job
+// finishes or the client disconnects. The deferred cancel releases the
+// subscriber slot on every exit path — write failure, injected fault, or
+// context cancellation — so disconnected watchers never accumulate.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	j := s.jobs.lookup(r.PathValue("id"))
 	if j == nil {
@@ -144,10 +219,11 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("Connection", "keep-alive")
 	w.WriteHeader(http.StatusOK)
-	replay, ch, cancel := j.events.subscribe()
+	fmt.Fprintf(w, "retry: %d\n\n", retryHintMillis)
+	replay, ch, cancel := j.events.subscribe(lastEventID(r))
 	defer cancel()
 	for _, ev := range replay {
-		if err := writeEvent(w, ev); err != nil {
+		if err := s.writeEvent(w, r, ev); err != nil {
 			return
 		}
 	}
@@ -158,7 +234,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			if !open {
 				return
 			}
-			if err := writeEvent(w, ev); err != nil {
+			if err := s.writeEvent(w, r, ev); err != nil {
 				return
 			}
 			fl.Flush()
