@@ -1,0 +1,150 @@
+// Command htload is the deterministic load-test harness for htserved:
+// it drives a live service with a seeded, reproducible mix of cached
+// and uncached campaign submissions, single-sim requests, artifact
+// fetches, SSE subscriber churn, and cancellations, verifies every
+// response (status class, artifact byte-identity against a locally
+// simulated reference, SSE id monotonicity), and writes a
+// machine-readable BENCH_SERVE.json plus a human summary table.
+//
+// Examples:
+//
+//	htload -target http://127.0.0.1:8080                        # closed loop, defaults
+//	htload -target http://127.0.0.1:8080 -mode open -rate 80 -duration 30s -clients 16
+//	htload -target http://127.0.0.1:8080 -seed 7 -nonce "$(date +%s)"  # bust the server cache
+//	htload -target http://127.0.0.1:8080 -mix cached=0.5,sse=0.5
+//
+// The same -seed always produces the same request schedule (any
+// -workers value); -nonce perturbs payloads at execution time so a
+// rerun misses the server's content-addressed cache without changing
+// the schedule. The process exits nonzero when any verification
+// failed, which makes it a CI gate: boot htserved, run htload, assert
+// exit 0.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/loadgen"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "htload:", err)
+		os.Exit(1)
+	}
+}
+
+// errVerification marks a completed run with verification failures — a
+// distinct exit path from config/transport errors, same exit code.
+type errVerification int
+
+func (e errVerification) Error() string {
+	return fmt.Sprintf("%d verification failures (see the report)", int(e))
+}
+
+// run parses flags, executes the load test, and writes the outputs.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("htload", flag.ContinueOnError)
+	var (
+		target   = fs.String("target", "", "base URL of the htserved instance (required)")
+		mode     = fs.String("mode", "closed", "loop mode: closed (fixed ops per client) or open (scheduled arrival rate)")
+		clients  = fs.Int("clients", 4, "independent logical clients (one seeded RNG stream each)")
+		requests = fs.Int("requests", 25, "closed loop: ops per client")
+		duration = fs.Duration("duration", 10*time.Second, "open loop: schedule horizon")
+		rate     = fs.Float64("rate", 50, "open loop: aggregate arrival rate, ops/sec")
+		seed     = fs.Int64("seed", 1, "schedule seed (same seed = byte-identical schedule)")
+		nonce    = fs.String("nonce", "", "execution-time payload perturbation (cache busting; never changes the schedule)")
+		workers  = fs.Int("workers", 0, "executor parallelism (0 = one per client; schedule identical for any value)")
+		mix      = fs.String("mix", "", "op-kind weights, e.g. cached=0.3,uncached=0.2,sim=0.2,artifact=0.15,sse=0.1,cancel=0.05")
+		spec     = fs.String("spec", "", "path of a campaign spec replacing the built-in shared cached payload")
+		verify   = fs.Bool("verify", true, "verify every response (status, artifact byte-identity, SSE monotonicity)")
+		outPath  = fs.String("out", "BENCH_SERVE.json", "machine-readable report path (empty = none)")
+		quiet    = fs.Bool("quiet", false, "suppress progress lines")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := loadgen.Config{
+		Target:   strings.TrimRight(*target, "/"),
+		Mode:     *mode,
+		Clients:  *clients,
+		Requests: *requests,
+		Duration: *duration,
+		Rate:     *rate,
+		Seed:     *seed,
+		Nonce:    *nonce,
+		Workers:  *workers,
+		Verify:   *verify,
+	}
+	if !*quiet {
+		cfg.Progress = out
+	}
+	if *mix != "" {
+		m, err := parseMix(*mix)
+		if err != nil {
+			return err
+		}
+		cfg.Mix = m
+	}
+	if *spec != "" {
+		b, err := os.ReadFile(*spec)
+		if err != nil {
+			return err
+		}
+		cfg.Spec = string(b)
+	}
+
+	report, err := loadgen.Run(cfg)
+	if err != nil {
+		return err
+	}
+	report.HumanTable(out)
+	if *outPath != "" {
+		b, err := report.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*outPath, b, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "report: %s\n", *outPath)
+	}
+	if report.VerifyFailures > 0 {
+		return errVerification(report.VerifyFailures)
+	}
+	return nil
+}
+
+// mixKeys maps the flag's short names onto Mix fields.
+var mixKeys = map[string]func(*loadgen.Mix, float64){
+	"cached":   func(m *loadgen.Mix, w float64) { m.CampaignCached = w },
+	"uncached": func(m *loadgen.Mix, w float64) { m.CampaignUncached = w },
+	"sim":      func(m *loadgen.Mix, w float64) { m.Sim = w },
+	"artifact": func(m *loadgen.Mix, w float64) { m.ArtifactGet = w },
+	"sse":      func(m *loadgen.Mix, w float64) { m.SSE = w },
+	"cancel":   func(m *loadgen.Mix, w float64) { m.Cancel = w },
+}
+
+// parseMix parses "kind=weight,..." (unlisted kinds weigh zero).
+func parseMix(s string) (loadgen.Mix, error) {
+	var m loadgen.Mix
+	for _, part := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		set := mixKeys[key]
+		if !ok || set == nil {
+			return m, fmt.Errorf("bad mix element %q (known kinds: cached, uncached, sim, artifact, sse, cancel)", part)
+		}
+		w, err := strconv.ParseFloat(val, 64)
+		if err != nil || w < 0 {
+			return m, fmt.Errorf("bad mix weight in %q", part)
+		}
+		set(&m, w)
+	}
+	return m, nil
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// TestRunAgainstLiveServer drives the CLI end to end: a live in-process
+// htserved, a small closed-loop run with verification on, and the
+// BENCH_SERVE.json contract (scenarios, totals, schedule, zero
+// verification failures).
+func TestRunAgainstLiveServer(t *testing.T) {
+	svc, err := server.New(server.Options{Workers: 1, Jobs: 2, QueueDepth: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer func() {
+		ts.Close()
+		svc.Close()
+	}()
+	out := filepath.Join(t.TempDir(), "BENCH_SERVE.json")
+	var stdout bytes.Buffer
+	err = run([]string{
+		"-target", ts.URL,
+		"-mode", "closed",
+		"-clients", "3",
+		"-requests", "6",
+		"-seed", "21",
+		"-out", out,
+		"-quiet",
+	}, &stdout)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, stdout.String())
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Totals struct {
+			Ops int `json:"ops"`
+		} `json:"totals"`
+		VerifyFailures int `json:"verify_failures"`
+		Schedule       struct {
+			Ops []json.RawMessage `json:"ops"`
+		} `json:"schedule"`
+	}
+	if err := json.Unmarshal(b, &report); err != nil {
+		t.Fatalf("BENCH_SERVE.json undecodable: %v", err)
+	}
+	if report.Totals.Ops != 18 || len(report.Schedule.Ops) != 18 {
+		t.Fatalf("report covers %d ops, schedule %d, want 18", report.Totals.Ops, len(report.Schedule.Ops))
+	}
+	if report.VerifyFailures != 0 {
+		t.Fatalf("verify_failures = %d, want 0", report.VerifyFailures)
+	}
+	if !bytes.Contains(stdout.Bytes(), []byte("verification: all responses OK")) {
+		t.Fatalf("missing verification line in output:\n%s", stdout.String())
+	}
+}
+
+// TestRunRejectsBadFlags pins config error paths.
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{}, &out); err == nil {
+		t.Error("missing -target accepted")
+	}
+	if err := run([]string{"-target", "http://x", "-mode", "sideways"}, &out); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if err := run([]string{"-target", "http://x", "-mix", "nope=1"}, &out); err == nil {
+		t.Error("unknown mix kind accepted")
+	}
+	var verr errVerification
+	if errors.As(errVerification(3), &verr); int(verr) != 3 {
+		t.Error("errVerification does not round-trip")
+	}
+}
+
+// TestParseMix covers the mix flag grammar.
+func TestParseMix(t *testing.T) {
+	m, err := parseMix("cached=0.5, sse=0.25,cancel=0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CampaignCached != 0.5 || m.SSE != 0.25 || m.Cancel != 0.25 || m.Sim != 0 {
+		t.Fatalf("parsed mix %+v", m)
+	}
+	for _, bad := range []string{"cached", "cached=x", "cached=-1", "=1", "unknown=1"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("mix %q accepted", bad)
+		}
+	}
+}

@@ -69,6 +69,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		cacheDir     = fs.String("cache-dir", "", "directory for the disk cache tier (empty = memory only)")
 		jobTimeout   = fs.Duration("job-timeout", 0, "per-job deadline covering queue-slot wait plus run (0 = none)")
 		drainTimeout = fs.Duration("shutdown-timeout", 5*time.Second, "graceful-shutdown drain window for in-flight requests")
+		sseWrite     = fs.Duration("sse-write-timeout", 0, "per-frame SSE write deadline for stuck subscribers (0 = 10s default, negative = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -78,13 +79,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return err
 	}
 	svc, err := server.New(server.Options{
-		Workers:      *parallel,
-		Jobs:         *jobs,
-		QueueDepth:   *queue,
-		CacheEntries: *entries,
-		CacheDir:     *cacheDir,
-		JobTimeout:   *jobTimeout,
-		Faults:       faults,
+		Workers:         *parallel,
+		Jobs:            *jobs,
+		QueueDepth:      *queue,
+		CacheEntries:    *entries,
+		CacheDir:        *cacheDir,
+		JobTimeout:      *jobTimeout,
+		Faults:          faults,
+		SSEWriteTimeout: *sseWrite,
 	})
 	if err != nil {
 		return err

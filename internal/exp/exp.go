@@ -18,6 +18,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -115,6 +116,26 @@ func (g *Gate) Release() {
 // offset keeps every trial's stream independent of worker count and
 // schedule while staying reproducible from the single campaign seed.
 func TrialSeed(base int64, trial int) int64 { return base + int64(trial) }
+
+// StreamSeed derives an independent seed for a named random stream from a
+// single base seed: the stream name is hashed (FNV-1a) into the base and
+// the result is avalanched (SplitMix64 finalizer) so even adjacent bases
+// or similar names land far apart. Keyed streams are how subsystems stay
+// decoupled under one campaign seed — the load harness gives every
+// simulated client (and every payload-uniquifying draw) its own stream,
+// so adding draw sites to one client never perturbs another and the
+// generated schedule is bit-identical for any worker count.
+func StreamSeed(base int64, stream string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(stream))
+	x := uint64(base) ^ h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x)
+}
 
 // Run executes fn(trial) for every trial in [0, trials) on a pool of
 // workers (see Workers for how the count is resolved) and returns the

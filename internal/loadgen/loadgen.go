@@ -1,0 +1,184 @@
+// Package loadgen is the deterministic load-test harness for htserved:
+// it drives a live service with a seeded, reproducible mix of cached
+// and uncached campaign submissions, single-sim requests, artifact
+// fetches, SSE subscriber churn, and cancellations, in open-loop
+// (scheduled exponential arrivals) or closed-loop (fixed request count
+// per client) mode, and verifies every response — status class,
+// artifact byte-identity against a locally computed reference, and SSE
+// event-id monotonicity.
+//
+// Determinism is the design center: the whole request schedule is
+// generated up front from per-client RNG streams derived with
+// exp.StreamSeed, so the same seed and config yield a byte-identical
+// schedule regardless of executor worker count or server speed (see
+// plan.go). The optional nonce perturbs payloads at execution time only
+// — it makes reruns against a long-lived server miss its
+// content-addressed cache without changing the schedule bytes.
+//
+// Results aggregate into log-bucketed latency histograms
+// (internal/histo) per scenario, reported as a human table and as
+// machine-readable BENCH_SERVE.json whose server-side counterpart is
+// the /v1/metrics?format=prometheus exposition (DESIGN.md §10
+// describes the join).
+package loadgen
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Modes: open loop dispatches ops at their scheduled offsets regardless
+// of completions (arrival rate is the controlled variable, queueing
+// shows up as latency); closed loop gives each client a fixed op count
+// executed back to back (concurrency is the controlled variable).
+const (
+	ModeOpen   = "open"
+	ModeClosed = "closed"
+)
+
+// Mix holds the op-kind weights. They need not sum to 1; zero is a
+// valid weight. The zero Mix takes DefaultMix.
+type Mix struct {
+	CampaignCached   float64 `json:"campaign_cached"`
+	CampaignUncached float64 `json:"campaign_uncached"`
+	Sim              float64 `json:"sim"`
+	ArtifactGet      float64 `json:"artifact_get"`
+	SSE              float64 `json:"sse"`
+	Cancel           float64 `json:"cancel"`
+}
+
+// DefaultMix weights a serving-shaped workload: mostly cache traffic
+// and reads, a steady stream of fresh simulations, light cancellation
+// pressure.
+var DefaultMix = Mix{
+	CampaignCached:   0.25,
+	CampaignUncached: 0.15,
+	Sim:              0.20,
+	ArtifactGet:      0.20,
+	SSE:              0.15,
+	Cancel:           0.05,
+}
+
+// zero reports whether every weight is unset.
+func (m Mix) zero() bool { return m == Mix{} }
+
+// weights returns the cumulative distribution over opKinds.
+func (m Mix) weights() ([]float64, error) {
+	if m.zero() {
+		m = DefaultMix
+	}
+	raw := []float64{m.CampaignCached, m.CampaignUncached, m.Sim, m.ArtifactGet, m.SSE, m.Cancel}
+	total := 0.0
+	for _, w := range raw {
+		if w < 0 {
+			return nil, fmt.Errorf("loadgen: negative mix weight %g", w)
+		}
+		total += w
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("loadgen: mix has no positive weight")
+	}
+	cum := make([]float64, len(raw))
+	acc := 0.0
+	for i, w := range raw {
+		acc += w / total
+		cum[i] = acc
+	}
+	return cum, nil
+}
+
+// Config parameterises one run.
+type Config struct {
+	// Target is the service base URL (e.g. http://127.0.0.1:8080).
+	Target string
+	// Mode is ModeOpen or ModeClosed.
+	Mode string
+	// Clients is the number of independent logical clients (each owns
+	// one RNG stream).
+	Clients int
+	// Requests is the closed-loop op count per client.
+	Requests int
+	// Duration is the open-loop schedule horizon.
+	Duration time.Duration
+	// Rate is the open-loop aggregate arrival rate (ops/sec), split
+	// evenly across clients.
+	Rate float64
+	// Seed drives every stream in the plan. Same seed, same schedule.
+	Seed int64
+	// Nonce, when set, is mixed into payloads at execution time (cache
+	// busting for reruns); it never affects the schedule.
+	Nonce string
+	// Workers is the executor parallelism (defaults to Clients). The
+	// schedule — and therefore the BENCH_SERVE.json schedule section —
+	// is identical for every value.
+	Workers int
+	// Mix weighs the op kinds (zero value takes DefaultMix).
+	Mix Mix
+	// Spec overrides the shared cached-campaign payload (DefaultSpec).
+	Spec string
+	// Verify enables response verification (status class, artifact
+	// byte-identity, SSE monotonicity). Off, the harness only measures.
+	Verify bool
+	// Progress, when non-nil, receives one line per 100 completed ops.
+	Progress io.Writer
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Mode == "" {
+		c.Mode = ModeClosed
+	}
+	if c.Clients <= 0 {
+		c.Clients = 4
+	}
+	if c.Requests <= 0 {
+		c.Requests = 25
+	}
+	if c.Duration <= 0 {
+		c.Duration = 10 * time.Second
+	}
+	if c.Rate <= 0 {
+		c.Rate = 50
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = c.Clients
+	}
+	if c.Spec == "" {
+		c.Spec = DefaultSpec
+	}
+	return c
+}
+
+// validate rejects configs the plan or executor cannot honour.
+func (c Config) validate() error {
+	if c.Target == "" {
+		return fmt.Errorf("loadgen: no target URL")
+	}
+	if c.Mode != ModeOpen && c.Mode != ModeClosed {
+		return fmt.Errorf("loadgen: unknown mode %q (known: open, closed)", c.Mode)
+	}
+	if _, err := c.Mix.weights(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Run plans and executes one load-test run and returns its report. The
+// report is complete even when verification failures occurred — the
+// caller decides whether failures are fatal (htload exits nonzero).
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	plan, err := BuildPlan(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ex := newExecutor(cfg, plan)
+	return ex.run()
+}

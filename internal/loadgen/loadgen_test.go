@@ -1,0 +1,303 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// startServer boots an in-process htserved over httptest.
+func startServer(t *testing.T, opts server.Options) string {
+	t.Helper()
+	svc, err := server.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	return ts.URL
+}
+
+// TestScheduleDeterministicAcrossWorkerCounts is the determinism
+// contract: the same seed and config produce byte-identical schedule
+// JSON for every executor worker count — workers execute the plan, they
+// never draw randomness. Checked at the plan level (workers 1, 4, 9)
+// and through a real run (the schedule embedded in BENCH_SERVE.json).
+func TestScheduleDeterministicAcrossWorkerCounts(t *testing.T) {
+	base := Config{
+		Target:   "http://example.invalid", // plan building never dials
+		Mode:     ModeClosed,
+		Clients:  6,
+		Requests: 40,
+		Seed:     42,
+	}.withDefaults()
+	var want []byte
+	for _, workers := range []int{1, 4, 9} {
+		cfg := base
+		cfg.Workers = workers
+		plan, err := BuildPlan(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := plan.ScheduleJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = got
+		} else if !bytes.Equal(got, want) {
+			t.Fatalf("schedule differs at workers=%d (%d vs %d bytes)", workers, len(got), len(want))
+		}
+	}
+
+	// Open-loop plans must be deterministic too (arrival times are part
+	// of the schedule).
+	open := base
+	open.Mode, open.Rate, open.Duration = ModeOpen, 200, 2*time.Second
+	p1, err := BuildPlan(open)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := BuildPlan(open)
+	j1, _ := p1.ScheduleJSON()
+	j2, _ := p2.ScheduleJSON()
+	if !bytes.Equal(j1, j2) {
+		t.Fatal("open-loop schedule not reproducible for the same seed")
+	}
+	if len(p1.Ops) == 0 {
+		t.Fatal("open-loop plan is empty")
+	}
+
+	// And a different seed must actually change the schedule.
+	reseeded := base
+	reseeded.Seed = 43
+	pr, _ := BuildPlan(reseeded)
+	jr, _ := pr.ScheduleJSON()
+	if bytes.Equal(jr, want) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestRunScheduleBytesIdenticalAnyWorkers runs the full harness twice
+// against one live server — 1 worker, then 4 — and compares the
+// marshalled schedule sections of the two reports byte for byte.
+func TestRunScheduleBytesIdenticalAnyWorkers(t *testing.T) {
+	url := startServer(t, server.Options{Workers: 1, Jobs: 2, QueueDepth: 64})
+	var schedules [][]byte
+	for _, workers := range []int{1, 4} {
+		report, err := Run(Config{
+			Target:   url,
+			Mode:     ModeClosed,
+			Clients:  3,
+			Requests: 6,
+			Seed:     7,
+			Workers:  workers,
+			Verify:   true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if report.VerifyFailures > 0 {
+			t.Fatalf("workers=%d: %d verification failures: %v", workers, report.VerifyFailures, report.FailureSamples)
+		}
+		b, err := json.Marshal(report.Schedule)
+		if err != nil {
+			t.Fatal(err)
+		}
+		schedules = append(schedules, b)
+	}
+	if !bytes.Equal(schedules[0], schedules[1]) {
+		t.Fatal("schedule bytes differ between worker counts")
+	}
+}
+
+// TestPlanStructure pins the plan invariants every executor relies on:
+// indices are dense dispatch order, follow-up ops reference an earlier
+// submission of the same client, and a client's first follow-up draw is
+// upgraded to a submission.
+func TestPlanStructure(t *testing.T) {
+	cfg := Config{
+		Target:   "http://example.invalid",
+		Mode:     ModeClosed,
+		Clients:  8,
+		Requests: 50,
+		Seed:     3,
+	}.withDefaults()
+	plan, err := BuildPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(plan.Ops), cfg.Clients*cfg.Requests; got != want {
+		t.Fatalf("plan has %d ops, want %d", got, want)
+	}
+	kinds := map[string]int{}
+	for i, op := range plan.Ops {
+		kinds[op.Kind]++
+		if op.Index != i {
+			t.Fatalf("op %d carries index %d", i, op.Index)
+		}
+		switch op.Kind {
+		case KindArtifactGet, KindSSE:
+			if op.Follows < 0 || op.Follows >= i {
+				t.Fatalf("op %d (%s) follows %d — must be an earlier op", i, op.Kind, op.Follows)
+			}
+			f := plan.Ops[op.Follows]
+			if f.Client != op.Client || !f.isSubmission() {
+				t.Fatalf("op %d follows op %d which is not a submission of client %d", i, op.Follows, op.Client)
+			}
+			if op.Kind == KindArtifactGet && op.Artifact == "" {
+				t.Fatalf("artifact_get op %d picked no artifact", i)
+			}
+		default:
+			if op.Follows != -1 {
+				t.Fatalf("op %d (%s) has follows %d, want -1", i, op.Kind, op.Follows)
+			}
+		}
+	}
+	// With the default mix and 400 draws, every kind should appear.
+	for _, k := range opKinds {
+		if kinds[k] == 0 {
+			t.Errorf("kind %s never drawn in 400 ops", k)
+		}
+	}
+}
+
+// TestRunEndToEndVerifiesEverything is the harness smoke: a mixed
+// closed-loop run against a live in-process service with verification
+// on must complete with zero failures and produce a coherent report.
+func TestRunEndToEndVerifiesEverything(t *testing.T) {
+	url := startServer(t, server.Options{Workers: 1, Jobs: 2, QueueDepth: 64, CacheDir: t.TempDir()})
+	var progress bytes.Buffer
+	report, err := Run(Config{
+		Target:   url,
+		Mode:     ModeClosed,
+		Clients:  4,
+		Requests: 12,
+		Seed:     11,
+		Verify:   true,
+		Progress: &progress,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.VerifyFailures > 0 {
+		t.Fatalf("%d verification failures: %v", report.VerifyFailures, report.FailureSamples)
+	}
+	if report.Totals.Ops != 48 {
+		t.Fatalf("totals cover %d ops, want 48", report.Totals.Ops)
+	}
+	if report.Totals.OK+report.Totals.Shed+report.Totals.Skipped != report.Totals.Ops {
+		t.Fatalf("outcome counts don't partition the ops: %+v", report.Totals)
+	}
+	if report.Totals.Latency.Count == 0 || report.Totals.Latency.P99 <= 0 {
+		t.Fatalf("latency summary empty: %+v", report.Totals.Latency)
+	}
+	if report.Totals.ReqsPerSec <= 0 {
+		t.Fatal("throughput not computed")
+	}
+	// The human table and JSON renderings must both work.
+	var table bytes.Buffer
+	report.HumanTable(&table)
+	if !bytes.Contains(table.Bytes(), []byte("verification: all responses OK")) {
+		t.Fatalf("human table missing the verification line:\n%s", table.String())
+	}
+	if _, err := report.JSON(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOpenLoopRunRecordsDispatchLag exercises the open-loop executor:
+// scheduled arrivals, lag accounting, and clean verification.
+func TestOpenLoopRunRecordsDispatchLag(t *testing.T) {
+	url := startServer(t, server.Options{Workers: 1, Jobs: 2, QueueDepth: 64})
+	report, err := Run(Config{
+		Target:   url,
+		Mode:     ModeOpen,
+		Clients:  4,
+		Rate:     60,
+		Duration: 1500 * time.Millisecond,
+		Seed:     5,
+		Workers:  8,
+		Verify:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.VerifyFailures > 0 {
+		t.Fatalf("%d verification failures: %v", report.VerifyFailures, report.FailureSamples)
+	}
+	if report.Lag == nil {
+		t.Fatal("open-loop report has no dispatch-lag section")
+	}
+	if report.Totals.Ops == 0 {
+		t.Fatal("open-loop run dispatched nothing")
+	}
+}
+
+// TestNonceChangesPayloadsNotSchedule pins the nonce contract.
+func TestNonceChangesPayloadsNotSchedule(t *testing.T) {
+	cfg := Config{
+		Target:   "http://example.invalid",
+		Mode:     ModeClosed,
+		Clients:  2,
+		Requests: 10,
+		Seed:     9,
+	}.withDefaults()
+	plan, err := BuildPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plan.Ops {
+		op := &plan.Ops[i]
+		if op.Body == "" {
+			continue
+		}
+		bare := applyNonce(op, "")
+		if bare != op.Body {
+			t.Fatalf("empty nonce rewrote op %d", i)
+		}
+		n1, n2 := applyNonce(op, "run-a"), applyNonce(op, "run-a")
+		if n1 != n2 {
+			t.Fatalf("nonce application not deterministic for op %d", i)
+		}
+		if n1 == op.Body {
+			t.Fatalf("nonce did not perturb op %d payload %s", i, op.Body)
+		}
+		if other := applyNonce(op, "run-b"); other == n1 {
+			t.Fatalf("different nonces produced the same payload for op %d", i)
+		}
+	}
+	// Schedule bytes are computed from the plan alone — nonce-free by
+	// construction (there is no nonce anywhere in the plan).
+	j, err := plan.ScheduleJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(j, []byte("run-a")) {
+		t.Fatal("nonce leaked into the schedule")
+	}
+}
+
+// TestMixValidation covers the mix edge cases.
+func TestMixValidation(t *testing.T) {
+	if _, err := (Mix{Sim: -1}).weights(); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := (Mix{}).weights(); err != nil {
+		t.Errorf("zero mix must fall back to the default: %v", err)
+	}
+	cum, err := (Mix{SSE: 2}).weights()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cum[len(cum)-1] != 1 {
+		t.Errorf("cumulative weights end at %g, want 1", cum[len(cum)-1])
+	}
+}

@@ -1,0 +1,223 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/histo"
+)
+
+// This file aggregates executed-op measurements into the run report:
+// per-scenario log-bucketed latency histograms summarised as
+// p50/p90/p99/p999, throughput, outcome counts, open-loop dispatch lag,
+// and the full deterministic schedule. The JSON rendering is
+// BENCH_SERVE.json; the schedule section is the byte-identical-per-seed
+// half the determinism test pins, everything timed lives outside it.
+
+// LatencySummary condenses one scenario's histogram (seconds).
+type LatencySummary struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+	Max   float64 `json:"max"`
+}
+
+func summarize(h *histo.Histogram) LatencySummary {
+	return LatencySummary{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+		Max:   h.Max(),
+	}
+}
+
+// Scenario is one op kind's aggregate.
+type Scenario struct {
+	Kind       string         `json:"kind"`
+	Ops        int            `json:"ops"`
+	OK         int            `json:"ok"`
+	Shed       int            `json:"shed"`
+	Failed     int            `json:"failed"`
+	Skipped    int            `json:"skipped"`
+	ReqsPerSec float64        `json:"reqs_per_sec"`
+	Latency    LatencySummary `json:"latency_seconds"`
+}
+
+// DispatchLag is the open-loop schedule-adherence measure: how far
+// behind their scheduled offsets ops were actually dispatched. A mean
+// in the microseconds means the measured latencies are the server's; a
+// large lag means the harness itself was the bottleneck and the run
+// should be rerun with more workers.
+type DispatchLag struct {
+	MeanMicros int64 `json:"mean_micros"`
+	MaxMicros  int64 `json:"max_micros"`
+}
+
+// Report is the full run result — marshalled as BENCH_SERVE.json.
+type Report struct {
+	Target      string  `json:"target"`
+	Mode        string  `json:"mode"`
+	Seed        int64   `json:"seed"`
+	Nonce       string  `json:"nonce,omitempty"`
+	Clients     int     `json:"clients"`
+	Workers     int     `json:"workers"`
+	WallSeconds float64 `json:"wall_seconds"`
+
+	Scenarios []Scenario   `json:"scenarios"`
+	Totals    Scenario     `json:"totals"`
+	Lag       *DispatchLag `json:"dispatch_lag,omitempty"`
+
+	// VerifyFailures counts failed verifications (0 is the CI gate);
+	// FailureSamples holds the first few messages for diagnosis.
+	VerifyFailures int      `json:"verify_failures"`
+	FailureSamples []string `json:"failure_samples,omitempty"`
+
+	// Schedule is the deterministic request plan: byte-identical for the
+	// same seed and config at any worker count (the nonce and all
+	// timings are deliberately outside it).
+	Schedule *Plan `json:"schedule"`
+}
+
+// maxFailureSamples caps the diagnostic sample list.
+const maxFailureSamples = 20
+
+// buildReport aggregates results into the report.
+func buildReport(cfg Config, plan *Plan, results []opResult, wall time.Duration) *Report {
+	r := &Report{
+		Target:      cfg.Target,
+		Mode:        cfg.Mode,
+		Seed:        cfg.Seed,
+		Nonce:       cfg.Nonce,
+		Clients:     cfg.Clients,
+		Workers:     cfg.Workers,
+		WallSeconds: wall.Seconds(),
+		Schedule:    plan,
+	}
+	type agg struct {
+		s Scenario
+		h *histo.Histogram
+	}
+	byKind := make(map[string]*agg)
+	total := &agg{s: Scenario{Kind: "all"}, h: histo.NewLatency()}
+	var lagSum, lagMax time.Duration
+	for i := range results {
+		res := &results[i]
+		if res.op == nil {
+			continue // op never dispatched (should not happen; guard anyway)
+		}
+		a := byKind[res.op.Kind]
+		if a == nil {
+			a = &agg{s: Scenario{Kind: res.op.Kind}, h: histo.NewLatency()}
+			byKind[res.op.Kind] = a
+		}
+		for _, x := range []*agg{a, total} {
+			x.s.Ops++
+			switch res.outcome {
+			case outcomeOK:
+				x.s.OK++
+				x.h.Observe(res.latency.Seconds())
+			case outcomeShed:
+				x.s.Shed++
+			case outcomeSkipped:
+				x.s.Skipped++
+			default:
+				x.s.Failed++
+			}
+		}
+		if res.outcome == outcomeFailed {
+			r.VerifyFailures++
+			if len(r.FailureSamples) < maxFailureSamples {
+				r.FailureSamples = append(r.FailureSamples, res.err)
+			}
+		}
+		if res.lag > 0 {
+			lagSum += res.lag
+			if res.lag > lagMax {
+				lagMax = res.lag
+			}
+		}
+	}
+	for _, kind := range opKinds {
+		a := byKind[kind]
+		if a == nil {
+			continue
+		}
+		if r.WallSeconds > 0 {
+			a.s.ReqsPerSec = float64(a.s.Ops) / r.WallSeconds
+		}
+		a.s.Latency = summarize(a.h)
+		r.Scenarios = append(r.Scenarios, a.s)
+	}
+	sort.Slice(r.Scenarios, func(i, j int) bool { return r.Scenarios[i].Kind < r.Scenarios[j].Kind })
+	if r.WallSeconds > 0 {
+		total.s.ReqsPerSec = float64(total.s.Ops) / r.WallSeconds
+	}
+	total.s.Latency = summarize(total.h)
+	r.Totals = total.s
+	if cfg.Mode == ModeOpen && len(results) > 0 {
+		r.Lag = &DispatchLag{
+			MeanMicros: (lagSum / time.Duration(len(results))).Microseconds(),
+			MaxMicros:  lagMax.Microseconds(),
+		}
+	}
+	return r
+}
+
+// JSON renders the report as indented BENCH_SERVE.json bytes.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// HumanTable writes the operator-facing summary.
+func (r *Report) HumanTable(w io.Writer) {
+	fmt.Fprintf(w, "target %s  mode %s  seed %d  clients %d  workers %d  wall %.2fs\n",
+		r.Target, r.Mode, r.Seed, r.Clients, r.Workers, r.WallSeconds)
+	fmt.Fprintf(w, "%-18s %6s %6s %5s %5s %5s %9s %9s %9s %9s %9s %9s\n",
+		"scenario", "ops", "ok", "shed", "fail", "skip", "req/s", "p50", "p90", "p99", "p999", "max")
+	row := func(s Scenario) {
+		fmt.Fprintf(w, "%-18s %6d %6d %5d %5d %5d %9.1f %9s %9s %9s %9s %9s\n",
+			s.Kind, s.Ops, s.OK, s.Shed, s.Failed, s.Skipped, s.ReqsPerSec,
+			fmtSecs(s.Latency.P50), fmtSecs(s.Latency.P90), fmtSecs(s.Latency.P99),
+			fmtSecs(s.Latency.P999), fmtSecs(s.Latency.Max))
+	}
+	for _, s := range r.Scenarios {
+		row(s)
+	}
+	row(r.Totals)
+	if r.Lag != nil {
+		fmt.Fprintf(w, "dispatch lag: mean %s, max %s\n",
+			time.Duration(r.Lag.MeanMicros)*time.Microsecond, time.Duration(r.Lag.MaxMicros)*time.Microsecond)
+	}
+	if r.VerifyFailures > 0 {
+		fmt.Fprintf(w, "VERIFICATION FAILURES: %d\n", r.VerifyFailures)
+		for _, s := range r.FailureSamples {
+			fmt.Fprintf(w, "  %s\n", s)
+		}
+	} else {
+		fmt.Fprintf(w, "verification: all responses OK\n")
+	}
+}
+
+// fmtSecs renders a latency in the tightest sensible unit.
+func fmtSecs(s float64) string {
+	d := time.Duration(s * float64(time.Second))
+	switch {
+	case d == 0:
+		return "-"
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.0fµs", s*1e6)
+	case d < time.Second:
+		return fmt.Sprintf("%.1fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.2fs", s)
+	}
+}

@@ -1,0 +1,102 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/campaign"
+	"repro/internal/results"
+)
+
+// This file computes reference artifacts for byte-identity
+// verification: the harness runs the same campaign spec through
+// campaign.BuildTables locally and renders it with results.WriteFormat
+// — exactly the pipeline behind `htcampaign run` and behind the
+// server's own artifact rendering. Simulations are deterministic per
+// (spec, revision, toolchain), so when harness and server are built
+// from the same tree, any byte difference in a served artifact is a
+// server-side defect (corrupted cache entry, truncated stream, stale
+// rendering), not noise.
+//
+// References are memoized per spec body: a run submits the same cached
+// spec hundreds of times and a bounded set of uncached variants, so
+// each unique spec simulates locally exactly once.
+
+type refStore struct {
+	mu sync.Mutex
+	m  map[string]map[string][]byte // spec body -> artifact name -> bytes
+	// building serialises reference computation per body, so concurrent
+	// artifact_gets of the same job don't simulate twice.
+	building map[string]*sync.Once
+	errs     map[string]error
+}
+
+func newRefStore() *refStore {
+	return &refStore{
+		m:        make(map[string]map[string][]byte),
+		building: make(map[string]*sync.Once),
+		errs:     make(map[string]error),
+	}
+}
+
+// artifact returns the reference bytes of one artifact file for a
+// campaign spec body, computing and memoizing the whole artifact set on
+// first use.
+func (r *refStore) artifact(body, name string) ([]byte, error) {
+	r.mu.Lock()
+	once, ok := r.building[body]
+	if !ok {
+		once = new(sync.Once)
+		r.building[body] = once
+	}
+	r.mu.Unlock()
+	once.Do(func() {
+		arts, err := buildReference(body)
+		r.mu.Lock()
+		r.m[body], r.errs[body] = arts, err
+		r.mu.Unlock()
+	})
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.errs[body]; err != nil {
+		return nil, err
+	}
+	b, ok := r.m[body][name]
+	if !ok {
+		known := make([]string, 0, len(r.m[body]))
+		for k := range r.m[body] {
+			known = append(known, k)
+		}
+		return nil, fmt.Errorf("reference has no artifact %q (has %v)", name, known)
+	}
+	return b, nil
+}
+
+// buildReference simulates one spec locally and renders every table in
+// every format, keyed the way the server names artifacts
+// (<experiment>.<format>, lowercased).
+func buildReference(body string) (map[string][]byte, error) {
+	spec, err := campaign.ParseSpec([]byte(body))
+	if err != nil {
+		return nil, err
+	}
+	tables, err := campaign.BuildTables(context.Background(), spec, 0, campaign.Progress{})
+	if err != nil {
+		return nil, err
+	}
+	arts := make(map[string][]byte)
+	for _, t := range tables {
+		base := strings.ToLower(t.TableMeta().Experiment)
+		for _, format := range results.Formats() {
+			var buf bytes.Buffer
+			if err := results.WriteFormat(&buf, t, format); err != nil {
+				return nil, err
+			}
+			arts[base+"."+format] = buf.Bytes()
+		}
+	}
+	return arts, nil
+}

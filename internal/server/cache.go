@@ -12,7 +12,6 @@ import (
 	"sort"
 	"strings"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/faultinject"
 	"repro/internal/results"
@@ -56,29 +55,29 @@ type cache struct {
 	index    map[string]*list.Element
 	dir      string // "" disables the disk tier
 	faults   *faultinject.Set
-	// corrupt counts quarantined disk entries (wired to the service's
-	// cacheCorrupt metric; never nil).
-	corrupt *atomic.Int64
+	// onCorrupt reports each quarantined disk entry (wired to the
+	// service's cache_corrupt_quarantined counter; never nil).
+	onCorrupt func()
 }
 
 // newCache returns an empty cache of the given capacity (entries below 1
 // are clamped to 1) spilling into dir when non-empty. faults may be nil;
-// corrupt (the quarantine counter, shared with /v1/metrics) may be nil
-// and is then private.
-func newCache(capacity int, dir string, faults *faultinject.Set, corrupt *atomic.Int64) *cache {
+// onCorrupt (the quarantine hook, shared with /v1/metrics) may be nil
+// and is then a no-op.
+func newCache(capacity int, dir string, faults *faultinject.Set, onCorrupt func()) *cache {
 	if capacity < 1 {
 		capacity = 1
 	}
-	if corrupt == nil {
-		corrupt = new(atomic.Int64)
+	if onCorrupt == nil {
+		onCorrupt = func() {}
 	}
 	return &cache{
-		capacity: capacity,
-		ll:       list.New(),
-		index:    make(map[string]*list.Element),
-		dir:      dir,
-		faults:   faults,
-		corrupt:  corrupt,
+		capacity:  capacity,
+		ll:        list.New(),
+		index:     make(map[string]*list.Element),
+		dir:       dir,
+		faults:    faults,
+		onCorrupt: onCorrupt,
 	}
 }
 
@@ -263,7 +262,7 @@ func fileSum(path string) (string, error) {
 // (falling back to deletion if even the move fails) and counts it. The
 // entry is preserved for post-mortem rather than destroyed.
 func (c *cache) quarantine(key string, cause error) {
-	c.corrupt.Add(1)
+	c.onCorrupt()
 	qdir := filepath.Join(c.dir, quarantineDir)
 	if err := os.MkdirAll(qdir, 0o755); err == nil {
 		for n := 0; n < 100; n++ {

@@ -58,6 +58,10 @@ type job struct {
 	name     string
 	cacheKey string
 	events   *eventLog
+	// metrics is the service's counter set (set at submission); the
+	// terminal transition observes the job's end-to-end duration into
+	// its job_duration_seconds histogram.
+	metrics *counters
 	// epochs counts streamed samples (also aggregated in counters).
 	epochs atomic.Int64
 
@@ -217,6 +221,9 @@ func (j *job) finishLocked(state jobState, tables []results.Table, diskFiles []s
 	j.errMsg = errMsg
 	j.finished = time.Now()
 	j.cancel = nil
+	if j.metrics != nil {
+		j.metrics.observeJobDuration(j.finished.Sub(j.created))
+	}
 	j.events.publish("state", stateEvent{State: state, Cache: cacheTier, Error: errMsg})
 	j.events.close()
 }
@@ -297,7 +304,7 @@ func (m *manager) shutdown() {
 		case jobQueued, jobRunning:
 			j.finishLocked(jobCancelled, nil, nil, "", "server shutting down")
 			j.mu.Unlock()
-			m.metrics.jobsCancelled.Add(1)
+			m.metrics.inc(&m.metrics.jobsCancelled)
 		default:
 			j.mu.Unlock()
 		}
@@ -346,6 +353,22 @@ func (m *manager) retryAfterSeconds() int {
 	return s
 }
 
+// sseSubscribers sums live SSE subscribers across every job — the
+// fan-out gauge the Prometheus rendering exposes.
+func (m *manager) sseSubscribers() int {
+	m.mu.Lock()
+	jobs := make([]*job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+	n := 0
+	for _, j := range jobs {
+		n += j.events.subscribers()
+	}
+	return n
+}
+
 // queueDepths reports (queued, running) gauges for /v1/metrics.
 func (m *manager) queueDepths() (queued, running int) {
 	m.mu.Lock()
@@ -370,6 +393,7 @@ func (m *manager) queueDepths() (queued, running int) {
 func (m *manager) submit(j *job) error {
 	j.created = time.Now()
 	j.state = jobQueued
+	j.metrics = m.metrics
 	j.events = newEventLog(m.sseBuffer, &m.metrics.sseDropped)
 
 	// The queue.admit fault point models a failing admission path (a
@@ -377,7 +401,7 @@ func (m *manager) submit(j *job) error {
 	// mode rejects this one submission, latency mode delays it, panic
 	// mode is contained by the handler-level recovery.
 	if err := m.faults.Fire(m.base, "queue.admit"); err != nil {
-		m.metrics.jobsRejected.Add(1)
+		m.metrics.inc(&m.metrics.jobsRejected)
 		return fmt.Errorf("server: admission failed: %w", err)
 	}
 
@@ -385,16 +409,14 @@ func (m *manager) submit(j *job) error {
 	// returns instantly, without occupying a queue slot or a worker.
 	if tables, ok := m.cache.get(j.cacheKey); ok {
 		m.register(j)
-		m.metrics.jobsSubmitted.Add(1)
-		m.metrics.cacheHits.Add(1)
+		m.metrics.inc(&m.metrics.jobsSubmitted, &m.metrics.cacheHits)
 		j.events.publish("state", stateEvent{State: jobQueued})
 		j.finish(jobDone, tables, nil, "memory", "")
 		return nil
 	}
 	if files, ok := m.cache.diskLoad(j.cacheKey); ok {
 		m.register(j)
-		m.metrics.jobsSubmitted.Add(1)
-		m.metrics.cacheDiskHits.Add(1)
+		m.metrics.inc(&m.metrics.jobsSubmitted, &m.metrics.cacheDiskHits)
 		j.events.publish("state", stateEvent{State: jobQueued})
 		j.finish(jobDone, nil, files, "disk", "")
 		return nil
@@ -409,8 +431,7 @@ func (m *manager) submit(j *job) error {
 		m.registerLocked(j)
 		m.followers[leader.id] = append(m.followers[leader.id], j)
 		m.mu.Unlock()
-		m.metrics.jobsSubmitted.Add(1)
-		m.metrics.singleFlight.Add(1)
+		m.metrics.inc(&m.metrics.jobsSubmitted, &m.metrics.singleFlight)
 		j.events.publish("state", stateEvent{State: jobQueued})
 		return nil
 	}
@@ -418,15 +439,14 @@ func (m *manager) submit(j *job) error {
 	// of submissions cannot overshoot the declared depth.
 	if len(m.queue) == cap(m.queue) {
 		m.mu.Unlock()
-		m.metrics.jobsRejected.Add(1)
+		m.metrics.inc(&m.metrics.jobsRejected)
 		return errQueueFull
 	}
 	m.registerLocked(j)
 	m.inflight[j.cacheKey] = j
 	m.queue <- j
 	m.mu.Unlock()
-	m.metrics.jobsSubmitted.Add(1)
-	m.metrics.cacheMisses.Add(1)
+	m.metrics.inc(&m.metrics.jobsSubmitted, &m.metrics.cacheMisses)
 	j.events.publish("state", stateEvent{State: jobQueued})
 	return nil
 }
@@ -463,12 +483,12 @@ func (m *manager) settle(leader *job) {
 		case jobDone:
 			f.finishLocked(jobDone, tables, diskFiles, "single-flight", "")
 			f.mu.Unlock()
-			m.metrics.jobsDone.Add(1)
+			m.metrics.inc(&m.metrics.jobsDone)
 		default:
 			f.finishLocked(jobFailed, nil, nil, "",
 				fmt.Sprintf("coalesced onto job %s which was %s: %s", leader.id, state, errMsg))
 			f.mu.Unlock()
-			m.metrics.jobsFailed.Add(1)
+			m.metrics.inc(&m.metrics.jobsFailed)
 		}
 	}
 }
@@ -525,8 +545,7 @@ func (m *manager) timeOutQueued(j *job) {
 	if j.state == jobQueued {
 		j.finishLocked(jobFailed, nil, nil, "", fmt.Sprintf("job timed out after %v waiting for a job slot", m.jobTimeout))
 		j.mu.Unlock()
-		m.metrics.jobsFailed.Add(1)
-		m.metrics.jobsTimedOut.Add(1)
+		m.metrics.inc(&m.metrics.jobsFailed, &m.metrics.jobsTimedOut)
 	} else {
 		j.mu.Unlock()
 	}
@@ -554,20 +573,19 @@ func (m *manager) run(j *job) {
 		// Cancelled while queued; cancelJob already finalised it.
 		return
 	}
-	m.metrics.jobsStarted.Add(1)
+	m.metrics.inc(&m.metrics.jobsStarted)
 
 	tables, err := m.execute(ctx, j)
 
 	switch {
 	case err != nil && errors.Is(ctx.Err(), context.DeadlineExceeded):
-		m.metrics.jobsFailed.Add(1)
-		m.metrics.jobsTimedOut.Add(1)
+		m.metrics.inc(&m.metrics.jobsFailed, &m.metrics.jobsTimedOut)
 		j.finish(jobFailed, nil, nil, "", fmt.Sprintf("job deadline (%v) exceeded: %s", m.jobTimeout, err))
 	case err != nil && (ctx.Err() != nil || errors.Is(err, context.Canceled)):
-		m.metrics.jobsCancelled.Add(1)
+		m.metrics.inc(&m.metrics.jobsCancelled)
 		j.finish(jobCancelled, nil, nil, "", err.Error())
 	case err != nil:
-		m.metrics.jobsFailed.Add(1)
+		m.metrics.inc(&m.metrics.jobsFailed)
 		j.finish(jobFailed, nil, nil, "", err.Error())
 	default:
 		if cerr := m.cache.put(j.cacheKey, tables); cerr != nil {
@@ -575,7 +593,7 @@ func (m *manager) run(j *job) {
 			// result is still served from memory.
 			j.events.publish("experiment", experimentEvent{ID: "cache", Status: "failed", Error: cerr.Error()})
 		}
-		m.metrics.jobsDone.Add(1)
+		m.metrics.inc(&m.metrics.jobsDone)
 		j.finish(jobDone, tables, nil, "", "")
 	}
 }
@@ -588,7 +606,7 @@ func (m *manager) run(j *job) {
 func (m *manager) execute(ctx context.Context, j *job) (tables []results.Table, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			m.metrics.panicsRecovered.Add(1)
+			m.metrics.inc(&m.metrics.panicsRecovered)
 			tables = nil
 			err = fmt.Errorf("panic in job %s: %v\n%s", j.id, r, firstStackLines(debug.Stack(), 8))
 		}
@@ -655,7 +673,7 @@ func (m *manager) cancelJob(id string) (found bool, err error) {
 		// acknowledged.
 		j.finishLocked(jobCancelled, nil, nil, "", "cancelled while queued")
 		j.mu.Unlock()
-		m.metrics.jobsCancelled.Add(1)
+		m.metrics.inc(&m.metrics.jobsCancelled)
 		// The job may have been a single-flight leader (followers fail
 		// with a resubmittable error) or a follower (settle on itself is a
 		// no-op; its leader's settle skips it, already terminal).

@@ -1,36 +1,69 @@
 package server
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/histo"
 )
 
-// counters are the service's expvar-style metrics: monotonically
-// increasing atomic counters snapshotted as a flat JSON object by
-// GET /v1/metrics. Gauges (queue depth, running jobs) are computed from
-// the job table at snapshot time rather than counted here.
+// counters are the service's metrics: monotonically increasing counters
+// plus the job-duration histogram, snapshotted by GET /v1/metrics as a
+// flat JSON object (the original expvar-style rendering) or as Prometheus
+// text exposition (?format=prometheus). Gauges (queue depth, running
+// jobs, live SSE subscribers) are computed from the job table at scrape
+// time rather than counted here.
+//
+// Every counter with a cross-counter invariant lives under one mutex, and
+// a scrape reads them all in a single lock acquisition — so a scrape can
+// never observe a torn view in which, say, a job's jobs_done increment is
+// visible while its jobs_started increment is not. Related increments
+// (jobs_failed + jobs_timed_out; jobs_submitted + its cache-tier
+// breakdown) are likewise applied together in one acquisition, keeping
+// these identities exact in every snapshot:
+//
+//	jobs_submitted == cache_hits + cache_disk_hits + single_flight_dedup + cache_misses
+//	jobs_done + jobs_failed + jobs_cancelled counted per terminal job, started-before-terminal
+//
+// Only the two hot-path streams stay lock-free atomics: epochs (bumped
+// once per simulated epoch sample — a mutex there would serialize the
+// simulation workers) and SSE drop events (bumped inside the event log's
+// own critical section). Each is a single independent counter with no
+// invariant against the rest.
 type counters struct {
 	// start anchors the uptime and the epochs/sec rate.
 	start time.Time
+
+	mu sync.Mutex
 	// jobsSubmitted counts accepted submissions (cache hits included);
 	// jobsRejected counts submissions shed with 429 backpressure.
-	jobsSubmitted, jobsRejected atomic.Int64
+	jobsSubmitted, jobsRejected int64
 	// jobsStarted/Done/Failed/Cancelled count job state transitions;
 	// jobsTimedOut counts the failed jobs whose cause was the --job-timeout
-	// deadline (also counted in jobsFailed).
-	jobsStarted, jobsDone, jobsFailed, jobsCancelled, jobsTimedOut atomic.Int64
+	// deadline (also counted in jobsFailed). Single-flight followers and
+	// cache-served submissions terminate without a jobsStarted increment;
+	// their completions are accounted by singleFlight and the cache
+	// counters respectively.
+	jobsStarted, jobsDone, jobsFailed, jobsCancelled, jobsTimedOut int64
 	// cacheHits/cacheDiskHits/cacheMisses count content-addressed lookups
 	// at submission time (a disk hit is not also a memory hit);
 	// cacheCorrupt counts disk-tier entries that failed checksum
 	// verification and were quarantined for recomputation.
-	cacheHits, cacheDiskHits, cacheMisses, cacheCorrupt atomic.Int64
+	cacheHits, cacheDiskHits, cacheMisses, cacheCorrupt int64
 	// singleFlight counts submissions coalesced onto an identical
 	// in-flight job instead of re-simulating (stampede protection).
-	singleFlight atomic.Int64
+	singleFlight int64
 	// panicsRecovered counts panics contained by the per-job and
 	// per-request recovery layers — each one failed a single job or
 	// request, never the dispatcher.
-	panicsRecovered atomic.Int64
+	panicsRecovered int64
+	// jobDuration observes every job's submission-to-terminal wall time in
+	// seconds, cache-served jobs included (they land in the lowest
+	// buckets — the histogram is exactly the server-side half of the
+	// latency join with the load harness's client-side numbers).
+	jobDuration *histo.Histogram
+
 	// sseDropped counts events dropped from slow subscribers' buffers
 	// (drop-oldest policy; the ids in the stream reveal each gap).
 	sseDropped atomic.Int64
@@ -39,48 +72,120 @@ type counters struct {
 	epochs atomic.Int64
 }
 
-// newCounters returns zeroed counters anchored at now.
-func newCounters() *counters { return &counters{start: time.Now()} }
+// jobDurationBuckets is the Prometheus-side histogram layout: factor-2
+// buckets from 1ms to ≈131s. Coarser than the harness's 2^¼ layout but
+// cheap to scrape; both are log-bucketed so percentiles line up.
+func jobDurationBuckets() *histo.Histogram { return histo.Exponential(0.001, 2, 18) }
 
-// snapshot renders the counters plus the given gauges as the /v1/metrics
-// payload. faults is the fault-injection registry's per-point fire
-// count (nil when injection is off — the key is then omitted).
-func (c *counters) snapshot(queued, running int, faults map[string]int64) map[string]any {
+// newCounters returns zeroed counters anchored at now.
+func newCounters() *counters {
+	return &counters{start: time.Now(), jobDuration: jobDurationBuckets()}
+}
+
+// inc bumps one or more counters in a single lock acquisition, so
+// related counters (a failure and its timeout attribution, a submission
+// and its cache-tier classification) move atomically together.
+func (c *counters) inc(fields ...*int64) {
+	c.mu.Lock()
+	for _, f := range fields {
+		*f++
+	}
+	c.mu.Unlock()
+}
+
+// observeJobDuration records one job's submission-to-terminal wall time.
+func (c *counters) observeJobDuration(d time.Duration) {
+	c.mu.Lock()
+	c.jobDuration.Observe(d.Seconds())
+	c.mu.Unlock()
+}
+
+// metricsView is one atomic snapshot of every counter plus the
+// scrape-time gauges and fault tallies. Both renderings — the JSON object
+// and the Prometheus text exposition — are produced from the same view,
+// so the two formats can never disagree about a scrape.
+type metricsView struct {
+	uptime                                                        float64
+	jobsSubmitted, jobsRejected                                   int64
+	jobsStarted, jobsDone, jobsFailed, jobsCancelled, jobsTimedOut int64
+	cacheHits, cacheDiskHits, cacheMisses, cacheCorrupt           int64
+	singleFlight                                                  int64
+	panicsRecovered                                               int64
+	jobDuration                                                   *histo.Histogram
+	sseDropped, epochs                                            int64
+	epochsPerSec                                                  float64
+	queued, running, subscribers                                  int
+	faults                                                        map[string]int64
+}
+
+// view snapshots the counters in one lock acquisition. The gauges are
+// sampled by the caller (they live in the job table, under its own
+// locks); the histogram is cloned so rendering happens outside the lock.
+func (c *counters) view(queued, running, subscribers int, faults map[string]int64) metricsView {
 	uptime := time.Since(c.start).Seconds()
-	epochs := c.epochs.Load()
-	perSec := 0.0
+	c.mu.Lock()
+	v := metricsView{
+		uptime:          uptime,
+		jobsSubmitted:   c.jobsSubmitted,
+		jobsRejected:    c.jobsRejected,
+		jobsStarted:     c.jobsStarted,
+		jobsDone:        c.jobsDone,
+		jobsFailed:      c.jobsFailed,
+		jobsCancelled:   c.jobsCancelled,
+		jobsTimedOut:    c.jobsTimedOut,
+		cacheHits:       c.cacheHits,
+		cacheDiskHits:   c.cacheDiskHits,
+		cacheMisses:     c.cacheMisses,
+		cacheCorrupt:    c.cacheCorrupt,
+		singleFlight:    c.singleFlight,
+		panicsRecovered: c.panicsRecovered,
+		jobDuration:     c.jobDuration.Clone(),
+	}
+	c.mu.Unlock()
+	v.sseDropped = c.sseDropped.Load()
+	v.epochs = c.epochs.Load()
 	if uptime > 0 {
-		perSec = float64(epochs) / uptime
+		v.epochsPerSec = float64(v.epochs) / uptime
 	}
+	v.queued, v.running, v.subscribers = queued, running, subscribers
+	v.faults = faults
+	return v
+}
+
+// json renders the view as the /v1/metrics payload — the original
+// expvar-style flat object, byte-compatible with every earlier release
+// (no keys added or removed; the histogram and the subscriber gauge are
+// exposed through the Prometheus format only).
+func (v metricsView) json() map[string]any {
 	m := map[string]any{
-		"uptime_seconds":            uptime,
-		"jobs_submitted":            c.jobsSubmitted.Load(),
-		"jobs_rejected":             c.jobsRejected.Load(),
-		"requests_shed":             c.jobsRejected.Load(),
-		"jobs_queued":               queued,
-		"jobs_running":              running,
-		"jobs_started":              c.jobsStarted.Load(),
-		"jobs_done":                 c.jobsDone.Load(),
-		"jobs_failed":               c.jobsFailed.Load(),
-		"jobs_cancelled":            c.jobsCancelled.Load(),
-		"jobs_timed_out":            c.jobsTimedOut.Load(),
-		"cache_hits":                c.cacheHits.Load(),
-		"cache_disk_hits":           c.cacheDiskHits.Load(),
-		"cache_misses":              c.cacheMisses.Load(),
-		"cache_corrupt_quarantined": c.cacheCorrupt.Load(),
-		"single_flight_dedup":       c.singleFlight.Load(),
-		"panics_recovered":          c.panicsRecovered.Load(),
-		"sse_events_dropped":        c.sseDropped.Load(),
-		"epochs_observed":           epochs,
-		"epochs_per_sec":            perSec,
+		"uptime_seconds":            v.uptime,
+		"jobs_submitted":            v.jobsSubmitted,
+		"jobs_rejected":             v.jobsRejected,
+		"requests_shed":             v.jobsRejected,
+		"jobs_queued":               v.queued,
+		"jobs_running":              v.running,
+		"jobs_started":              v.jobsStarted,
+		"jobs_done":                 v.jobsDone,
+		"jobs_failed":               v.jobsFailed,
+		"jobs_cancelled":            v.jobsCancelled,
+		"jobs_timed_out":            v.jobsTimedOut,
+		"cache_hits":                v.cacheHits,
+		"cache_disk_hits":           v.cacheDiskHits,
+		"cache_misses":              v.cacheMisses,
+		"cache_corrupt_quarantined": v.cacheCorrupt,
+		"single_flight_dedup":       v.singleFlight,
+		"panics_recovered":          v.panicsRecovered,
+		"sse_events_dropped":        v.sseDropped,
+		"epochs_observed":           v.epochs,
+		"epochs_per_sec":            v.epochsPerSec,
 	}
-	if faults != nil {
+	if v.faults != nil {
 		var total int64
-		for _, n := range faults {
+		for _, n := range v.faults {
 			total += n
 		}
 		m["faults_injected"] = total
-		m["faults_by_point"] = faults
+		m["faults_by_point"] = v.faults
 	}
 	return m
 }

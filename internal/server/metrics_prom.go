@@ -1,0 +1,103 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file renders a metricsView in the Prometheus text exposition
+// format (version 0.0.4): one HELP and one TYPE line per metric family,
+// then its samples, in a fixed order so scrapes diff cleanly. The same
+// view also feeds the JSON rendering, which keeps the two formats
+// consistent within a single scrape; the load harness joins its
+// client-side BENCH_SERVE.json numbers against these server-side series
+// (see DESIGN.md §10 for the join contract).
+
+// promContentType is the exposition-format content type for 0.0.4.
+const promContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promNamespace prefixes every exported metric family.
+const promNamespace = "htserved"
+
+// writePrometheus renders the view. Family order is fixed: ops dashboards
+// and the exposition validator both rely on a deterministic scrape.
+func (v metricsView) writePrometheus(w io.Writer) error {
+	var b strings.Builder
+
+	gauge := func(name, help string, value float64) {
+		fmt.Fprintf(&b, "# HELP %s_%s %s\n# TYPE %s_%s gauge\n%s_%s %s\n",
+			promNamespace, name, help, promNamespace, name, promNamespace, name, promFloat(value))
+	}
+	counter := func(name, help string, value int64) {
+		fmt.Fprintf(&b, "# HELP %s_%s %s\n# TYPE %s_%s counter\n%s_%s %d\n",
+			promNamespace, name, help, promNamespace, name, promNamespace, name, value)
+	}
+
+	gauge("uptime_seconds", "Seconds since the service started.", v.uptime)
+
+	counter("jobs_submitted_total", "Accepted submissions, cache-served included.", v.jobsSubmitted)
+	counter("jobs_rejected_total", "Submissions shed with 429 backpressure.", v.jobsRejected)
+	counter("jobs_started_total", "Jobs that entered execution (cache-served submissions and single-flight followers never start).", v.jobsStarted)
+	counter("jobs_done_total", "Jobs that reached the done state.", v.jobsDone)
+	counter("jobs_failed_total", "Jobs that reached the failed state.", v.jobsFailed)
+	counter("jobs_cancelled_total", "Jobs cancelled while queued or running.", v.jobsCancelled)
+	counter("jobs_timed_out_total", "Failed jobs whose cause was the --job-timeout deadline (also in jobs_failed_total).", v.jobsTimedOut)
+
+	gauge("queue_depth", "Jobs waiting in the FIFO queue.", float64(v.queued))
+	gauge("jobs_running", "Jobs currently executing.", float64(v.running))
+
+	// The cache tiers share one family: tier=memory|disk hits, tier=miss
+	// lookups that went to the queue.
+	fmt.Fprintf(&b, "# HELP %s_cache_lookups_total Content-addressed cache lookups at submission time, by outcome tier.\n", promNamespace)
+	fmt.Fprintf(&b, "# TYPE %s_cache_lookups_total counter\n", promNamespace)
+	fmt.Fprintf(&b, "%s_cache_lookups_total{tier=\"memory\"} %d\n", promNamespace, v.cacheHits)
+	fmt.Fprintf(&b, "%s_cache_lookups_total{tier=\"disk\"} %d\n", promNamespace, v.cacheDiskHits)
+	fmt.Fprintf(&b, "%s_cache_lookups_total{tier=\"miss\"} %d\n", promNamespace, v.cacheMisses)
+
+	counter("cache_corrupt_total", "Disk-tier entries that failed checksum verification and were quarantined.", v.cacheCorrupt)
+	counter("single_flight_total", "Submissions coalesced onto an identical in-flight job.", v.singleFlight)
+	counter("panics_recovered_total", "Panics contained by the per-job and per-request recovery layers.", v.panicsRecovered)
+
+	counter("sse_events_dropped_total", "Events dropped from slow SSE subscribers' buffers (drop-oldest).", v.sseDropped)
+	gauge("sse_subscribers", "Live SSE subscribers across all jobs.", float64(v.subscribers))
+
+	counter("epochs_observed_total", "Per-epoch samples observed across all jobs.", v.epochs)
+	gauge("epochs_per_second", "Aggregate simulation throughput since start.", v.epochsPerSec)
+
+	// Job latency histogram: submission-to-terminal wall time, every job
+	// (cache-served ones land in the lowest buckets).
+	h := v.jobDuration
+	fmt.Fprintf(&b, "# HELP %s_job_duration_seconds Job submission-to-terminal wall time.\n", promNamespace)
+	fmt.Fprintf(&b, "# TYPE %s_job_duration_seconds histogram\n", promNamespace)
+	for _, bk := range h.Cumulative() {
+		fmt.Fprintf(&b, "%s_job_duration_seconds_bucket{le=\"%s\"} %d\n", promNamespace, promFloat(bk.Le), bk.Count)
+	}
+	fmt.Fprintf(&b, "%s_job_duration_seconds_bucket{le=\"+Inf\"} %d\n", promNamespace, h.Count())
+	fmt.Fprintf(&b, "%s_job_duration_seconds_sum %s\n", promNamespace, promFloat(h.Sum()))
+	fmt.Fprintf(&b, "%s_job_duration_seconds_count %d\n", promNamespace, h.Count())
+
+	// Fault-injection tallies appear only when the registry is armed,
+	// exactly like the JSON rendering.
+	if v.faults != nil {
+		points := make([]string, 0, len(v.faults))
+		for p := range v.faults {
+			points = append(points, p)
+		}
+		sort.Strings(points)
+		fmt.Fprintf(&b, "# HELP %s_faults_injected_total Faults fired by the injection registry, by point.\n", promNamespace)
+		fmt.Fprintf(&b, "# TYPE %s_faults_injected_total counter\n", promNamespace)
+		for _, p := range points {
+			fmt.Fprintf(&b, "%s_faults_injected_total{point=%q} %d\n", promNamespace, p, v.faults[p])
+		}
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// promFloat formats a sample value or le bound the way Prometheus does:
+// shortest round-trip representation.
+func promFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }

@@ -1,0 +1,474 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// This file pins the two /v1/metrics renderings: a promlint-style
+// validator over the Prometheus text exposition (run both against live
+// scrapes and against deliberately broken documents, so the validator
+// itself is known to have teeth), the frozen key set of the JSON
+// rendering, and the tear-freedom of the counter snapshot under
+// concurrent load.
+
+// metricNameRE and labelNameRE are the Prometheus identifier grammars.
+var (
+	metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRE  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+	sampleRE     = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{([^}]*)\})? (\S+)$`)
+)
+
+// lintPrometheus validates a text exposition document the way promlint
+// does, returning every problem found (empty means clean). Checks: HELP
+// then TYPE precede a family's samples, each exactly once; TYPE is
+// counter|gauge|histogram; counter families end in _total; metric and
+// label names match the identifier grammar; values parse as floats; no
+// duplicate series; histogram bucket counts are non-decreasing in le
+// order and the +Inf bucket equals the family's _count sample.
+func lintPrometheus(doc string) []string {
+	var problems []string
+	bad := func(format string, args ...any) { problems = append(problems, fmt.Sprintf(format, args...)) }
+
+	helped := map[string]bool{}
+	typed := map[string]string{}
+	sampled := map[string]bool{}
+	seenSeries := map[string]bool{}
+	type bucket struct {
+		le    float64
+		inf   bool
+		count float64
+	}
+	buckets := map[string][]bucket{}
+	counts := map[string]float64{}
+
+	// family resolves a sample name to the metric family it belongs to:
+	// histogram samples use the _bucket/_sum/_count suffixes.
+	family := func(name string) string {
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base != name && typed[base] == "histogram" {
+				return base
+			}
+		}
+		return name
+	}
+
+	for _, line := range strings.Split(doc, "\n") {
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok {
+				bad("HELP line %q has no help text", line)
+				continue
+			}
+			if helped[name] {
+				bad("duplicate HELP for %s", name)
+			}
+			helped[name] = true
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, kind, _ := strings.Cut(rest, " ")
+			switch kind {
+			case "counter", "gauge", "histogram":
+			default:
+				bad("%s has unknown type %q", name, kind)
+			}
+			if !helped[name] {
+				bad("TYPE for %s precedes its HELP", name)
+			}
+			if _, dup := typed[name]; dup {
+				bad("duplicate TYPE for %s", name)
+			}
+			if sampled[name] {
+				bad("TYPE for %s appears after its samples", name)
+			}
+			typed[name] = kind
+			if kind == "counter" && !strings.HasSuffix(name, "_total") {
+				bad("counter %s should have the _total suffix", name)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+
+		m := sampleRE.FindStringSubmatch(line)
+		if m == nil {
+			bad("unparseable sample line %q", line)
+			continue
+		}
+		name, labels, value := m[1], m[2], m[3]
+		if !metricNameRE.MatchString(name) {
+			bad("invalid metric name %q", name)
+		}
+		fam := family(name)
+		if _, ok := typed[fam]; !ok {
+			bad("sample %s has no TYPE", name)
+		}
+		sampled[fam] = true
+		val, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			bad("sample %s has unparseable value %q", name, value)
+		}
+		var le string
+		var hasLe bool
+		for _, pair := range splitLabels(labels) {
+			k, v, ok := strings.Cut(pair, "=")
+			if !ok || !labelNameRE.MatchString(k) || len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+				bad("sample %s has malformed label %q", name, pair)
+				continue
+			}
+			if k == "le" {
+				le, hasLe = v[1:len(v)-1], true
+			}
+		}
+		series := name + "{" + labels + "}"
+		if seenSeries[series] {
+			bad("duplicate series %s", series)
+		}
+		seenSeries[series] = true
+
+		if typed[fam] == "histogram" {
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				if !hasLe {
+					bad("histogram sample %s has no le label", name)
+					continue
+				}
+				b := bucket{count: val}
+				if le == "+Inf" {
+					b.inf = true
+				} else if b.le, err = strconv.ParseFloat(le, 64); err != nil {
+					bad("histogram %s has unparseable le %q", fam, le)
+					continue
+				}
+				buckets[fam] = append(buckets[fam], b)
+			case strings.HasSuffix(name, "_count"):
+				counts[fam] = val
+			}
+		}
+	}
+
+	for fam, bs := range buckets {
+		sawInf := false
+		for i, b := range bs {
+			if i > 0 {
+				prev := bs[i-1]
+				if prev.inf {
+					bad("histogram %s has a bucket after +Inf", fam)
+				} else if !b.inf && b.le <= prev.le {
+					bad("histogram %s le bounds not increasing at %g", fam, b.le)
+				}
+				if b.count < prev.count {
+					bad("histogram %s bucket counts decrease at le=%g", fam, b.le)
+				}
+			}
+			if b.inf {
+				sawInf = true
+				if c, ok := counts[fam]; ok && b.count != c {
+					bad("histogram %s +Inf bucket %g != _count %g", fam, b.count, c)
+				}
+			}
+		}
+		if !sawInf {
+			bad("histogram %s has no +Inf bucket", fam)
+		}
+	}
+	for name := range typed {
+		if !helped[name] {
+			bad("%s has TYPE but no HELP", name)
+		}
+	}
+	sort.Strings(problems)
+	return problems
+}
+
+// splitLabels splits a label body on commas (no escaped quotes appear in
+// this codebase's label values, and the linter's negative cases don't
+// need them).
+func splitLabels(labels string) []string {
+	if labels == "" {
+		return nil
+	}
+	return strings.Split(labels, ",")
+}
+
+// scrapePrometheus fetches /v1/metrics?format=prometheus and asserts the
+// exposition content type.
+func scrapePrometheus(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("prometheus scrape = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != promContentType {
+		t.Fatalf("Content-Type = %q, want %q", ct, promContentType)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestPrometheusExpositionPassesLint drives the service through a
+// campaign (miss then hit), scrapes the Prometheus rendering, and runs
+// the full validator over it, plus spot checks of the families the load
+// harness's metric join depends on.
+func TestPrometheusExpositionPassesLint(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	st := postJSON(t, ts.URL+"/v1/campaigns", testSpec, http.StatusAccepted)
+	waitState(t, ts.URL, st.ID)
+	st2 := postJSON(t, ts.URL+"/v1/campaigns", testSpec, http.StatusAccepted)
+	waitState(t, ts.URL, st2.ID)
+
+	doc := scrapePrometheus(t, ts.URL)
+	if problems := lintPrometheus(doc); len(problems) > 0 {
+		t.Fatalf("live scrape failed lint:\n  %s", strings.Join(problems, "\n  "))
+	}
+	for _, want := range []string{
+		"htserved_jobs_submitted_total 2",
+		`htserved_cache_lookups_total{tier="memory"} 1`,
+		`htserved_cache_lookups_total{tier="miss"} 1`,
+		"htserved_job_duration_seconds_count 2",
+		`htserved_job_duration_seconds_bucket{le="+Inf"} 2`,
+		"htserved_sse_subscribers 0",
+		"htserved_epochs_observed_total ",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+	// Every family carries the namespace.
+	for _, line := range strings.Split(doc, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.HasPrefix(line, promNamespace+"_") {
+			t.Errorf("sample outside the %s namespace: %q", promNamespace, line)
+		}
+	}
+}
+
+// TestPrometheusLintCatchesBadDocuments proves the validator has teeth:
+// each corrupted document must be flagged with the expected problem.
+func TestPrometheusLintCatchesBadDocuments(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string // substring of a reported problem
+	}{
+		{
+			name: "counter without _total",
+			doc:  "# HELP x_jobs Jobs.\n# TYPE x_jobs counter\nx_jobs 1\n",
+			want: "should have the _total suffix",
+		},
+		{
+			name: "sample without TYPE",
+			doc:  "x_jobs_total 1\n",
+			want: "has no TYPE",
+		},
+		{
+			name: "TYPE without HELP",
+			doc:  "# TYPE x_up gauge\nx_up 1\n",
+			want: "precedes its HELP",
+		},
+		{
+			name: "unknown type",
+			doc:  "# HELP x_s S.\n# TYPE x_s summary\nx_s 1\n",
+			want: "unknown type",
+		},
+		{
+			name: "duplicate series",
+			doc:  "# HELP x_up U.\n# TYPE x_up gauge\nx_up 1\nx_up 2\n",
+			want: "duplicate series",
+		},
+		{
+			name: "unparseable value",
+			doc:  "# HELP x_up U.\n# TYPE x_up gauge\nx_up one\n",
+			want: "unparseable value",
+		},
+		{
+			name: "histogram buckets decrease",
+			doc: "# HELP x_d D.\n# TYPE x_d histogram\n" +
+				`x_d_bucket{le="1"} 5` + "\n" + `x_d_bucket{le="2"} 3` + "\n" +
+				`x_d_bucket{le="+Inf"} 5` + "\nx_d_sum 4\nx_d_count 5\n",
+			want: "bucket counts decrease",
+		},
+		{
+			name: "histogram le not increasing",
+			doc: "# HELP x_d D.\n# TYPE x_d histogram\n" +
+				`x_d_bucket{le="2"} 1` + "\n" + `x_d_bucket{le="1"} 2` + "\n" +
+				`x_d_bucket{le="+Inf"} 2` + "\nx_d_sum 1\nx_d_count 2\n",
+			want: "le bounds not increasing",
+		},
+		{
+			name: "histogram missing +Inf",
+			doc: "# HELP x_d D.\n# TYPE x_d histogram\n" +
+				`x_d_bucket{le="1"} 1` + "\nx_d_sum 1\nx_d_count 1\n",
+			want: "no +Inf bucket",
+		},
+		{
+			name: "histogram +Inf disagrees with _count",
+			doc: "# HELP x_d D.\n# TYPE x_d histogram\n" +
+				`x_d_bucket{le="1"} 1` + "\n" + `x_d_bucket{le="+Inf"} 1` + "\nx_d_sum 1\nx_d_count 2\n",
+			want: "+Inf bucket 1 != _count 2",
+		},
+		{
+			name: "malformed label",
+			doc:  "# HELP x_up U.\n# TYPE x_up gauge\n" + `x_up{9bad="v"} 1` + "\n",
+			want: "malformed label",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			problems := lintPrometheus(tc.doc)
+			for _, p := range problems {
+				if strings.Contains(p, tc.want) {
+					return
+				}
+			}
+			t.Fatalf("lint missed the defect: want a problem containing %q, got %v", tc.want, problems)
+		})
+	}
+}
+
+// TestMetricsJSONKeysUnchanged freezes the JSON rendering's key set: the
+// Prometheus format is additive, the expvar-style object other tooling
+// scrapes must not gain or lose keys.
+func TestMetricsJSONKeysUnchanged(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	m := metricsSnapshot(t, ts.URL)
+	want := []string{
+		"cache_corrupt_quarantined", "cache_disk_hits", "cache_hits", "cache_misses",
+		"epochs_observed", "epochs_per_sec",
+		"jobs_cancelled", "jobs_done", "jobs_failed", "jobs_queued", "jobs_rejected",
+		"jobs_running", "jobs_started", "jobs_submitted", "jobs_timed_out",
+		"panics_recovered", "requests_shed", "single_flight_dedup",
+		"sse_events_dropped", "uptime_seconds",
+	}
+	got := make([]string, 0, len(m))
+	for k := range m {
+		got = append(got, k)
+	}
+	sort.Strings(got)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("JSON metrics keys changed:\n got  %v\n want %v", got, want)
+	}
+}
+
+// TestMetricsUnknownFormatRejected pins the format negotiation: only
+// "" (JSON) and "prometheus" are known.
+func TestMetricsUnknownFormatRejected(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	resp, err := http.Get(ts.URL + "/v1/metrics?format=xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("format=xml = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestMetricsSnapshotInvariantsUnderLoad hammers the service with
+// concurrent submissions (misses, cache hits, and single-flight
+// duplicates) while scraping continuously, and asserts the cross-counter
+// identities in every single scrape — the tear-freedom the one-lock
+// snapshot guarantees. Under -race this is also the data-race audit of
+// the counter rework.
+func TestMetricsSnapshotInvariantsUnderLoad(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, Jobs: 2, QueueDepth: 64})
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				// Distinct seeds force misses; the repeat of seed 1 exercises
+				// the cache-hit and single-flight paths concurrently.
+				seed := g*100 + i
+				if i%3 == 0 {
+					seed = 1
+				}
+				body := fmt.Sprintf(`{"cores":64,"threads":4,"hts":4,"epochs":4,"seed":%d,"workers":1}`, seed)
+				resp, err := http.Post(ts.URL+"/v1/sims", "application/json", strings.NewReader(body))
+				if err == nil {
+					resp.Body.Close()
+				}
+			}
+		}(g)
+	}
+	go func() { wg.Wait(); close(stop) }()
+
+	check := func(m map[string]any) {
+		f := func(k string) float64 { v, _ := m[k].(float64); return v }
+		submitted := f("jobs_submitted")
+		tiers := f("cache_hits") + f("cache_disk_hits") + f("cache_misses") + f("single_flight_dedup")
+		if submitted != tiers {
+			t.Fatalf("torn scrape: jobs_submitted %v != cache-tier sum %v", submitted, tiers)
+		}
+		if done := f("jobs_done"); done > f("jobs_started")+f("single_flight_dedup") {
+			t.Fatalf("torn scrape: jobs_done %v > jobs_started %v + single_flight %v",
+				done, f("jobs_started"), f("single_flight_dedup"))
+		}
+		if f("jobs_timed_out") > f("jobs_failed") {
+			t.Fatalf("torn scrape: jobs_timed_out %v > jobs_failed %v", f("jobs_timed_out"), f("jobs_failed"))
+		}
+		if term := f("jobs_done") + f("jobs_failed") + f("jobs_cancelled"); term > submitted {
+			t.Fatalf("torn scrape: %v terminal counts for %v submissions", term, submitted)
+		}
+	}
+	for {
+		select {
+		case <-stop:
+			// Drain to terminal, then the final identity must hold exactly.
+			for _, st := range listJobs(t, ts.URL) {
+				waitState(t, ts.URL, st.ID)
+			}
+			m := metricsSnapshot(t, ts.URL)
+			check(m)
+			if problems := lintPrometheus(scrapePrometheus(t, ts.URL)); len(problems) > 0 {
+				t.Fatalf("post-load scrape failed lint:\n  %s", strings.Join(problems, "\n  "))
+			}
+			return
+		default:
+			check(metricsSnapshot(t, ts.URL))
+		}
+	}
+}
+
+// listJobs fetches /v1/jobs.
+func listJobs(t *testing.T, base string) []jobStatus {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Jobs []jobStatus `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out.Jobs
+}

@@ -14,7 +14,11 @@
 // through the single internal/results serialization path, so a fetched
 // artifact is byte-identical to the file `htcampaign run` writes for the
 // same spec. GET /v1/plugins, /v1/healthz, and /v1/metrics expose the
-// plugin registries, live-vs-ready health, and expvar-style counters.
+// plugin registries, live-vs-ready health, and counters — as an
+// expvar-style JSON object by default, or as Prometheus text exposition
+// (?format=prometheus) with queue/cache/SSE families and a job-duration
+// histogram; both renderings come from one atomic snapshot, so a scrape
+// never sees torn cross-counter invariants.
 //
 // The service is built to degrade, not collapse (the chaos suite in
 // chaos_test.go drives every failure path through the
@@ -75,6 +79,12 @@ type Options struct {
 	// buffered events (drop-oldest, counted in sse_events_dropped) rather
 	// than stalling the simulation or being disconnected.
 	SSEBuffer int
+	// SSEWriteTimeout bounds each individual SSE frame write (default
+	// 10s; negative disables). A subscriber whose TCP window stays full
+	// past the deadline has its connection errored and its slot released
+	// — stalled consumers cost one connection, never a pinned handler
+	// goroutine.
+	SSEWriteTimeout time.Duration
 	// Faults is the fault-injection registry driving chaos tests
 	// (cmd/htserved builds it from the HTSERVED_FAULTS environment
 	// variable). Nil disables injection — every fault point passes clean.
@@ -91,6 +101,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CacheEntries < 1 {
 		o.CacheEntries = 64
+	}
+	if o.SSEWriteTimeout == 0 {
+		o.SSEWriteTimeout = 10 * time.Second
 	}
 	return o
 }
@@ -118,7 +131,7 @@ func New(opts Options) (*Server, error) {
 	metrics := newCounters()
 	s := &Server{
 		opts:    opts,
-		cache:   newCache(opts.CacheEntries, opts.CacheDir, opts.Faults, &metrics.cacheCorrupt),
+		cache:   newCache(opts.CacheEntries, opts.CacheDir, opts.Faults, func() { metrics.inc(&metrics.cacheCorrupt) }),
 		metrics: metrics,
 		faults:  opts.Faults,
 	}
@@ -151,7 +164,7 @@ func (s *Server) Handler() http.Handler {
 					// The stdlib's deliberate abort sentinel keeps its meaning.
 					panic(rec)
 				}
-				s.metrics.panicsRecovered.Add(1)
+				s.metrics.inc(&s.metrics.panicsRecovered)
 				// If the handler already started its response the header is
 				// gone; the broken stream is the remaining signal.
 				writeError(w, http.StatusInternalServerError, fmt.Errorf("internal panic (recovered): %v", rec))
@@ -361,8 +374,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, body)
 }
 
-// handleMetrics snapshots the expvar-style counters.
+// handleMetrics snapshots the counters — once, in a single lock
+// acquisition — and renders the snapshot in the requested format: the
+// original expvar-style JSON object (default, byte-compatible with every
+// earlier release) or Prometheus text exposition (?format=prometheus,
+// adding the job-duration histogram and the gauges a scraper wants).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	format := r.URL.Query().Get("format")
+	if format != "" && format != "prometheus" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown metrics format %q (known: prometheus)", format))
+		return
+	}
 	queued, running := s.jobs.queueDepths()
-	writeJSON(w, http.StatusOK, s.metrics.snapshot(queued, running, s.faults.Counts()))
+	v := s.metrics.view(queued, running, s.jobs.sseSubscribers(), s.faults.Counts())
+	if format == "prometheus" {
+		w.Header().Set("Content-Type", promContentType)
+		v.writePrometheus(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, v.json())
 }

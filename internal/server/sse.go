@@ -2,11 +2,13 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // This file is the live-progress side of the service: every job owns an
@@ -27,12 +29,15 @@ import (
 // released on every exit path (client disconnect, injected write fault,
 // log close), which the leak test pins at exactly zero residents.
 
-// event is one Server-Sent Event: a monotonically increasing id, an event
-// name ("state", "experiment", "epoch"), and a JSON payload.
+// event is one Server-Sent Event, pre-rendered at publish time: id is
+// the monotonically increasing sequence number and wire is the complete
+// `id:`/`event:`/`data:` frame. Rendering once in publish means a
+// fan-out to N subscribers costs one JSON marshal and one frame format
+// total — each subscriber goroutine just writes the shared bytes (the
+// slice is never mutated after publish, so sharing is safe).
 type event struct {
 	id   int
-	name string
-	data []byte
+	wire []byte
 }
 
 // maxBufferedEvents caps an eventLog's replay buffer. A paper-scale
@@ -96,7 +101,7 @@ func (l *eventLog) publish(name string, v any) {
 	if l.closed {
 		return
 	}
-	ev := event{id: l.next, name: name, data: data}
+	ev := event{id: l.next, wire: []byte(fmt.Sprintf("id: %d\nevent: %s\ndata: %s\n\n", l.next, name, data))}
 	l.next++
 	l.events = append(l.events, ev)
 	if len(l.events) > maxBufferedEvents {
@@ -177,13 +182,27 @@ func (l *eventLog) subscribers() int {
 	return len(l.subs)
 }
 
-// writeEvent emits one event in SSE wire format, firing the sse.write
+// writeEvent emits one pre-rendered event frame, firing the sse.write
 // fault point first so chaos runs can sever or stall individual streams.
-func (s *Server) writeEvent(w http.ResponseWriter, r *http.Request, ev event) error {
+// Each write runs under its own deadline (Options.SSEWriteTimeout) via
+// the ResponseController: a subscriber whose TCP window has been stuck
+// longer than the timeout gets a write error and is disconnected,
+// instead of parking this goroutine (and its subscriber slot) forever
+// on an unacknowledged socket. The deadline is per-frame, not
+// per-stream — an idle but healthy subscriber can stay connected for
+// hours.
+func (s *Server) writeEvent(w http.ResponseWriter, rc *http.ResponseController, r *http.Request, ev event) error {
 	if err := s.faults.Fire(r.Context(), "sse.write"); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.id, ev.name, ev.data)
+	if d := s.opts.SSEWriteTimeout; d > 0 {
+		// ErrNotSupported (e.g. a bare httptest recorder) downgrades to an
+		// unbounded write rather than killing the stream.
+		if err := rc.SetWriteDeadline(time.Now().Add(d)); err != nil && !errors.Is(err, http.ErrNotSupported) {
+			return err
+		}
+	}
+	_, err := w.Write(ev.wire)
 	return err
 }
 
@@ -219,11 +238,12 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("Connection", "keep-alive")
 	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
 	fmt.Fprintf(w, "retry: %d\n\n", retryHintMillis)
 	replay, ch, cancel := j.events.subscribe(lastEventID(r))
 	defer cancel()
 	for _, ev := range replay {
-		if err := s.writeEvent(w, r, ev); err != nil {
+		if err := s.writeEvent(w, rc, r, ev); err != nil {
 			return
 		}
 	}
@@ -234,7 +254,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			if !open {
 				return
 			}
-			if err := s.writeEvent(w, r, ev); err != nil {
+			if err := s.writeEvent(w, rc, r, ev); err != nil {
 				return
 			}
 			fl.Flush()

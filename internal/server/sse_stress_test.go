@@ -1,0 +1,169 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSSEFanOutFiveHundredSubscribers is the fan-out stress test: 500
+// concurrent SSE subscribers on a single running job — half churning
+// (connect, read a little, disconnect mid-stream), half staying until
+// the job's DELETE seals the event log. It pins the whole fan-out
+// contract at once: every stayer's stream has strictly increasing event
+// ids (the shared pre-rendered frames must never interleave or repeat
+// within one connection), no subscriber slot survives the drain, the
+// goroutine count returns to baseline (no parked writer goroutines),
+// and — because the job publishes fewer events than one subscriber
+// buffer holds — the drop counter stays at exactly zero. Run under
+// -race in CI, it is also the concurrency audit of the single-encode
+// publish path.
+func TestSSEFanOutFiveHundredSubscribers(t *testing.T) {
+	const (
+		subscribers = 500
+		churners    = 250
+		sseBuffer   = 256 // > total events published, so zero drops is exact
+	)
+	baseline := runtime.NumGoroutine()
+
+	svc, ts := newTestServer(t, Options{Workers: 1, Jobs: 1, QueueDepth: 2, SSEBuffer: sseBuffer})
+	// A long simulation (bounded well under the buffer: ≤200 epoch events
+	// plus a handful of state events) keeps the job running while the herd
+	// attaches; the DELETE below ends it.
+	slow := `{"cores":256,"threads":16,"hts":8,"epochs":200,"seed":701,"workers":1}`
+	st := postJSON(t, ts.URL+"/v1/sims", slow, http.StatusAccepted)
+	j := svc.jobs.lookup(st.ID)
+	if j == nil {
+		t.Fatal("job not found")
+	}
+
+	// A dedicated transport so the test can sever keep-alives before the
+	// goroutine accounting at the end.
+	transport := &http.Transport{MaxIdleConnsPerHost: subscribers}
+	client := &http.Client{Transport: transport}
+	url := fmt.Sprintf("%s/v1/jobs/%s/events", ts.URL, st.ID)
+
+	// Stayers read their stream to EOF and report the ids they saw.
+	ids := make([][]int, subscribers-churners)
+	var wg sync.WaitGroup
+	for i := range ids {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := client.Get(url)
+			if err != nil {
+				t.Errorf("stayer %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			buf := make([]byte, 4096)
+			var stream strings.Builder
+			for {
+				n, err := resp.Body.Read(buf)
+				stream.Write(buf[:n])
+				if err != nil {
+					break
+				}
+			}
+			for _, line := range strings.Split(stream.String(), "\n") {
+				if v, ok := strings.CutPrefix(line, "id: "); ok {
+					var n int
+					fmt.Sscanf(v, "%d", &n)
+					ids[i] = append(ids[i], n)
+				}
+			}
+		}(i)
+	}
+
+	// Churners attach, read a few frames, and drop the connection
+	// mid-stream — the handler must release their slots promptly.
+	var churnWG sync.WaitGroup
+	for i := 0; i < churners; i++ {
+		churnWG.Add(1)
+		go func() {
+			defer churnWG.Done()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+			if err != nil {
+				return
+			}
+			resp, err := client.Do(req)
+			if err != nil {
+				return
+			}
+			buf := make([]byte, 128)
+			resp.Body.Read(buf)
+			cancel()
+			resp.Body.Close()
+		}()
+	}
+	churnWG.Wait()
+
+	// Let the stayers all attach (the churners' slots may still be
+	// draining; waiting for ≥ the stayer count is enough — the exact-zero
+	// check after the drain is the real assertion).
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) && j.events.subscribers() < subscribers-churners {
+		if st := getJob(t, ts.URL, st.ID); st.State != jobQueued && st.State != jobRunning {
+			break // finished early; stayers are replay-only, still valid
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// DELETE cancels the job; finishLocked seals the log, which ends
+	// every stayer's stream.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, nil)
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		resp.Body.Close() // 200 or 409 if it just finished — both fine
+	}
+	waitState(t, ts.URL, st.ID)
+	wg.Wait()
+
+	// Every stayer saw a monotonically increasing id sequence and at
+	// least the terminal state event.
+	for i, seq := range ids {
+		if len(seq) == 0 {
+			t.Errorf("stayer %d received no events", i)
+			continue
+		}
+		for k := 1; k < len(seq); k++ {
+			if seq[k] <= seq[k-1] {
+				t.Fatalf("stayer %d ids not strictly increasing at %d: %d after %d", i, k, seq[k], seq[k-1])
+			}
+		}
+	}
+
+	// Zero subscriber-slot residue.
+	deadline = time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && j.events.subscribers() != 0 {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := j.events.subscribers(); n != 0 {
+		t.Fatalf("%d subscriber slots leaked after the drain", n)
+	}
+
+	// The job published fewer events than one subscriber buffer holds, so
+	// drop-oldest can never have fired: the counter must be exactly zero.
+	if got := metricsSnapshot(t, ts.URL)["sse_events_dropped"].(float64); got != 0 {
+		t.Errorf("sse_events_dropped = %v, want 0 (published < buffer)", got)
+	}
+
+	// Zero goroutine residue: sever idle keep-alives, then the count must
+	// come back to the pre-test baseline (slack for the test server's own
+	// machinery and GC workers).
+	transport.CloseIdleConnections()
+	deadline = time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+10 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Errorf("goroutines %d, baseline %d: fan-out left writer goroutines behind", runtime.NumGoroutine(), baseline)
+}
