@@ -129,6 +129,10 @@ var mixKeys = map[string]func(*loadgen.Mix, float64){
 	"artifact": func(m *loadgen.Mix, w float64) { m.ArtifactGet = w },
 	"sse":      func(m *loadgen.Mix, w float64) { m.SSE = w },
 	"cancel":   func(m *loadgen.Mix, w float64) { m.Cancel = w },
+	// distributed submits per-op-unique campaigns sized for a coordinator
+	// target: run the same seed against 1-worker and N-worker pools to
+	// measure distributed scaling (BENCH_NOTES.md).
+	"distributed": func(m *loadgen.Mix, w float64) { m.Distributed = w },
 }
 
 // parseMix parses "kind=weight,..." (unlisted kinds weigh zero).
@@ -138,7 +142,7 @@ func parseMix(s string) (loadgen.Mix, error) {
 		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
 		set := mixKeys[key]
 		if !ok || set == nil {
-			return m, fmt.Errorf("bad mix element %q (known kinds: cached, uncached, sim, artifact, sse, cancel)", part)
+			return m, fmt.Errorf("bad mix element %q (known kinds: cached, uncached, sim, artifact, sse, cancel, distributed)", part)
 		}
 		w, err := strconv.ParseFloat(val, 64)
 		if err != nil || w < 0 {

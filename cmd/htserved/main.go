@@ -11,6 +11,15 @@
 //	htserved -job-timeout 10m -shutdown-timeout 15s
 //	HTSERVED_FAULTS="job.run:panic:times=1" htserved   # chaos drill
 //
+// Distributed execution (see DESIGN.md §11 and README "Scaling it out"):
+//
+//	htserved -addr :8081 &                              # worker 1
+//	htserved -addr :8082 &                              # worker 2
+//	htserved -addr :8080 -workers http://127.0.0.1:8081,http://127.0.0.1:8082
+//
+//	htserved -addr :8080 -dist &                        # empty-pool coordinator
+//	htserved -addr :8081 -worker -coordinator http://127.0.0.1:8080   # self-registers
+//
 //	curl -XPOST --data-binary @specs/paper.json localhost:8080/v1/campaigns
 //	curl localhost:8080/v1/jobs/job-000001
 //	curl localhost:8080/v1/jobs/job-000001/events           # SSE stream
@@ -40,6 +49,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -70,9 +80,23 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		jobTimeout   = fs.Duration("job-timeout", 0, "per-job deadline covering queue-slot wait plus run (0 = none)")
 		drainTimeout = fs.Duration("shutdown-timeout", 5*time.Second, "graceful-shutdown drain window for in-flight requests")
 		sseWrite     = fs.Duration("sse-write-timeout", 0, "per-frame SSE write deadline for stuck subscribers (0 = 10s default, negative = none)")
+
+		// Distributed execution (DESIGN.md §11).
+		dist         = fs.Bool("dist", false, "run as a coordinator: campaign jobs are sharded across the worker pool (implied by -workers)")
+		workerURLs   = fs.String("workers", "", "comma-separated worker base URLs to seed the coordinator pool (implies -dist)")
+		shards       = fs.Int("shards", 0, "max shards per experiment when coordinating (0 = 2x the exp-pool budget)")
+		shardRetries = fs.Int("shard-retries", 2, "redispatch attempts per shard after a worker failure or timeout")
+		shardTimeout = fs.Duration("shard-timeout", 0, "per-shard dispatch deadline (0 = 5m default)")
+		tenantQuota  = fs.Int("tenant-quota", 0, "max queued-plus-running jobs per X-Tenant header value (0 = no quota)")
+		workerMode   = fs.Bool("worker", false, "register this instance with a coordinator at startup (requires -coordinator)")
+		coordinator  = fs.String("coordinator", "", "coordinator base URL to register with in -worker mode")
+		advertise    = fs.String("advertise", "", "URL the coordinator should reach this worker at (default derived from the listen address)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *workerMode && *coordinator == "" {
+		return errors.New("-worker requires -coordinator=URL")
 	}
 	faults, err := faultinject.FromEnv(os.Getenv)
 	if err != nil {
@@ -87,6 +111,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		JobTimeout:      *jobTimeout,
 		Faults:          faults,
 		SSEWriteTimeout: *sseWrite,
+		Coordinator:     *dist,
+		WorkerURLs:      splitURLs(*workerURLs),
+		MaxShards:       *shards,
+		ShardRetries:    *shardRetries,
+		ShardTimeout:    *shardTimeout,
+		TenantQuota:     *tenantQuota,
 	})
 	if err != nil {
 		return err
@@ -96,6 +126,16 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
+	}
+	if *workerMode {
+		// Register with the coordinator in the background, retrying until
+		// it accepts — the coordinator may still be booting. The worker
+		// serves shards regardless; registration only adds it to the pool.
+		selfURL := *advertise
+		if selfURL == "" {
+			selfURL = "http://" + hostPort(ln.Addr().String())
+		}
+		go registerWithCoordinator(ctx, out, *coordinator, selfURL)
 	}
 	srv := &http.Server{
 		Handler: svc.Handler(),
@@ -126,4 +166,67 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return err
 	}
 	return nil
+}
+
+// splitURLs parses the -workers flag: comma-separated base URLs, blanks
+// dropped.
+func splitURLs(s string) []string {
+	var urls []string
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	return urls
+}
+
+// hostPort turns a listener address into one a coordinator can dial:
+// an unspecified host (":8081", "[::]:8081", "0.0.0.0:8081") becomes
+// loopback — the right default for the single-machine quickstart, and
+// -advertise overrides it for real deployments.
+func hostPort(addr string) string {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return addr
+	}
+	if host == "" || host == "::" || host == "0.0.0.0" {
+		host = "127.0.0.1"
+	}
+	return net.JoinHostPort(host, port)
+}
+
+// registerWithCoordinator POSTs this worker's URL to the coordinator's
+// /v1/workers until it succeeds (the coordinator may boot later), then
+// exits. Failures are logged but never fatal: the worker still serves
+// shards if the operator registers it by hand.
+func registerWithCoordinator(ctx context.Context, out io.Writer, coordinator, selfURL string) {
+	body := fmt.Sprintf(`{"url":%q}`, selfURL)
+	client := &http.Client{Timeout: 5 * time.Second}
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			strings.TrimRight(coordinator, "/")+"/v1/workers", strings.NewReader(body))
+		if err != nil {
+			fmt.Fprintf(out, "htserved: worker registration failed permanently: %v\n", err)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				fmt.Fprintf(out, "htserved: registered with coordinator %s as %s\n", coordinator, selfURL)
+				return
+			}
+			err = fmt.Errorf("coordinator answered %s", resp.Status)
+		}
+		if attempt == 0 {
+			fmt.Fprintf(out, "htserved: worker registration pending (%v), retrying\n", err)
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(time.Second):
+		}
+	}
 }

@@ -174,37 +174,27 @@ var registry = map[string]entry{
 		order:    3,
 		title:    "Fig 3(a): infection rate vs HT count, 64 cores",
 		defaults: Params{Size: 64, HTCounts: Counts(30, 7), Trials: 50},
-		run: func(rc runCtx) (results.Table, error) {
-			title := fmt.Sprintf("Fig 3(a): infection rate vs HT count, %d cores", rc.p.Size)
-			return core.InfectionCurveTableCtx(rc.ctx, "E3", title, rc.p.Size, rc.p.HTCounts, rc.p.Trials, rc.seed, rc.workers)
-		},
+		// Routed through the shard hooks (whole space as one shard) so the
+		// local path and the distributed merge share one construction.
+		run: func(rc runCtx) (results.Table, error) { return runWholeShard("E3", rc) },
 	},
 	"E4": {
 		order:    4,
 		title:    "Fig 3(b): infection rate vs HT count, 512 cores",
 		defaults: Params{Size: 512, HTCounts: Counts(60, 7), Trials: 50},
-		run: func(rc runCtx) (results.Table, error) {
-			title := fmt.Sprintf("Fig 3(b): infection rate vs HT count, %d cores", rc.p.Size)
-			return core.InfectionCurveTableCtx(rc.ctx, "E4", title, rc.p.Size, rc.p.HTCounts, rc.p.Trials, rc.seed, rc.workers)
-		},
+		run:      func(rc runCtx) (results.Table, error) { return runWholeShard("E4", rc) },
 	},
 	"E5": {
 		order:    5,
 		title:    "Fig 4(a): infection rate by HT distribution, HTs = size/16",
 		defaults: Params{Sizes: paperSizes(), Denominator: 16, Trials: 50},
-		run: func(rc runCtx) (results.Table, error) {
-			title := fmt.Sprintf("Fig 4(a): infection rate by HT distribution, HTs = size/%d", rc.p.Denominator)
-			return core.DistributionTableCtx(rc.ctx, "E5", title, rc.p.Sizes, rc.p.Denominator, rc.p.Trials, rc.seed, rc.workers)
-		},
+		run:      func(rc runCtx) (results.Table, error) { return runWholeShard("E5", rc) },
 	},
 	"E6": {
 		order:    6,
 		title:    "Fig 4(b): infection rate by HT distribution, HTs = size/8",
 		defaults: Params{Sizes: paperSizes(), Denominator: 8, Trials: 50},
-		run: func(rc runCtx) (results.Table, error) {
-			title := fmt.Sprintf("Fig 4(b): infection rate by HT distribution, HTs = size/%d", rc.p.Denominator)
-			return core.DistributionTableCtx(rc.ctx, "E6", title, rc.p.Sizes, rc.p.Denominator, rc.p.Trials, rc.seed, rc.workers)
-		},
+		run:      func(rc runCtx) (results.Table, error) { return runWholeShard("E6", rc) },
 	},
 	"E7": {
 		order:    7,

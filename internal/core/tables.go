@@ -90,34 +90,16 @@ func InfectionCurveTable(id, title string, size int, htCounts []int, trials int,
 }
 
 // InfectionCurveTableCtx is InfectionCurveTable with cooperative
-// cancellation through the trial pools.
+// cancellation through the trial pools. It is the shard machinery run
+// degenerately — the whole trial space as one shard — so the local and
+// distributed paths produce identical bytes by construction (see
+// shard.go).
 func InfectionCurveTableCtx(ctx context.Context, id, title string, size int, htCounts []int, trials int, seed int64, workers int) (*results.InfectionTable, error) {
-	center, err := InfectionVsHTCountCtx(ctx, size, GMCenter, htCounts, trials, seed, workers)
+	raw, err := InfectionCurveShardCtx(ctx, size, htCounts, trials, seed, workers, 0, InfectionCurveSpace(htCounts, trials))
 	if err != nil {
 		return nil, err
 	}
-	corner, err := InfectionVsHTCountCtx(ctx, size, GMCorner, htCounts, trials, seed, workers)
-	if err != nil {
-		return nil, err
-	}
-	params := struct {
-		Size     int   `json:"size"`
-		HTCounts []int `json:"ht_counts"`
-		Trials   int   `json:"trials"`
-		Seed     int64 `json:"seed"`
-	}{size, htCounts, trials, seed}
-	t := &results.InfectionTable{
-		Meta:   results.NewMeta(id, title, seed, 0, params),
-		XLabel: "hts",
-		Series: []string{"gm-center", "gm-corner"},
-	}
-	for i := range center {
-		t.Points = append(t.Points, results.InfectionRow{
-			X:     center[i].HTs,
-			Rates: []float64{center[i].Rate, corner[i].Rate},
-		})
-	}
-	return t, nil
+	return InfectionCurveTableFromRaw(id, title, size, htCounts, trials, seed, raw)
 }
 
 // DistributionTable builds a Fig 4 artifact (E5 with HTs = size/16, E6
@@ -128,36 +110,14 @@ func DistributionTable(id, title string, sizes []int, denominator, trials int, s
 }
 
 // DistributionTableCtx is DistributionTable with cooperative cancellation
-// through the trial pools.
+// through the trial pools. Like InfectionCurveTableCtx it is the shard
+// machinery run over the whole trial space as one shard (see shard.go).
 func DistributionTableCtx(ctx context.Context, id, title string, sizes []int, denominator, trials int, seed int64, workers int) (*results.InfectionTable, error) {
-	dists := []Distribution{DistCenter, DistRandom, DistCorner}
-	params := struct {
-		Sizes       []int `json:"sizes"`
-		Denominator int   `json:"denominator"`
-		Trials      int   `json:"trials"`
-		Seed        int64 `json:"seed"`
-	}{sizes, denominator, trials, seed}
-	t := &results.InfectionTable{
-		Meta:   results.NewMeta(id, title, seed, 0, params),
-		XLabel: "size",
-		Series: []string{string(DistCenter), string(DistRandom), string(DistCorner)},
+	raw, err := DistributionShardCtx(ctx, sizes, denominator, trials, seed, workers, 0, DistributionSpace(sizes, trials))
+	if err != nil {
+		return nil, err
 	}
-	series := make([][]DistributionPoint, len(dists))
-	for di, dist := range dists {
-		pts, err := InfectionByDistributionCtx(ctx, dist, sizes, denominator, trials, seed, workers)
-		if err != nil {
-			return nil, err
-		}
-		series[di] = pts
-	}
-	for i, size := range sizes {
-		rates := make([]float64, len(dists))
-		for di := range dists {
-			rates[di] = series[di][i].Rate
-		}
-		t.Points = append(t.Points, results.InfectionRow{X: size, Rates: rates})
-	}
-	return t, nil
+	return DistributionTableFromRaw(id, title, sizes, denominator, trials, seed, raw)
 }
 
 // effectParams fingerprints the Fig 5/6 campaign grid.

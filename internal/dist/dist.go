@@ -1,0 +1,496 @@
+// Package dist is the coordinator side of distributed campaign
+// execution: it shards one campaign's trial space across many htserved
+// workers over HTTP and merges the shard results into exactly the tables
+// a single-process run produces — byte-identical for any worker count,
+// any shard partition, and any interleaving of failures and retries.
+//
+// The protocol is deliberately small. The coordinator plans shards with
+// campaign.PlanShards, POSTs each one to a worker's /v1/shards endpoint
+// as a ShardRequest (the shard plus the coordinator's build fingerprint
+// — workers reject mismatched revisions or toolchains, because byte
+// identity across machines requires homogeneous builds), and reassembles
+// the replies with campaign.MergeShards. Shard payloads are raw per-cell
+// values or whole typed tables (see internal/campaign/shard.go); the
+// coordinator never aggregates floats itself, so reassembly is exact.
+//
+// Failures redispatch: a shard whose worker is unreachable, times out,
+// or answers with an error is retried on the next worker round-robin, up
+// to Options.Retries extra attempts. Completed shards land in a small
+// content-addressed cache keyed by shard content plus build fingerprint,
+// so re-running a campaign with one changed experiment recomputes only
+// that experiment's shards. Worker choice derives from exp.ShardSeed —
+// a shard-local substream of the campaign seed — keeping dispatch
+// deterministic without ever touching trial streams.
+//
+// Chaos coverage reuses internal/faultinject: the dist.dispatch point
+// fires before every dispatch attempt (an injected error is a failed
+// attempt and redispatches like a real one) and dist.merge before the
+// final merge.
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/exp"
+	"repro/internal/faultinject"
+	"repro/internal/results"
+)
+
+// ShardPath is the worker endpoint shards are POSTed to.
+const ShardPath = "/v1/shards"
+
+// ShardRequest is the wire form of one shard dispatch. Revision and Go
+// fingerprint the coordinator's build; a worker on a different build
+// must reject the shard rather than contribute bytes from a divergent
+// simulator.
+type ShardRequest struct {
+	Revision string         `json:"revision"`
+	Go       string         `json:"go"`
+	Shard    campaign.Shard `json:"shard"`
+}
+
+// Observe carries the coordinator's metric hooks; any field may be nil.
+// The server wires these into its counter set so shard traffic shows up
+// in /v1/metrics without this package importing the server.
+type Observe struct {
+	// Dispatched fires per dispatch attempt, labeled by worker URL.
+	Dispatched func(worker string)
+	// Retried fires per redispatch (attempt two onward).
+	Retried func()
+	// CacheHit fires when a shard is served from the shard cache.
+	CacheHit func()
+}
+
+// Options configure a Coordinator.
+type Options struct {
+	// Workers seeds the worker pool with static base URLs
+	// (e.g. http://10.0.0.2:8080). More workers can join at runtime via
+	// AddWorker (the server's POST /v1/workers registration endpoint).
+	Workers []string
+	// MaxShards bounds how many shards one experiment's trial space is
+	// split into (default: twice the seed pool size, at least 2).
+	MaxShards int
+	// Retries is how many extra dispatch attempts a failed shard gets,
+	// each on the next worker round-robin (default 2; negative disables
+	// redispatch).
+	Retries int
+	// ShardTimeout bounds one dispatch attempt end-to-end (default 5m;
+	// negative disables). A hung worker costs one attempt, not the
+	// campaign.
+	ShardTimeout time.Duration
+	// CacheShards sizes the coordinator's shard-result cache (default
+	// 512 entries; negative disables caching).
+	CacheShards int
+	// Client is the HTTP client for dispatches and probes (default: a
+	// plain http.Client; per-attempt deadlines come from ShardTimeout).
+	Client *http.Client
+	// Faults arms the dist.dispatch / dist.merge chaos points.
+	Faults *faultinject.Set
+	// Observe receives metric callbacks.
+	Observe Observe
+}
+
+// withDefaults fills unset options.
+func (o Options) withDefaults() Options {
+	if o.MaxShards < 1 {
+		o.MaxShards = 2 * len(o.Workers)
+		if o.MaxShards < 2 {
+			o.MaxShards = 2
+		}
+	}
+	if o.Retries == 0 {
+		o.Retries = 2
+	} else if o.Retries < 0 {
+		o.Retries = 0
+	}
+	if o.ShardTimeout == 0 {
+		o.ShardTimeout = 5 * time.Minute
+	}
+	if o.CacheShards == 0 {
+		o.CacheShards = 512
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{}
+	}
+	return o
+}
+
+// WorkerStatus reports one pool member's reachability.
+type WorkerStatus struct {
+	URL       string `json:"url"`
+	Reachable bool   `json:"reachable"`
+}
+
+// PoolHealth summarises a reachability sweep of the worker pool.
+type PoolHealth struct {
+	Total     int `json:"total"`
+	Reachable int `json:"reachable"`
+	// Quorum is the minimum reachable workers for the coordinator to
+	// call itself ready: a strict majority of the registered pool, and
+	// never less than one — a coordinator with no reachable workers
+	// cannot run campaigns at all.
+	Quorum  int            `json:"quorum"`
+	Workers []WorkerStatus `json:"workers"`
+}
+
+// Ready reports whether the pool meets quorum.
+func (h PoolHealth) Ready() bool { return h.Reachable >= h.Quorum }
+
+// Coordinator shards campaigns across a pool of htserved workers.
+// Construct with New; safe for concurrent use.
+type Coordinator struct {
+	opts Options
+
+	mu      sync.Mutex
+	workers []string
+
+	cache *shardCache
+}
+
+// New builds a Coordinator over the given options.
+func New(opts Options) *Coordinator {
+	opts = opts.withDefaults()
+	c := &Coordinator{opts: opts, cache: newShardCache(opts.CacheShards)}
+	for _, u := range opts.Workers {
+		c.AddWorker(u)
+	}
+	return c
+}
+
+// AddWorker registers a worker base URL, reporting whether it was new.
+// Registration is idempotent; URLs are normalised (trailing slash
+// stripped).
+func (c *Coordinator) AddWorker(url string) bool {
+	url = strings.TrimRight(strings.TrimSpace(url), "/")
+	if url == "" {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, w := range c.workers {
+		if w == url {
+			return false
+		}
+	}
+	c.workers = append(c.workers, url)
+	return true
+}
+
+// WorkerURLs snapshots the pool in registration order.
+func (c *Coordinator) WorkerURLs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.workers...)
+}
+
+// Health probes every pool member's liveness endpoint concurrently
+// (bounded to probeTimeout each) and reports the quorum verdict the
+// coordinator's /v1/healthz readiness folds in.
+func (c *Coordinator) Health(ctx context.Context) PoolHealth {
+	urls := c.WorkerURLs()
+	h := PoolHealth{Total: len(urls), Quorum: quorum(len(urls)), Workers: make([]WorkerStatus, len(urls))}
+	var wg sync.WaitGroup
+	for i, u := range urls {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h.Workers[i] = WorkerStatus{URL: u, Reachable: c.probe(ctx, u)}
+		}()
+	}
+	wg.Wait()
+	for _, w := range h.Workers {
+		if w.Reachable {
+			h.Reachable++
+		}
+	}
+	return h
+}
+
+// probeTimeout bounds one worker liveness probe.
+const probeTimeout = 2 * time.Second
+
+// probe checks one worker's liveness endpoint.
+func (c *Coordinator) probe(ctx context.Context, workerURL string) bool {
+	ctx, cancel := context.WithTimeout(ctx, probeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, workerURL+"/v1/healthz?probe=live", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.opts.Client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// quorum is the readiness threshold for n registered workers: a strict
+// majority, at least one. Zero registered workers can never be ready.
+func quorum(n int) int {
+	if n == 0 {
+		return 1
+	}
+	return n/2 + 1
+}
+
+// RunCampaign shards a validated spec across the pool, redispatching
+// failed shards, and merges the results into the exact tables
+// campaign.BuildTables produces locally. prog receives the same
+// experiment-lifecycle callbacks a local run reports (started on first
+// shard dispatch, done after the merge); distributed runs stream no
+// per-epoch samples — shards execute on remote workers.
+func (c *Coordinator) RunCampaign(ctx context.Context, spec *campaign.Spec, prog campaign.Progress) ([]results.Table, error) {
+	shards, err := campaign.PlanShards(spec, c.opts.MaxShards)
+	if err != nil {
+		return nil, err
+	}
+	var startedMu sync.Mutex
+	started := make(map[int]bool)
+	markStarted := func(sh campaign.Shard) {
+		if prog.ExperimentStarted == nil {
+			return
+		}
+		startedMu.Lock()
+		first := !started[sh.ExpIndex]
+		started[sh.ExpIndex] = true
+		startedMu.Unlock()
+		if first {
+			prog.ExperimentStarted(sh.Experiment.ID)
+		}
+	}
+	// Shard fan-out concurrency: enough in-flight dispatches to keep
+	// every worker busy, while each worker's own job gate bounds what
+	// actually executes there.
+	conc := 2 * len(c.WorkerURLs())
+	if conc < 1 {
+		conc = 1
+	}
+	shardResults, err := exp.RunCtx(ctx, conc, len(shards), func(ctx context.Context, i int) (campaign.ShardResult, error) {
+		markStarted(shards[i])
+		r, err := c.runShard(ctx, shards[i], i)
+		if err != nil {
+			return campaign.ShardResult{}, err
+		}
+		return *r, nil
+	})
+	if err != nil {
+		c.reportDone(prog, spec, nil, err)
+		return nil, err
+	}
+	if ferr := c.opts.Faults.Fire(ctx, "dist.merge"); ferr != nil {
+		err := fmt.Errorf("dist: merge: %w", ferr)
+		c.reportDone(prog, spec, nil, err)
+		return nil, err
+	}
+	tables, err := campaign.MergeShards(ctx, spec, shardResults)
+	c.reportDone(prog, spec, tables, err)
+	return tables, err
+}
+
+// reportDone fires ExperimentDone per spec entry with the merged table
+// (position-matched) or the campaign-level error.
+func (c *Coordinator) reportDone(prog campaign.Progress, spec *campaign.Spec, tables []results.Table, err error) {
+	if prog.ExperimentDone == nil {
+		return
+	}
+	for i, e := range spec.Experiments {
+		var t results.Table
+		if err == nil && i < len(tables) {
+			t = tables[i]
+		}
+		prog.ExperimentDone(e.ID, t, err)
+	}
+}
+
+// runShard executes one shard: shard cache first, then dispatch with
+// round-robin redispatch on failure. The starting worker derives from
+// the shard's seed substream (exp.ShardSeed keyed by the shard's plan
+// index), so placement is deterministic for a given plan and pool —
+// and never perturbs trial streams, which key off the campaign seed
+// alone.
+func (c *Coordinator) runShard(ctx context.Context, sh campaign.Shard, planIndex int) (*campaign.ShardResult, error) {
+	key := shardKey(sh)
+	if r, ok := c.cache.get(key); ok {
+		if c.opts.Observe.CacheHit != nil {
+			c.opts.Observe.CacheHit()
+		}
+		// The cached payload is content-addressed; the shard identity
+		// (notably ExpIndex) must be this campaign's, not the one that
+		// populated the cache.
+		r.Shard = sh
+		return &r, nil
+	}
+	workers := c.WorkerURLs()
+	if len(workers) == 0 {
+		return nil, errors.New("dist: no workers registered")
+	}
+	start := int(uint64(exp.ShardSeed(sh.Seed, planIndex)) % uint64(len(workers)))
+	var lastErr error
+	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
+		if attempt > 0 && c.opts.Observe.Retried != nil {
+			c.opts.Observe.Retried()
+		}
+		w := workers[(start+attempt)%len(workers)]
+		r, err := c.dispatch(ctx, w, sh)
+		if err == nil {
+			c.cache.put(key, *r)
+			return r, nil
+		}
+		lastErr = fmt.Errorf("worker %s: %w", w, err)
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+	}
+	return nil, fmt.Errorf("dist: shard %s failed after %d attempts: %w", sh, c.opts.Retries+1, lastErr)
+}
+
+// dispatch POSTs one shard to one worker and decodes the result. The
+// dist.dispatch fault point fires first: an injected error is a failed
+// attempt, exercising the redispatch path without a real dead worker.
+func (c *Coordinator) dispatch(ctx context.Context, workerURL string, sh campaign.Shard) (*campaign.ShardResult, error) {
+	if err := c.opts.Faults.Fire(ctx, "dist.dispatch"); err != nil {
+		return nil, err
+	}
+	if c.opts.Observe.Dispatched != nil {
+		c.opts.Observe.Dispatched(workerURL)
+	}
+	if c.opts.ShardTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.opts.ShardTimeout)
+		defer cancel()
+	}
+	body, err := json.Marshal(ShardRequest{Revision: results.Revision(), Go: runtime.Version(), Shard: sh})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, workerURL+ShardPath, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.opts.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("shard rejected: %s: %s", resp.Status, errorBody(resp.Body))
+	}
+	var r campaign.ShardResult
+	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+		return nil, fmt.Errorf("decode shard result: %w", err)
+	}
+	if r.Shard.Lo != sh.Lo || r.Shard.Hi != sh.Hi || r.Shard.Experiment.ID != sh.Experiment.ID {
+		return nil, fmt.Errorf("worker answered for shard %s, asked for %s", r.Shard, sh)
+	}
+	// Trust the request's identity, not the echo: merges key on ExpIndex.
+	r.Shard = sh
+	return &r, nil
+}
+
+// errorBody extracts a JSON error message (or raw text) from a failed
+// response, truncated to keep shard errors readable.
+func errorBody(r io.Reader) string {
+	b, _ := io.ReadAll(io.LimitReader(r, 1024))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(b, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return strings.TrimSpace(string(b))
+}
+
+// shardKey fingerprints a shard for the coordinator-side cache: its
+// content (experiment spec, seed context, trial range) plus the build,
+// never its position in a particular campaign — so an unchanged
+// experiment resubmitted in a different spec still hits.
+func shardKey(sh campaign.Shard) string {
+	return results.HashConfig(struct {
+		Experiment campaign.ExperimentSpec `json:"experiment"`
+		Seed       int64                   `json:"seed"`
+		Lo         int                     `json:"lo"`
+		Hi         int                     `json:"hi"`
+		Count      int                     `json:"count"`
+		Revision   string                  `json:"revision"`
+		Go         string                  `json:"go"`
+	}{sh.Experiment, sh.Seed, sh.Lo, sh.Hi, sh.Count, results.Revision(), runtime.Version()})
+}
+
+// shardCache is a small LRU of completed shard results keyed by content
+// address. It holds decoded payloads (raw vectors or table JSON), which
+// for the paper campaigns are tiny next to the compute they memoize.
+type shardCache struct {
+	mu      sync.Mutex
+	entries map[string]campaign.ShardResult
+	order   []string // LRU: oldest first
+	max     int
+}
+
+// newShardCache builds a cache holding up to max entries (max < 0
+// disables caching).
+func newShardCache(max int) *shardCache {
+	if max < 0 {
+		max = 0
+	}
+	return &shardCache{entries: make(map[string]campaign.ShardResult), max: max}
+}
+
+// get returns a cached result and refreshes its recency.
+func (s *shardCache) get(key string) (campaign.ShardResult, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.entries[key]
+	if ok {
+		s.touchLocked(key)
+	}
+	return r, ok
+}
+
+// put stores a result, evicting the least recently used entry at
+// capacity.
+func (s *shardCache) put(key string, r campaign.ShardResult) {
+	if s.max == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.entries[key]; ok {
+		s.entries[key] = r
+		s.touchLocked(key)
+		return
+	}
+	for len(s.entries) >= s.max && len(s.order) > 0 {
+		oldest := s.order[0]
+		s.order = s.order[1:]
+		delete(s.entries, oldest)
+	}
+	s.entries[key] = r
+	s.order = append(s.order, key)
+}
+
+// touchLocked moves key to the most-recent end; s.mu held.
+func (s *shardCache) touchLocked(key string) {
+	for i, k := range s.order {
+		if k == key {
+			s.order = append(append(s.order[:i:i], s.order[i+1:]...), key)
+			return
+		}
+	}
+}

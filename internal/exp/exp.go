@@ -137,6 +137,19 @@ func StreamSeed(base int64, stream string) int64 {
 	return int64(x)
 }
 
+// ShardSeed derives an independent seed for one shard of a partitioned
+// workload from the parent stream's seed. It is StreamSeed keyed by the
+// shard index ("shard/<i>"), so sibling shards get decorrelated streams
+// and adding draw sites inside one shard never perturbs another — the
+// PartitionedRNG discipline. Shard seeds exist for shard-local auxiliary
+// draws only (dispatch jitter, worker picks); trial results must keep
+// deriving from TrialSeed on the campaign seed, which is what makes any
+// partition of the trial space merge bit-identically with a
+// single-process run.
+func ShardSeed(parent int64, shard int) int64 {
+	return StreamSeed(parent, fmt.Sprintf("shard/%d", shard))
+}
+
 // Run executes fn(trial) for every trial in [0, trials) on a pool of
 // workers (see Workers for how the count is resolved) and returns the
 // results indexed by trial. All trials run to completion even when some

@@ -80,7 +80,7 @@ type executor struct {
 
 func newExecutor(cfg Config, plan *Plan) *executor {
 	return &executor{
-		cfg: cfg,
+		cfg:  cfg,
 		plan: plan,
 		// No client-level timeout: SSE streams are long-lived by design.
 		// Every other interaction is bounded by the poll deadline.
@@ -180,7 +180,7 @@ func (ex *executor) execute(op *Op) opResult {
 	var err error
 	t0 := time.Now()
 	switch op.Kind {
-	case KindCampaignCached, KindCampaignUncached, KindSim:
+	case KindCampaignCached, KindCampaignUncached, KindSim, KindDistributed:
 		err = ex.submit(op, false)
 	case KindCancel:
 		err = ex.submit(op, true)
@@ -452,7 +452,7 @@ func applyNonce(op *Op, nonce string) string {
 		return op.Body
 	}
 	switch op.Kind {
-	case KindCampaignCached, KindCampaignUncached, KindCancel:
+	case KindCampaignCached, KindCampaignUncached, KindCancel, KindDistributed:
 		name, _ := m["name"].(string)
 		m["name"] = name + "-" + nonce
 		// The shared cached spec must still collide across clients within

@@ -46,6 +46,10 @@ type Mix struct {
 	ArtifactGet      float64 `json:"artifact_get"`
 	SSE              float64 `json:"sse"`
 	Cancel           float64 `json:"cancel"`
+	// Distributed weighs uncached campaign submissions meant for a
+	// coordinator target — its scenario row isolates distributed
+	// execution latency for 1-vs-N-worker comparisons.
+	Distributed float64 `json:"distributed"`
 }
 
 // DefaultMix weights a serving-shaped workload: mostly cache traffic
@@ -68,7 +72,7 @@ func (m Mix) weights() ([]float64, error) {
 	if m.zero() {
 		m = DefaultMix
 	}
-	raw := []float64{m.CampaignCached, m.CampaignUncached, m.Sim, m.ArtifactGet, m.SSE, m.Cancel}
+	raw := []float64{m.CampaignCached, m.CampaignUncached, m.Sim, m.ArtifactGet, m.SSE, m.Cancel, m.Distributed}
 	total := 0.0
 	for _, w := range raw {
 		if w < 0 {

@@ -161,8 +161,13 @@ func TestPlanStructure(t *testing.T) {
 			}
 		}
 	}
-	// With the default mix and 400 draws, every kind should appear.
+	// With the default mix and 400 draws, every default-weighted kind
+	// should appear (distributed is opt-in: zero weight by default, so
+	// schedules predating it are unchanged).
 	for _, k := range opKinds {
+		if k == KindDistributed {
+			continue
+		}
 		if kinds[k] == 0 {
 			t.Errorf("kind %s never drawn in 400 ops", k)
 		}
@@ -299,5 +304,36 @@ func TestMixValidation(t *testing.T) {
 	}
 	if cum[len(cum)-1] != 1 {
 		t.Errorf("cumulative weights end at %g, want 1", cum[len(cum)-1])
+	}
+}
+
+// TestDistributedScenarioAgainstCoordinator drives the opt-in
+// distributed mix against a coordinator fronting one worker: every op
+// is a unique campaign executed through the shard protocol, verified
+// byte-identical to the local reference, and reported as its own
+// scenario row (the 1-vs-N comparison BENCH_NOTES.md records).
+func TestDistributedScenarioAgainstCoordinator(t *testing.T) {
+	worker := startServer(t, server.Options{Workers: 1, Jobs: 2, QueueDepth: 64})
+	coord := startServer(t, server.Options{Workers: 1, Jobs: 2, QueueDepth: 64, WorkerURLs: []string{worker}})
+	report, err := Run(Config{
+		Target:   coord,
+		Mode:     ModeClosed,
+		Clients:  2,
+		Requests: 3,
+		Seed:     17,
+		Mix:      Mix{Distributed: 1},
+		Verify:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.VerifyFailures > 0 {
+		t.Fatalf("%d verification failures: %v", report.VerifyFailures, report.FailureSamples)
+	}
+	if len(report.Scenarios) != 1 || report.Scenarios[0].Kind != KindDistributed {
+		t.Fatalf("scenarios = %+v, want exactly the distributed row", report.Scenarios)
+	}
+	if s := report.Scenarios[0]; s.Ops != 6 || s.OK != 6 {
+		t.Fatalf("distributed scenario = %+v, want 6/6 ok", s)
 	}
 }

@@ -29,11 +29,19 @@ const (
 	KindArtifactGet      = "artifact_get"
 	KindSSE              = "sse"
 	KindCancel           = "cancel"
+	// KindDistributed is an uncached campaign submission intended for a
+	// coordinator target: the payload is unique per op (no cache or
+	// single-flight collapse), so the measured latency is the distributed
+	// execution path end to end. Point the harness at a 1-worker and then
+	// an N-worker coordinator with the same seed to get the scaling
+	// comparison in BENCH_NOTES.md.
+	KindDistributed = "distributed"
 )
 
 // opKinds is the fixed mix order (weights are drawn in this order, so
-// the order is part of the determinism contract).
-var opKinds = []string{KindCampaignCached, KindCampaignUncached, KindSim, KindArtifactGet, KindSSE, KindCancel}
+// the order is part of the determinism contract; new kinds append at
+// the end, which leaves every zero-weight-for-them schedule unchanged).
+var opKinds = []string{KindCampaignCached, KindCampaignUncached, KindSim, KindArtifactGet, KindSSE, KindCancel, KindDistributed}
 
 // Op is one planned operation. Everything in it is derived from the
 // seed; the JSON rendering (embedded in BENCH_SERVE.json as the
@@ -44,8 +52,8 @@ type Op struct {
 	Index int `json:"index"`
 	// Client and Seq identify the issuing client and its per-client
 	// sequence number.
-	Client int `json:"client"`
-	Seq    int `json:"seq"`
+	Client int    `json:"client"`
+	Seq    int    `json:"seq"`
 	Kind   string `json:"kind"`
 	// AtMicros is the open-loop dispatch offset from run start
 	// (microseconds; 0 in closed-loop mode, where clients run their ops
@@ -73,7 +81,7 @@ func (o *Op) at() time.Duration { return time.Duration(o.AtMicros) * time.Micros
 // ops can target.
 func (o *Op) isSubmission() bool {
 	switch o.Kind {
-	case KindCampaignCached, KindCampaignUncached, KindSim:
+	case KindCampaignCached, KindCampaignUncached, KindSim, KindDistributed:
 		return true
 	}
 	return false
@@ -161,6 +169,8 @@ func BuildPlan(cfg Config) (*Plan, error) {
 				op.Path, op.Body = "/v1/campaigns", cfg.Spec
 			case KindCampaignUncached:
 				op.Path, op.Body = "/v1/campaigns", uncachedSpec(cfg.Seed, "uncached", c, seq)
+			case KindDistributed:
+				op.Path, op.Body = "/v1/campaigns", uncachedSpec(cfg.Seed, "distributed", c, seq)
 			case KindSim:
 				op.Path, op.Body = "/v1/sims", simBody(cfg.Seed, c, seq)
 			case KindCancel:

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/exp"
 	"repro/internal/faultinject"
 	"repro/internal/results"
@@ -47,8 +48,13 @@ const (
 	jobCancelled jobState = "cancelled"
 )
 
-// errQueueFull rejects a submission when the FIFO queue is at depth.
+// errQueueFull rejects a submission when the queue is at depth (across
+// all priority lanes).
 var errQueueFull = errors.New("server: job queue full")
+
+// errTenantQuota rejects a submission whose tenant already has its full
+// quota of jobs queued or running.
+var errTenantQuota = errors.New("server: tenant quota exceeded")
 
 // job is one queued/running/finished unit of work: a whole campaign spec
 // or a single-sim request.
@@ -57,7 +63,11 @@ type job struct {
 	kind     string // "campaign" | "sim"
 	name     string
 	cacheKey string
-	events   *eventLog
+	// lane is the priority lane (X-Priority header); tenant attributes
+	// the job for quota accounting (X-Tenant header, may be empty).
+	lane   int
+	tenant string
+	events *eventLog
 	// metrics is the service's counter set (set at submission); the
 	// terminal transition observes the job's end-to-end duration into
 	// its job_duration_seconds histogram.
@@ -87,6 +97,8 @@ type jobStatus struct {
 	Kind      string     `json:"kind"`
 	Name      string     `json:"name"`
 	State     jobState   `json:"state"`
+	Priority  string     `json:"priority,omitempty"`
+	Tenant    string     `json:"tenant,omitempty"`
 	CacheKey  string     `json:"cache_key"`
 	Cache     string     `json:"cache,omitempty"`
 	Error     string     `json:"error,omitempty"`
@@ -154,11 +166,15 @@ func (j *job) status() jobStatus {
 		Kind:     j.kind,
 		Name:     j.name,
 		State:    j.state,
+		Tenant:   j.tenant,
 		CacheKey: j.cacheKey,
 		Cache:    j.cacheTier,
 		Error:    j.errMsg,
 		Epochs:   j.epochs.Load(),
 		Created:  j.created,
+	}
+	if j.lane != laneNormal {
+		st.Priority = laneName(j.lane)
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -228,13 +244,14 @@ func (j *job) finishLocked(state jobState, tables []results.Table, diskFiles []s
 	j.events.close()
 }
 
-// manager owns the job table, the FIFO queue, and the dispatcher.
+// manager owns the job table, the priority-lane queue, and the
+// dispatcher.
 type manager struct {
 	base context.Context
 	stop context.CancelFunc
-	// queue is the FIFO: capacity is the configured depth, a full channel
-	// is backpressure.
-	queue chan *job
+	// queue holds submissions across three strict priority lanes; its
+	// depth bound is the backpressure limit.
+	queue *laneQueue
 	// gate bounds concurrently running jobs; each admitted job fans its
 	// experiments out over `workers` exp-pool workers.
 	gate    *exp.Gate
@@ -242,6 +259,11 @@ type manager struct {
 	cache   *cache
 	metrics *counters
 	faults  *faultinject.Set
+	// coord, when non-nil, runs campaign jobs distributed across the
+	// worker pool instead of in this process.
+	coord *dist.Coordinator
+	// tenantQuota caps queued-plus-running jobs per tenant (0 = none).
+	tenantQuota int
 	// closed flips once shutdown starts; ready() reports false from then
 	// on.
 	closed atomic.Bool
@@ -263,22 +285,24 @@ type manager struct {
 }
 
 // newManager starts the dispatcher and returns the manager.
-func newManager(opts Options, cache *cache, metrics *counters, faults *faultinject.Set) *manager {
+func newManager(opts Options, cache *cache, metrics *counters, faults *faultinject.Set, coord *dist.Coordinator) *manager {
 	base, stop := context.WithCancel(context.Background())
 	m := &manager{
-		base:       base,
-		stop:       stop,
-		queue:      make(chan *job, opts.QueueDepth),
-		gate:       exp.NewGate(opts.Jobs),
-		workers:    opts.Workers,
-		cache:      cache,
-		metrics:    metrics,
-		faults:     faults,
-		jobTimeout: opts.JobTimeout,
-		sseBuffer:  opts.SSEBuffer,
-		jobs:       make(map[string]*job),
-		inflight:   make(map[string]*job),
-		followers:  make(map[string][]*job),
+		base:        base,
+		stop:        stop,
+		queue:       newLaneQueue(opts.QueueDepth),
+		gate:        exp.NewGate(opts.Jobs),
+		workers:     opts.Workers,
+		cache:       cache,
+		metrics:     metrics,
+		faults:      faults,
+		coord:       coord,
+		tenantQuota: opts.TenantQuota,
+		jobTimeout:  opts.JobTimeout,
+		sseBuffer:   opts.SSEBuffer,
+		jobs:        make(map[string]*job),
+		inflight:    make(map[string]*job),
+		followers:   make(map[string][]*job),
 	}
 	m.wg.Add(1)
 	go m.dispatch()
@@ -339,14 +363,14 @@ func (m *manager) ready() bool {
 	if m.closed.Load() {
 		return false
 	}
-	return len(m.queue) < cap(m.queue)
+	return m.queue.len() < m.queue.capacity()
 }
 
 // retryAfterSeconds advises a shed client how long to back off before
 // resubmitting: proportional to the backlog, capped so the hint stays
 // honest under deep queues.
 func (m *manager) retryAfterSeconds() int {
-	s := 1 + len(m.queue)
+	s := 1 + m.queue.len()
 	if s > 30 {
 		s = 30
 	}
@@ -426,7 +450,8 @@ func (m *manager) submit(j *job) error {
 	// Single-flight: an identical payload already queued or running makes
 	// this submission a follower — it waits for the leader's result
 	// instead of taking a queue slot and re-simulating the same work
-	// (stampede protection for cache misses).
+	// (stampede protection for cache misses). Followers ride their
+	// leader's capacity, so tenant quotas don't apply to them.
 	if leader := m.inflight[j.cacheKey]; leader != nil {
 		m.registerLocked(j)
 		m.followers[leader.id] = append(m.followers[leader.id], j)
@@ -435,20 +460,46 @@ func (m *manager) submit(j *job) error {
 		j.events.publish("state", stateEvent{State: jobQueued})
 		return nil
 	}
+	// Per-tenant quota: a tenant at its cap of queued-plus-running jobs
+	// sheds, counted per tenant. Checked under the registration lock,
+	// like the depth bound, so a burst cannot overshoot.
+	if m.tenantQuota > 0 && j.tenant != "" && m.tenantActiveLocked(j.tenant) >= m.tenantQuota {
+		m.mu.Unlock()
+		m.metrics.incTenantShed(j.tenant)
+		return fmt.Errorf("%w: tenant %q has %d jobs active", errTenantQuota, j.tenant, m.tenantQuota)
+	}
 	// The queue-full check happens under the registration lock so a burst
 	// of submissions cannot overshoot the declared depth.
-	if len(m.queue) == cap(m.queue) {
+	if !m.queue.push(j) {
 		m.mu.Unlock()
 		m.metrics.inc(&m.metrics.jobsRejected)
 		return errQueueFull
 	}
 	m.registerLocked(j)
 	m.inflight[j.cacheKey] = j
-	m.queue <- j
 	m.mu.Unlock()
 	m.metrics.inc(&m.metrics.jobsSubmitted, &m.metrics.cacheMisses)
 	j.events.publish("state", stateEvent{State: jobQueued})
 	return nil
+}
+
+// tenantActiveLocked counts a tenant's queued and running jobs; m.mu
+// held. Job states are read under each job's own lock, the same nesting
+// queueDepths uses.
+func (m *manager) tenantActiveLocked(tenant string) int {
+	n := 0
+	for _, j := range m.jobs {
+		if j.tenant != tenant {
+			continue
+		}
+		j.mu.Lock()
+		switch j.state {
+		case jobQueued, jobRunning:
+			n++
+		}
+		j.mu.Unlock()
+	}
+	return n
 }
 
 // settle finalises a leader's single-flight followers with the leader's
@@ -517,24 +568,23 @@ func (m *manager) registerLocked(j *job) {
 func (m *manager) dispatch() {
 	defer m.wg.Done()
 	for {
-		select {
-		case <-m.base.Done():
+		j := m.queue.pop(m.base)
+		if j == nil {
 			return
-		case j := <-m.queue:
-			if err := m.gate.AcquireWithin(m.base, m.jobTimeout); err != nil {
-				if errors.Is(err, exp.ErrAcquireTimeout) {
-					m.timeOutQueued(j)
-					continue
-				}
-				return
-			}
-			m.wg.Add(1)
-			go func() {
-				defer m.wg.Done()
-				defer m.gate.Release()
-				m.run(j)
-			}()
 		}
+		if err := m.gate.AcquireWithin(m.base, m.jobTimeout); err != nil {
+			if errors.Is(err, exp.ErrAcquireTimeout) {
+				m.timeOutQueued(j)
+				continue
+			}
+			return
+		}
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			defer m.gate.Release()
+			m.run(j)
+		}()
 	}
 }
 
@@ -623,7 +673,7 @@ func (m *manager) execute(ctx context.Context, j *job) (tables []results.Table, 
 
 	switch j.kind {
 	case "campaign":
-		return campaign.BuildTables(ctx, j.spec, m.workers, campaign.Progress{
+		prog := campaign.Progress{
 			ExperimentStarted: func(id string) {
 				j.events.publish("experiment", experimentEvent{ID: id, Status: "started"})
 			},
@@ -638,7 +688,14 @@ func (m *manager) execute(ctx context.Context, j *job) (tables []results.Table, 
 				j.events.publish("experiment", ev)
 			},
 			Epoch: epoch,
-		})
+		}
+		if m.coord != nil {
+			// Coordinator mode: the campaign is sharded across the worker
+			// pool. Epoch samples happen on the workers and are not
+			// streamed back; experiment start/done events still fire.
+			return m.coord.RunCampaign(ctx, j.spec, prog)
+		}
+		return campaign.BuildTables(ctx, j.spec, m.workers, prog)
 	default:
 		t, err := j.sim.run(ctx, m.workers, func(s core.EpochSample) { epoch("run", s) })
 		if err != nil {

@@ -58,6 +58,16 @@ type counters struct {
 	// per-request recovery layers — each one failed a single job or
 	// request, never the dispatcher.
 	panicsRecovered int64
+	// Distributed-execution counters (Prometheus exposition only — the
+	// JSON key set is frozen). shardsExecuted counts shards this process
+	// ran as a worker; shardRetries counts coordinator redispatches after
+	// a failed attempt; shardCacheHits counts shards answered from the
+	// coordinator's content-addressed shard cache; shardsDispatched
+	// breaks dispatch attempts down by worker URL; shedByTenant breaks
+	// quota rejections (also counted in jobsRejected) down by tenant.
+	shardsExecuted, shardRetries, shardCacheHits int64
+	shardsDispatched                             map[string]int64
+	shedByTenant                                 map[string]int64
 	// jobDuration observes every job's submission-to-terminal wall time in
 	// seconds, cache-served jobs included (they land in the lowest
 	// buckets — the histogram is exactly the server-side half of the
@@ -100,22 +110,46 @@ func (c *counters) observeJobDuration(d time.Duration) {
 	c.mu.Unlock()
 }
 
+// shardDispatched counts one shard dispatch attempt to a worker.
+func (c *counters) shardDispatched(worker string) {
+	c.mu.Lock()
+	if c.shardsDispatched == nil {
+		c.shardsDispatched = make(map[string]int64)
+	}
+	c.shardsDispatched[worker]++
+	c.mu.Unlock()
+}
+
+// incTenantShed counts one submission shed by a tenant quota: the
+// per-tenant breakdown and the aggregate jobsRejected move together.
+func (c *counters) incTenantShed(tenant string) {
+	c.mu.Lock()
+	if c.shedByTenant == nil {
+		c.shedByTenant = make(map[string]int64)
+	}
+	c.shedByTenant[tenant]++
+	c.jobsRejected++
+	c.mu.Unlock()
+}
+
 // metricsView is one atomic snapshot of every counter plus the
 // scrape-time gauges and fault tallies. Both renderings — the JSON object
 // and the Prometheus text exposition — are produced from the same view,
 // so the two formats can never disagree about a scrape.
 type metricsView struct {
-	uptime                                                        float64
-	jobsSubmitted, jobsRejected                                   int64
+	uptime                                                         float64
+	jobsSubmitted, jobsRejected                                    int64
 	jobsStarted, jobsDone, jobsFailed, jobsCancelled, jobsTimedOut int64
-	cacheHits, cacheDiskHits, cacheMisses, cacheCorrupt           int64
-	singleFlight                                                  int64
-	panicsRecovered                                               int64
-	jobDuration                                                   *histo.Histogram
-	sseDropped, epochs                                            int64
-	epochsPerSec                                                  float64
-	queued, running, subscribers                                  int
-	faults                                                        map[string]int64
+	cacheHits, cacheDiskHits, cacheMisses, cacheCorrupt            int64
+	singleFlight                                                   int64
+	panicsRecovered                                                int64
+	shardsExecuted, shardRetries, shardCacheHits                   int64
+	shardsDispatched, shedByTenant                                 map[string]int64
+	jobDuration                                                    *histo.Histogram
+	sseDropped, epochs                                             int64
+	epochsPerSec                                                   float64
+	queued, running, subscribers                                   int
+	faults                                                         map[string]int64
 }
 
 // view snapshots the counters in one lock acquisition. The gauges are
@@ -139,7 +173,22 @@ func (c *counters) view(queued, running, subscribers int, faults map[string]int6
 		cacheCorrupt:    c.cacheCorrupt,
 		singleFlight:    c.singleFlight,
 		panicsRecovered: c.panicsRecovered,
+		shardsExecuted:  c.shardsExecuted,
+		shardRetries:    c.shardRetries,
+		shardCacheHits:  c.shardCacheHits,
 		jobDuration:     c.jobDuration.Clone(),
+	}
+	if len(c.shardsDispatched) > 0 {
+		v.shardsDispatched = make(map[string]int64, len(c.shardsDispatched))
+		for k, n := range c.shardsDispatched {
+			v.shardsDispatched[k] = n
+		}
+	}
+	if len(c.shedByTenant) > 0 {
+		v.shedByTenant = make(map[string]int64, len(c.shedByTenant))
+		for k, n := range c.shedByTenant {
+			v.shedByTenant[k] = n
+		}
 	}
 	c.mu.Unlock()
 	v.sseDropped = c.sseDropped.Load()

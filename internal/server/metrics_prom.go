@@ -67,6 +67,25 @@ func (v metricsView) writePrometheus(w io.Writer) error {
 	counter("epochs_observed_total", "Per-epoch samples observed across all jobs.", v.epochs)
 	gauge("epochs_per_second", "Aggregate simulation throughput since start.", v.epochsPerSec)
 
+	// Distributed execution: worker-side shard executions, coordinator-side
+	// retries and shard-cache hits, plus per-worker dispatch and per-tenant
+	// shed breakdowns. The scalar families are always present (dashboards
+	// and the CI smoke alert on them existing at zero); the labeled ones
+	// emit a sample per key seen so far, sorted for deterministic scrapes.
+	counter("shards_executed_total", "Campaign shards executed by this process as a worker.", v.shardsExecuted)
+	counter("shard_retries_total", "Shard dispatch attempts redispatched after a worker failure or timeout.", v.shardRetries)
+	counter("shard_cache_hits_total", "Shards answered from the coordinator's content-addressed shard cache.", v.shardCacheHits)
+	fmt.Fprintf(&b, "# HELP %s_shards_dispatched_total Shard dispatch attempts, by worker URL.\n", promNamespace)
+	fmt.Fprintf(&b, "# TYPE %s_shards_dispatched_total counter\n", promNamespace)
+	for _, worker := range sortedKeys(v.shardsDispatched) {
+		fmt.Fprintf(&b, "%s_shards_dispatched_total{worker=%q} %d\n", promNamespace, worker, v.shardsDispatched[worker])
+	}
+	fmt.Fprintf(&b, "# HELP %s_tenant_shed_total Submissions shed by a per-tenant quota (also in jobs_rejected_total), by tenant.\n", promNamespace)
+	fmt.Fprintf(&b, "# TYPE %s_tenant_shed_total counter\n", promNamespace)
+	for _, tenant := range sortedKeys(v.shedByTenant) {
+		fmt.Fprintf(&b, "%s_tenant_shed_total{tenant=%q} %d\n", promNamespace, tenant, v.shedByTenant[tenant])
+	}
+
 	// Job latency histogram: submission-to-terminal wall time, every job
 	// (cache-served ones land in the lowest buckets).
 	h := v.jobDuration
@@ -101,3 +120,13 @@ func (v metricsView) writePrometheus(w io.Writer) error {
 // promFloat formats a sample value or le bound the way Prometheus does:
 // shortest round-trip representation.
 func promFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// sortedKeys returns a map's keys sorted, for deterministic label order.
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

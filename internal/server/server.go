@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/dist"
 	"repro/internal/faultinject"
 	"repro/internal/results"
 	"repro/pkg/htsim"
@@ -89,6 +90,28 @@ type Options struct {
 	// (cmd/htserved builds it from the HTSERVED_FAULTS environment
 	// variable). Nil disables injection — every fault point passes clean.
 	Faults *faultinject.Set
+
+	// Coordinator enables coordinator mode: campaign jobs are sharded
+	// across the worker pool through internal/dist instead of running in
+	// this process, and the /v1/workers registration endpoints open up.
+	// Implied by a non-empty WorkerURLs; set it explicitly to start a
+	// coordinator whose workers all join dynamically.
+	Coordinator bool
+	// WorkerURLs seeds the coordinator's worker pool with static
+	// htserved base URLs; more workers may register at runtime.
+	WorkerURLs []string
+	// MaxShards bounds how many shards one experiment's trial space
+	// splits into (default: twice the static pool, at least 2).
+	MaxShards int
+	// ShardRetries is how many extra dispatch attempts a failed shard
+	// gets, each on the next worker round-robin (default 2).
+	ShardRetries int
+	// ShardTimeout bounds one shard dispatch attempt (default 5m).
+	ShardTimeout time.Duration
+	// TenantQuota caps queued-plus-running jobs per tenant (X-Tenant
+	// header); beyond it submissions shed with 429, counted per tenant.
+	// 0 means no per-tenant cap; anonymous submissions are never capped.
+	TenantQuota int
 }
 
 // withDefaults fills unset options.
@@ -105,6 +128,9 @@ func (o Options) withDefaults() Options {
 	if o.SSEWriteTimeout == 0 {
 		o.SSEWriteTimeout = 10 * time.Second
 	}
+	if len(o.WorkerURLs) > 0 {
+		o.Coordinator = true
+	}
 	return o
 }
 
@@ -116,7 +142,10 @@ type Server struct {
 	metrics *counters
 	faults  *faultinject.Set
 	jobs    *manager
-	mux     *http.ServeMux
+	// coord is non-nil in coordinator mode; campaign jobs then execute
+	// through it instead of the local campaign builder.
+	coord *dist.Coordinator
+	mux   *http.ServeMux
 }
 
 // New builds a Server (creating the cache directory when configured) and
@@ -135,7 +164,21 @@ func New(opts Options) (*Server, error) {
 		metrics: metrics,
 		faults:  opts.Faults,
 	}
-	s.jobs = newManager(opts, s.cache, s.metrics, opts.Faults)
+	if opts.Coordinator {
+		s.coord = dist.New(dist.Options{
+			Workers:      opts.WorkerURLs,
+			MaxShards:    opts.MaxShards,
+			Retries:      opts.ShardRetries,
+			ShardTimeout: opts.ShardTimeout,
+			Faults:       opts.Faults,
+			Observe: dist.Observe{
+				Dispatched: metrics.shardDispatched,
+				Retried:    func() { metrics.inc(&metrics.shardRetries) },
+				CacheHit:   func() { metrics.inc(&metrics.shardCacheHits) },
+			},
+		})
+	}
+	s.jobs = newManager(opts, s.cache, s.metrics, opts.Faults, s.coord)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/campaigns", s.handleSubmitCampaign)
 	s.mux.HandleFunc("POST /v1/sims", s.handleSubmitSim)
@@ -147,6 +190,11 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/plugins", s.handlePlugins)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	// Every instance can execute shards; the registration endpoints
+	// answer 404 unless this server is a coordinator.
+	s.mux.HandleFunc("POST "+dist.ShardPath, s.handleRunShard)
+	s.mux.HandleFunc("POST /v1/workers", s.handleRegisterWorker)
+	s.mux.HandleFunc("GET /v1/workers", s.handleListWorkers)
 	return s, nil
 }
 
@@ -196,12 +244,22 @@ func writeError(w http.ResponseWriter, status int, err error) {
 }
 
 // submit runs the shared enqueue-or-reject tail of both POST handlers.
-// Shed submissions (full queue) get 429 with a Retry-After backoff hint
-// sized to the backlog — load shedding is explicit and negotiable, never
-// a silent drop or a collapse.
-func (s *Server) submit(w http.ResponseWriter, j *job) {
+// The X-Priority header picks the job's queue lane (high, normal, low;
+// default normal) and X-Tenant attributes it to a tenant for quota
+// accounting. Shed submissions — full queue or exhausted tenant quota —
+// get 429 with a Retry-After backoff hint sized to the backlog: load
+// shedding is explicit and negotiable, never a silent drop or a
+// collapse.
+func (s *Server) submit(w http.ResponseWriter, r *http.Request, j *job) {
+	lane, err := parseLane(r.Header.Get("X-Priority"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j.lane = lane
+	j.tenant = r.Header.Get("X-Tenant")
 	if err := s.jobs.submit(j); err != nil {
-		if errors.Is(err, errQueueFull) {
+		if errors.Is(err, errQueueFull) || errors.Is(err, errTenantQuota) {
 			w.Header().Set("Retry-After", strconv.Itoa(s.jobs.retryAfterSeconds()))
 			writeError(w, http.StatusTooManyRequests, err)
 			return
@@ -225,7 +283,7 @@ func (s *Server) handleSubmitCampaign(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.submit(w, &job{
+	s.submit(w, r, &job{
 		kind:     "campaign",
 		name:     spec.Name,
 		spec:     spec,
@@ -245,7 +303,7 @@ func (s *Server) handleSubmitSim(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.submit(w, &job{
+	s.submit(w, r, &job{
 		kind:     "sim",
 		name:     fmt.Sprintf("sim %s x%d", req.Mix, req.Threads),
 		sim:      req,
@@ -349,9 +407,11 @@ func (s *Server) handlePlugins(w http.ResponseWriter, r *http.Request) {
 // handleHealthz is the health probe, distinguishing live from ready:
 // live means the process is serving HTTP at all (always true if this
 // handler runs), ready means it can accept new work (queue has room,
-// not shutting down). A degraded service answers 503 with live=true so
-// orchestrators stop routing new traffic without restarting it;
-// ?probe=live always answers 200 for pure liveness checks.
+// not shutting down — and, on a coordinator, a quorum of the worker
+// pool reachable: a majority, at least one). A degraded service answers
+// 503 with live=true so orchestrators stop routing new traffic without
+// restarting it; ?probe=live always answers 200 for pure liveness
+// checks and never sweeps the worker pool.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	ready := s.jobs.ready()
 	body := map[string]any{
@@ -363,6 +423,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		body["status"] = "ok"
 		writeJSON(w, http.StatusOK, body)
 		return
+	}
+	if s.coord != nil {
+		pool := s.coord.Health(r.Context())
+		body["workers"] = pool
+		if !pool.Ready() {
+			ready = false
+			body["ready"] = false
+		}
 	}
 	status := http.StatusOK
 	body["status"] = "ok"

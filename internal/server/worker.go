@@ -1,0 +1,110 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+
+	"repro/internal/campaign"
+	"repro/internal/dist"
+	"repro/internal/results"
+)
+
+// This file is the distributed-execution HTTP surface. Every htserved
+// instance is a capable worker: POST /v1/shards executes one campaign
+// shard synchronously and returns its payload (raw per-cell values or a
+// whole typed table — see internal/campaign/shard.go). A server built
+// with coordinator options additionally exposes POST/GET /v1/workers so
+// workers can join the pool at runtime (`htserved -worker
+// -coordinator=URL`), and its campaign jobs execute through
+// internal/dist instead of the local builder.
+
+// handleRunShard executes one shard on this worker. Execution is
+// synchronous — the coordinator holds the request open — and bounded by
+// the same job gate queued jobs use, so shard traffic and local jobs
+// share one concurrency budget instead of oversubscribing the machine.
+// Build-fingerprint mismatches are rejected with 409: merging bytes
+// from heterogeneous builds would silently break the byte-identity
+// contract.
+func (s *Server) handleRunShard(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var req dist.ShardRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("shard request: %w", err))
+		return
+	}
+	if req.Revision != results.Revision() || req.Go != runtime.Version() {
+		writeError(w, http.StatusConflict, fmt.Errorf(
+			"build mismatch: worker is %s/%s, coordinator is %s/%s — distributed byte-identity requires homogeneous builds",
+			results.Revision(), runtime.Version(), req.Revision, req.Go))
+		return
+	}
+	// The shard.run fault point models a worker that accepts shards but
+	// cannot execute them (failing disk, poisoned build): an injected
+	// error answers 500, which the coordinator treats as a failed attempt
+	// and redispatches elsewhere.
+	if err := s.jobs.faults.Fire(r.Context(), "shard.run"); err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("shard execution failed: %w", err))
+		return
+	}
+	if err := s.jobs.gate.Acquire(r.Context()); err != nil {
+		writeError(w, http.StatusServiceUnavailable, errors.New("worker shutting down"))
+		return
+	}
+	defer s.jobs.gate.Release()
+	res, err := campaign.RunShard(r.Context(), req.Shard, s.opts.Workers)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.metrics.inc(&s.metrics.shardsExecuted)
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleRegisterWorker joins a worker to the coordinator's pool
+// (idempotent). Body: {"url": "http://host:port"}.
+func (s *Server) handleRegisterWorker(w http.ResponseWriter, r *http.Request) {
+	if s.coord == nil {
+		writeError(w, http.StatusNotFound, errors.New("not a coordinator"))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var req struct {
+		URL string `json:"url"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if !strings.HasPrefix(req.URL, "http://") && !strings.HasPrefix(req.URL, "https://") {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("worker url %q must be absolute (http:// or https://)", req.URL))
+		return
+	}
+	added := s.coord.AddWorker(req.URL)
+	writeJSON(w, http.StatusOK, map[string]any{"added": added, "workers": s.coord.WorkerURLs()})
+}
+
+// handleListWorkers reports the pool with a live reachability sweep —
+// the same sweep /v1/healthz readiness folds into its quorum verdict.
+func (s *Server) handleListWorkers(w http.ResponseWriter, r *http.Request) {
+	if s.coord == nil {
+		writeError(w, http.StatusNotFound, errors.New("not a coordinator"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.coord.Health(r.Context()))
+}
