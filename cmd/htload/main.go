@@ -64,6 +64,7 @@ func run(args []string, out io.Writer) error {
 		mix      = fs.String("mix", "", "op-kind weights, e.g. cached=0.3,uncached=0.2,sim=0.2,artifact=0.15,sse=0.1,cancel=0.05")
 		spec     = fs.String("spec", "", "path of a campaign spec replacing the built-in shared cached payload")
 		verify   = fs.Bool("verify", true, "verify every response (status, artifact byte-identity, SSE monotonicity)")
+		drainCmd = fs.String("drain-cmd", "", "shell command drain ops run (e.g. a worker SIGTERM-and-relaunch script); required when the mix weighs drain")
 		outPath  = fs.String("out", "BENCH_SERVE.json", "machine-readable report path (empty = none)")
 		quiet    = fs.Bool("quiet", false, "suppress progress lines")
 	)
@@ -81,6 +82,7 @@ func run(args []string, out io.Writer) error {
 		Nonce:    *nonce,
 		Workers:  *workers,
 		Verify:   *verify,
+		DrainCmd: *drainCmd,
 	}
 	if !*quiet {
 		cfg.Progress = out
@@ -133,6 +135,10 @@ var mixKeys = map[string]func(*loadgen.Mix, float64){
 	// target: run the same seed against 1-worker and N-worker pools to
 	// measure distributed scaling (BENCH_NOTES.md).
 	"distributed": func(m *loadgen.Mix, w float64) { m.Distributed = w },
+	// drain interleaves -drain-cmd runs (worker SIGTERM drills) into the
+	// load: against a journaled coordinator the run must still finish
+	// with zero failed campaigns.
+	"drain": func(m *loadgen.Mix, w float64) { m.Drain = w },
 }
 
 // parseMix parses "kind=weight,..." (unlisted kinds weigh zero).
@@ -142,7 +148,7 @@ func parseMix(s string) (loadgen.Mix, error) {
 		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
 		set := mixKeys[key]
 		if !ok || set == nil {
-			return m, fmt.Errorf("bad mix element %q (known kinds: cached, uncached, sim, artifact, sse, cancel, distributed)", part)
+			return m, fmt.Errorf("bad mix element %q (known kinds: cached, uncached, sim, artifact, sse, cancel, distributed, drain)", part)
 		}
 		w, err := strconv.ParseFloat(val, 64)
 		if err != nil || w < 0 {

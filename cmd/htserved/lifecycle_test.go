@@ -1,0 +1,57 @@
+package main
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/exp"
+)
+
+// TestRegisterBackoffWindowsAndDeterminism pins the worker-registration
+// backoff contract: full jitter over a window that doubles per attempt
+// and caps at registerMaxBackoff, never zero (the +1ms floor), and
+// deterministic for a given rng seed — the schedule a chaos drill
+// observes is the schedule a rerun observes.
+func TestRegisterBackoffWindowsAndDeterminism(t *testing.T) {
+	window := func(attempt int) time.Duration {
+		w := registerBaseBackoff
+		for i := 0; i < attempt && w < registerMaxBackoff; i++ {
+			w *= 2
+		}
+		if w > registerMaxBackoff {
+			w = registerMaxBackoff
+		}
+		return w
+	}
+	rng := rand.New(rand.NewSource(exp.StreamSeed(1, "register/http://w:1")))
+	sawJitter := false
+	var prev time.Duration
+	for attempt := 0; attempt <= 12; attempt++ {
+		d := registerBackoff(attempt, rng)
+		w := window(attempt)
+		if d < time.Millisecond || d > w+time.Millisecond {
+			t.Fatalf("attempt %d: backoff %v outside (1ms, %v]", attempt, d, w+time.Millisecond)
+		}
+		if attempt > 0 && d != prev {
+			sawJitter = true
+		}
+		prev = d
+	}
+	// The deep-attempt window must be the cap, not an ever-growing wait.
+	if w := window(20); w != registerMaxBackoff {
+		t.Fatalf("window(20) = %v, want capped at %v", w, registerMaxBackoff)
+	}
+	if !sawJitter {
+		t.Fatal("13 draws produced identical backoffs — jitter is not being applied")
+	}
+
+	// Same seed, same schedule: reruns of a drill reproduce exactly.
+	r1 := rand.New(rand.NewSource(exp.StreamSeed(7, "register/http://w:1")))
+	r2 := rand.New(rand.NewSource(exp.StreamSeed(7, "register/http://w:1")))
+	for attempt := 0; attempt < 8; attempt++ {
+		if d1, d2 := registerBackoff(attempt, r1), registerBackoff(attempt, r2); d1 != d2 {
+			t.Fatalf("attempt %d: same seed drew %v and %v", attempt, d1, d2)
+		}
+	}
+}

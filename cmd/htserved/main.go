@@ -20,6 +20,19 @@
 //	htserved -addr :8080 -dist &                        # empty-pool coordinator
 //	htserved -addr :8081 -worker -coordinator http://127.0.0.1:8080   # self-registers
 //
+// Durability (see DESIGN.md §12 and README "Surviving crashes"):
+//
+//	htserved -addr :8080 -dist -journal-dir /var/lib/htserved
+//
+// With -journal-dir set, every accepted job is fsync'd to a write-ahead
+// journal before its 202, and a restart (even after kill -9) replays
+// the unfinished backlog; a coordinator additionally checkpoints
+// completed shard results there, so a resumed campaign recomputes only
+// shards that never finished. Workers heartbeat their registration
+// (-heartbeat) with capped-jitter backoff on failure, and SIGTERM
+// drains gracefully: in-flight shards finish, then the worker
+// deregisters from the pool.
+//
 //	curl -XPOST --data-binary @specs/paper.json localhost:8080/v1/campaigns
 //	curl localhost:8080/v1/jobs/job-000001
 //	curl localhost:8080/v1/jobs/job-000001/events           # SSE stream
@@ -41,10 +54,12 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
@@ -53,6 +68,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/exp"
 	"repro/internal/faultinject"
 	"repro/internal/server"
 )
@@ -91,6 +107,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		workerMode   = fs.Bool("worker", false, "register this instance with a coordinator at startup (requires -coordinator)")
 		coordinator  = fs.String("coordinator", "", "coordinator base URL to register with in -worker mode")
 		advertise    = fs.String("advertise", "", "URL the coordinator should reach this worker at (default derived from the listen address)")
+		heartbeat    = fs.Duration("heartbeat", 5*time.Second, "worker heartbeat interval: how often -worker re-registers with the coordinator")
+
+		// Durability & recovery (DESIGN.md §12).
+		journalDir    = fs.String("journal-dir", "", "directory for the write-ahead job journal: accepted jobs survive crashes and replay on boot (empty = no journal)")
+		checkpointDir = fs.String("checkpoint-dir", "", "directory for coordinator shard checkpoints (default <journal-dir>/shard-checkpoints when journaling)")
+		hedgeDelay    = fs.Duration("hedge-delay", 0, "straggler hedge delay before redispatching a slow shard to a second worker (0 = adaptive p99, negative = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -117,6 +139,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		ShardRetries:    *shardRetries,
 		ShardTimeout:    *shardTimeout,
 		TenantQuota:     *tenantQuota,
+		JournalDir:      *journalDir,
+		CheckpointDir:   *checkpointDir,
+		HedgeDelay:      *hedgeDelay,
 	})
 	if err != nil {
 		return err
@@ -127,15 +152,22 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	var workerDone chan struct{}
 	if *workerMode {
-		// Register with the coordinator in the background, retrying until
-		// it accepts — the coordinator may still be booting. The worker
-		// serves shards regardless; registration only adds it to the pool.
+		// Run the worker lifecycle in the background: register with the
+		// coordinator (capped-jitter backoff — it may still be booting),
+		// heartbeat the registration so a restarted coordinator relearns
+		// the pool, and deregister when drain begins. The worker serves
+		// shards regardless; the lifecycle only manages pool membership.
 		selfURL := *advertise
 		if selfURL == "" {
 			selfURL = "http://" + hostPort(ln.Addr().String())
 		}
-		go registerWithCoordinator(ctx, out, *coordinator, selfURL)
+		workerDone = make(chan struct{})
+		go func() {
+			defer close(workerDone)
+			workerLifecycle(ctx, out, *coordinator, selfURL, *heartbeat)
+		}()
 	}
 	srv := &http.Server{
 		Handler: svc.Handler(),
@@ -157,6 +189,15 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	case <-ctx.Done():
 	}
 	fmt.Fprintln(out, "htserved: shutting down")
+	if workerDone != nil {
+		// Deregister before draining: the coordinator must stop placing
+		// new shards here while the in-flight ones finish. The lifecycle
+		// goroutine bounds its own exit, but cap the wait regardless.
+		select {
+		case <-workerDone:
+		case <-time.After(5 * time.Second):
+		}
+	}
 	// Cancel jobs first: that seals every event log, so open SSE streams
 	// end and Shutdown's drain isn't held hostage by live watchers.
 	svc.Close()
@@ -195,38 +236,133 @@ func hostPort(addr string) string {
 	return net.JoinHostPort(host, port)
 }
 
-// registerWithCoordinator POSTs this worker's URL to the coordinator's
-// /v1/workers until it succeeds (the coordinator may boot later), then
-// exits. Failures are logged but never fatal: the worker still serves
+// Worker registration backoff: full jitter over a doubling window.
+const (
+	registerBaseBackoff = 250 * time.Millisecond
+	registerMaxBackoff  = 15 * time.Second
+)
+
+// registerBackoff returns the wait before registration attempt+1: full
+// jitter drawn from a window that doubles per attempt, capped. The rng
+// is deterministic (seeded from the worker's advertised URL), so the
+// schedule is reproducible in tests yet decorrelated across a fleet of
+// workers retrying against the same rebooting coordinator.
+func registerBackoff(attempt int, rng *rand.Rand) time.Duration {
+	window := registerBaseBackoff
+	for i := 0; i < attempt && window < registerMaxBackoff; i++ {
+		window *= 2
+	}
+	if window > registerMaxBackoff {
+		window = registerMaxBackoff
+	}
+	return time.Duration(rng.Int63n(int64(window))) + time.Millisecond
+}
+
+// workerLifecycle manages this worker's pool membership end to end:
+// register with capped-jitter backoff (the coordinator may boot later,
+// or be rebooting right now), re-register every heartbeat interval so a
+// coordinator restarted from its journal relearns the pool before its
+// replayed campaigns need workers, and — once drain begins — stop
+// retrying and deregister so the coordinator stops placing new shards
+// here. Failures are logged but never fatal: the worker still serves
 // shards if the operator registers it by hand.
-func registerWithCoordinator(ctx context.Context, out io.Writer, coordinator, selfURL string) {
-	body := fmt.Sprintf(`{"url":%q}`, selfURL)
+func workerLifecycle(ctx context.Context, out io.Writer, coordinator, selfURL string, heartbeat time.Duration) {
+	if heartbeat <= 0 {
+		heartbeat = 5 * time.Second
+	}
 	client := &http.Client{Timeout: 5 * time.Second}
-	for attempt := 0; ; attempt++ {
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-			strings.TrimRight(coordinator, "/")+"/v1/workers", strings.NewReader(body))
-		if err != nil {
-			fmt.Fprintf(out, "htserved: worker registration failed permanently: %v\n", err)
+	rng := rand.New(rand.NewSource(exp.StreamSeed(1, "register/"+selfURL)))
+	var id string
+	registered := false
+	attempt := 0
+	for {
+		newID, err := registerOnce(ctx, client, coordinator, selfURL)
+		if ctx.Err() != nil {
+			// Drain began: no more retries, and if the pool ever knew us,
+			// leave it cleanly.
+			if registered {
+				deregister(out, client, coordinator, id)
+			}
 			return
 		}
-		req.Header.Set("Content-Type", "application/json")
-		resp, err := client.Do(req)
+		wait := heartbeat
 		if err == nil {
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-			if resp.StatusCode == http.StatusOK {
-				fmt.Fprintf(out, "htserved: registered with coordinator %s as %s\n", coordinator, selfURL)
-				return
+			id = newID
+			if !registered {
+				fmt.Fprintf(out, "htserved: registered with coordinator %s as %s (worker id %s)\n", coordinator, selfURL, id)
 			}
-			err = fmt.Errorf("coordinator answered %s", resp.Status)
-		}
-		if attempt == 0 {
-			fmt.Fprintf(out, "htserved: worker registration pending (%v), retrying\n", err)
+			registered = true
+			attempt = 0
+		} else {
+			if attempt == 0 {
+				fmt.Fprintf(out, "htserved: worker registration pending (%v), backing off\n", err)
+			}
+			wait = registerBackoff(attempt, rng)
+			attempt++
 		}
 		select {
 		case <-ctx.Done():
+			if registered {
+				deregister(out, client, coordinator, id)
+			}
 			return
-		case <-time.After(time.Second):
+		case <-time.After(wait):
 		}
 	}
+}
+
+// registerOnce POSTs this worker's URL to the coordinator's /v1/workers
+// and returns the stable pool id the coordinator assigned (idempotent —
+// this doubles as the heartbeat).
+func registerOnce(ctx context.Context, client *http.Client, coordinator, selfURL string) (string, error) {
+	body := fmt.Sprintf(`{"url":%q}`, selfURL)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimRight(coordinator, "/")+"/v1/workers", strings.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("coordinator answered %s", resp.Status)
+	}
+	var reply struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		return "", fmt.Errorf("decode registration reply: %w", err)
+	}
+	return reply.ID, nil
+}
+
+// deregister removes this worker from the coordinator's pool at drain
+// time. The drain context is already cancelled, so the DELETE runs
+// under its own short deadline; a 404 means the pool already forgot us,
+// which is the outcome we wanted.
+func deregister(out io.Writer, client *http.Client, coordinator, id string) {
+	if id == "" {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete,
+		strings.TrimRight(coordinator, "/")+"/v1/workers/"+id, nil)
+	if err != nil {
+		return
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		fmt.Fprintf(out, "htserved: worker deregistration failed: %v\n", err)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	fmt.Fprintf(out, "htserved: deregistered from coordinator %s\n", coordinator)
 }

@@ -22,28 +22,51 @@
 // a shard-local substream of the campaign seed — keeping dispatch
 // deterministic without ever touching trial streams.
 //
+// The durability layer extends this in three directions (DESIGN.md
+// §12). Completed shard results spill to a disk checkpoint store
+// (Options.CheckpointDir) with sha256 manifests and quarantine-on-
+// corruption, so a coordinator restarted mid-campaign recomputes only
+// shards that never finished. Each worker carries a circuit breaker:
+// consecutive dispatch failures open it for a deterministic full-jitter
+// backoff window (seeded per worker via exp.StreamSeed), after which
+// one half-open probe either closes it or doubles the window — a dead
+// worker costs a bounded number of attempts, not one per shard.
+// Straggling dispatches hedge: after Options.HedgeDelay (or an
+// adaptive p99 of observed dispatch latency) without an answer, the
+// shard is speculatively redispatched to a second worker and the first
+// byte-complete result wins; the loser is audited byte-for-byte
+// against the winner (HedgeMismatches), because shard execution is
+// deterministic per build and any divergence is a bug worth counting.
+//
 // Chaos coverage reuses internal/faultinject: the dist.dispatch point
 // fires before every dispatch attempt (an injected error is a failed
-// attempt and redispatches like a real one) and dist.merge before the
-// final merge.
+// attempt and redispatches like a real one), dist.merge before the
+// final merge, and shard.checkpoint.read / shard.checkpoint.write
+// around the checkpoint store (an injected read degrades to a recompute,
+// an injected write skips the checkpoint — never fails the shard).
 package dist
 
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/exp"
 	"repro/internal/faultinject"
+	"repro/internal/histo"
 	"repro/internal/results"
 )
 
@@ -70,6 +93,18 @@ type Observe struct {
 	Retried func()
 	// CacheHit fires when a shard is served from the shard cache.
 	CacheHit func()
+	// Checkpointed fires when a completed shard result is spilled to the
+	// checkpoint store.
+	Checkpointed func()
+	// Resumed fires when a shard is answered from the checkpoint store
+	// instead of recomputed (a resumed campaign after a restart).
+	Resumed func()
+	// Hedged fires when a straggling dispatch is speculatively
+	// redispatched to a second worker.
+	Hedged func()
+	// BreakerOpened fires on each worker circuit-breaker closed→open
+	// transition (including a failed half-open probe reopening it).
+	BreakerOpened func()
 }
 
 // Options configure a Coordinator.
@@ -95,7 +130,30 @@ type Options struct {
 	// Client is the HTTP client for dispatches and probes (default: a
 	// plain http.Client; per-attempt deadlines come from ShardTimeout).
 	Client *http.Client
-	// Faults arms the dist.dispatch / dist.merge chaos points.
+	// CheckpointDir, when non-empty, spills completed shard results to a
+	// disk checkpoint store (sha256-manifested, quarantined when
+	// corrupt) that survives coordinator restarts: a resumed campaign
+	// recomputes only shards that never completed.
+	CheckpointDir string
+	// Seed keys the deterministic per-worker backoff jitter streams (via
+	// exp.StreamSeed), so breaker tests reproduce exactly (default 1).
+	Seed int64
+	// BreakerFailures is the consecutive-failure threshold that opens a
+	// worker's circuit breaker (default 3; negative disables breakers).
+	BreakerFailures int
+	// HedgeDelay tunes straggler hedging: after this long without an
+	// answer a shard is redispatched to a second worker and the first
+	// byte-complete result wins. 0 derives the delay from the observed
+	// dispatch p99; negative disables hedging.
+	HedgeDelay time.Duration
+	// PoolWait bounds how long a shard waits for the worker pool to be
+	// non-empty before failing (default 60s; negative fails
+	// immediately). A restarted coordinator replays journaled campaigns
+	// before its workers' next heartbeat re-registers them; this turns
+	// that boot-order race into a short wait.
+	PoolWait time.Duration
+	// Faults arms the dist.dispatch / dist.merge / shard.checkpoint.*
+	// chaos points.
 	Faults *faultinject.Set
 	// Observe receives metric callbacks.
 	Observe Observe
@@ -123,6 +181,19 @@ func (o Options) withDefaults() Options {
 	if o.Client == nil {
 		o.Client = &http.Client{}
 	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.BreakerFailures == 0 {
+		o.BreakerFailures = 3
+	} else if o.BreakerFailures < 0 {
+		o.BreakerFailures = 0
+	}
+	if o.PoolWait == 0 {
+		o.PoolWait = time.Minute
+	} else if o.PoolWait < 0 {
+		o.PoolWait = 0
+	}
 	return o
 }
 
@@ -147,51 +218,126 @@ type PoolHealth struct {
 // Ready reports whether the pool meets quorum.
 func (h PoolHealth) Ready() bool { return h.Reachable >= h.Quorum }
 
+// workerState is one pool member: its stable id (content-derived from
+// the URL, so re-registration is naturally idempotent) plus its circuit
+// breaker. Breaker fields are guarded by the Coordinator's mutex; the
+// jitter rng is per-worker and seeded from a worker-keyed substream, so
+// backoff schedules are deterministic in tests yet decorrelated across
+// workers.
+type workerState struct {
+	id  string
+	url string
+	// fails counts consecutive dispatch failures since the last success.
+	fails int
+	// openUntil is the breaker deadline: zero means closed; a passed
+	// deadline means half-open (one probe dispatch is allowed through).
+	openUntil time.Time
+	// backoff is the next open window, doubling to breakerMaxBackoff.
+	backoff time.Duration
+	rng     *rand.Rand
+}
+
 // Coordinator shards campaigns across a pool of htserved workers.
 // Construct with New; safe for concurrent use.
 type Coordinator struct {
 	opts Options
 
 	mu      sync.Mutex
-	workers []string
+	workers []*workerState
+	// latency observes successful dispatch wall times; its p99 drives
+	// adaptive hedging.
+	latency *histo.Histogram
 
 	cache *shardCache
+	ckpt  *checkpointStore
+
+	hedgeMismatches atomic.Int64
 }
 
-// New builds a Coordinator over the given options.
-func New(opts Options) *Coordinator {
+// New builds a Coordinator over the given options, creating the
+// checkpoint directory when configured.
+func New(opts Options) (*Coordinator, error) {
 	opts = opts.withDefaults()
-	c := &Coordinator{opts: opts, cache: newShardCache(opts.CacheShards)}
-	for _, u := range opts.Workers {
-		c.AddWorker(u)
+	ckpt, err := newCheckpointStore(opts.CheckpointDir, opts.Faults)
+	if err != nil {
+		return nil, fmt.Errorf("dist: checkpoint dir: %w", err)
 	}
-	return c
+	c := &Coordinator{
+		opts:    opts,
+		cache:   newShardCache(opts.CacheShards),
+		ckpt:    ckpt,
+		latency: histo.Exponential(0.001, 2, 18),
+	}
+	for _, u := range opts.Workers {
+		c.Register(u)
+	}
+	return c, nil
 }
 
-// AddWorker registers a worker base URL, reporting whether it was new.
-// Registration is idempotent; URLs are normalised (trailing slash
-// stripped).
-func (c *Coordinator) AddWorker(url string) bool {
+// workerID derives a worker's stable pool id from its normalised URL —
+// the {id} the DELETE /v1/workers/{id} deregistration path names.
+func workerID(url string) string {
+	h := sha256.Sum256([]byte(url))
+	return hex.EncodeToString(h[:8])
+}
+
+// Register adds a worker base URL to the pool, reporting its stable id
+// and whether it was new. Registration is idempotent (heartbeats
+// re-register on a cadence), and re-registering never resets breaker
+// state: health is earned by dispatch outcomes, not by announcements.
+// URLs are normalised (trailing slash stripped).
+func (c *Coordinator) Register(url string) (string, bool) {
 	url = strings.TrimRight(strings.TrimSpace(url), "/")
 	if url == "" {
-		return false
+		return "", false
 	}
+	id := workerID(url)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, w := range c.workers {
-		if w == url {
-			return false
+		if w.url == url {
+			return id, false
 		}
 	}
-	c.workers = append(c.workers, url)
-	return true
+	c.workers = append(c.workers, &workerState{
+		id:      id,
+		url:     url,
+		backoff: breakerBaseBackoff,
+		rng:     rand.New(rand.NewSource(exp.StreamSeed(c.opts.Seed, "breaker/"+url))),
+	})
+	return id, true
+}
+
+// AddWorker registers a worker base URL, reporting whether it was new.
+func (c *Coordinator) AddWorker(url string) bool {
+	_, added := c.Register(url)
+	return added
+}
+
+// Remove deregisters the worker with the given pool id — the graceful-
+// drain path: a SIGTERMed worker finishes its in-flight shards, then
+// deregisters so the coordinator stops placing new ones on it.
+func (c *Coordinator) Remove(id string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, w := range c.workers {
+		if w.id == id {
+			c.workers = append(c.workers[:i], c.workers[i+1:]...)
+			return true
+		}
+	}
+	return false
 }
 
 // WorkerURLs snapshots the pool in registration order.
 func (c *Coordinator) WorkerURLs() []string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return append([]string(nil), c.workers...)
+	urls := make([]string, len(c.workers))
+	for i, w := range c.workers {
+		urls[i] = w.url
+	}
+	return urls
 }
 
 // Health probes every pool member's liveness endpoint concurrently
@@ -244,6 +390,117 @@ func quorum(n int) int {
 		return 1
 	}
 	return n/2 + 1
+}
+
+// Circuit-breaker backoff window: full jitter over a doubling range.
+const (
+	breakerBaseBackoff = 250 * time.Millisecond
+	breakerMaxBackoff  = 15 * time.Second
+)
+
+// eligibleWorkers snapshots the pool members whose breaker admits a
+// dispatch now: closed breakers, plus open ones whose window has passed
+// (the half-open probe). When every breaker is open the whole pool is
+// returned — with no healthier alternative, failing fast helps nobody.
+func (c *Coordinator) eligibleWorkers(now time.Time) []*workerState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var ws []*workerState
+	for _, w := range c.workers {
+		if w.openUntil.IsZero() || now.After(w.openUntil) {
+			ws = append(ws, w)
+		}
+	}
+	if len(ws) == 0 {
+		ws = append(ws, c.workers...)
+	}
+	return ws
+}
+
+// recordSuccess closes w's breaker and feeds the dispatch latency into
+// the adaptive-hedging histogram.
+func (c *Coordinator) recordSuccess(w *workerState, d time.Duration) {
+	c.mu.Lock()
+	w.fails = 0
+	w.backoff = breakerBaseBackoff
+	w.openUntil = time.Time{}
+	c.latency.Observe(d.Seconds())
+	c.mu.Unlock()
+}
+
+// recordFailure counts one failed dispatch against w's breaker. The
+// breaker opens at the consecutive-failure threshold — or immediately
+// when the failure was a half-open probe — for a full-jitter window
+// drawn from the worker's deterministic rng, doubling to the cap.
+func (c *Coordinator) recordFailure(w *workerState) {
+	if c.opts.BreakerFailures <= 0 {
+		return
+	}
+	var opened bool
+	c.mu.Lock()
+	w.fails++
+	if w.fails >= c.opts.BreakerFailures || !w.openUntil.IsZero() {
+		wait := time.Duration(w.rng.Int63n(int64(w.backoff))) + time.Millisecond
+		w.openUntil = time.Now().Add(wait)
+		w.backoff *= 2
+		if w.backoff > breakerMaxBackoff {
+			w.backoff = breakerMaxBackoff
+		}
+		w.fails = 0
+		opened = true
+	}
+	c.mu.Unlock()
+	if opened && c.opts.Observe.BreakerOpened != nil {
+		c.opts.Observe.BreakerOpened()
+	}
+}
+
+// awaitWorkers blocks (polling) until the pool is non-empty, up to
+// Options.PoolWait. A coordinator restarted mid-campaign replays its
+// journaled jobs before its workers' next heartbeat re-registers them;
+// waiting here turns that boot-order race into a short delay instead of
+// a failed campaign.
+func (c *Coordinator) awaitWorkers(ctx context.Context) error {
+	deadline := time.Now().Add(c.opts.PoolWait)
+	for {
+		c.mu.Lock()
+		n := len(c.workers)
+		c.mu.Unlock()
+		if n > 0 {
+			return nil
+		}
+		if c.opts.PoolWait <= 0 || time.Now().After(deadline) {
+			return errors.New("dist: no workers registered")
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+// hedgeMinObservations is how many successful dispatches the latency
+// histogram needs before an adaptive p99 means anything.
+const hedgeMinObservations = 8
+
+// hedgeDelay resolves the straggler-hedging delay for one dispatch: a
+// positive Options.HedgeDelay verbatim, negative disables (0 returned),
+// and zero adapts — the p99 of observed dispatch latency, once enough
+// dispatches have been seen.
+func (c *Coordinator) hedgeDelay() time.Duration {
+	if c.opts.HedgeDelay != 0 {
+		if c.opts.HedgeDelay < 0 {
+			return 0
+		}
+		return c.opts.HedgeDelay
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.latency.Count() < hedgeMinObservations {
+		return 0
+	}
+	return time.Duration(c.latency.Quantile(0.99) * float64(time.Second))
 }
 
 // RunCampaign shards a validated spec across the pool, redispatching
@@ -315,12 +572,13 @@ func (c *Coordinator) reportDone(prog campaign.Progress, spec *campaign.Spec, ta
 	}
 }
 
-// runShard executes one shard: shard cache first, then dispatch with
-// round-robin redispatch on failure. The starting worker derives from
-// the shard's seed substream (exp.ShardSeed keyed by the shard's plan
-// index), so placement is deterministic for a given plan and pool —
-// and never perturbs trial streams, which key off the campaign seed
-// alone.
+// runShard executes one shard: memory cache first, then the disk
+// checkpoint store (a resumed campaign), then dispatch with round-robin
+// redispatch on failure and straggler hedging. The starting worker
+// derives from the shard's seed substream (exp.ShardSeed keyed by the
+// shard's plan index), so placement is deterministic for a given plan
+// and healthy pool — and never perturbs trial streams, which key off
+// the campaign seed alone.
 func (c *Coordinator) runShard(ctx context.Context, sh campaign.Shard, planIndex int) (*campaign.ShardResult, error) {
 	key := shardKey(sh)
 	if r, ok := c.cache.get(key); ok {
@@ -333,29 +591,151 @@ func (c *Coordinator) runShard(ctx context.Context, sh campaign.Shard, planIndex
 		r.Shard = sh
 		return &r, nil
 	}
-	workers := c.WorkerURLs()
-	if len(workers) == 0 {
-		return nil, errors.New("dist: no workers registered")
+	if r, ok := c.ckpt.get(key); ok {
+		// The shard completed before a restart: resume from the
+		// checkpoint (re-warming the memory cache) instead of recomputing.
+		if c.opts.Observe.Resumed != nil {
+			c.opts.Observe.Resumed()
+		}
+		c.cache.put(key, r)
+		r.Shard = sh
+		return &r, nil
 	}
-	start := int(uint64(exp.ShardSeed(sh.Seed, planIndex)) % uint64(len(workers)))
+	if err := c.awaitWorkers(ctx); err != nil {
+		return nil, err
+	}
 	var lastErr error
 	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
 		if attempt > 0 && c.opts.Observe.Retried != nil {
 			c.opts.Observe.Retried()
 		}
-		w := workers[(start+attempt)%len(workers)]
-		r, err := c.dispatch(ctx, w, sh)
+		primary, secondary := c.placeShard(sh, planIndex, attempt)
+		if primary == nil {
+			return nil, errors.New("dist: no workers registered")
+		}
+		r, err := c.dispatchHedged(ctx, primary, secondary, sh)
 		if err == nil {
 			c.cache.put(key, *r)
+			if c.ckpt != nil && c.ckpt.put(key, r) == nil && c.opts.Observe.Checkpointed != nil {
+				c.opts.Observe.Checkpointed()
+			}
 			return r, nil
 		}
-		lastErr = fmt.Errorf("worker %s: %w", w, err)
+		lastErr = err
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
 	}
 	return nil, fmt.Errorf("dist: shard %s failed after %d attempts: %w", sh, c.opts.Retries+1, lastErr)
 }
+
+// placeShard picks one attempt's primary worker — and a distinct
+// secondary for hedging — from the breaker-eligible pool, preserving
+// the deterministic seed-derived round-robin of the pre-breaker era.
+func (c *Coordinator) placeShard(sh campaign.Shard, planIndex, attempt int) (primary, secondary *workerState) {
+	ws := c.eligibleWorkers(time.Now())
+	if len(ws) == 0 {
+		return nil, nil
+	}
+	start := int(uint64(exp.ShardSeed(sh.Seed, planIndex)) % uint64(len(ws)))
+	primary = ws[(start+attempt)%len(ws)]
+	if len(ws) > 1 {
+		secondary = ws[(start+attempt+1)%len(ws)]
+	}
+	return primary, secondary
+}
+
+// dispatchOutcome carries one dispatch attempt through the hedge race.
+type dispatchOutcome struct {
+	r   *campaign.ShardResult
+	err error
+}
+
+// dispatchTo runs one dispatch against one worker and feeds the outcome
+// into its breaker. A cancelled context is the campaign's doing, not
+// the worker's, and counts against no one.
+func (c *Coordinator) dispatchTo(ctx context.Context, w *workerState, sh campaign.Shard) (*campaign.ShardResult, error) {
+	t0 := time.Now()
+	r, err := c.dispatch(ctx, w.url, sh)
+	if err != nil {
+		if ctx.Err() == nil {
+			c.recordFailure(w)
+		}
+		return nil, fmt.Errorf("worker %s: %w", w.url, err)
+	}
+	c.recordSuccess(w, time.Since(t0))
+	return r, nil
+}
+
+// dispatchHedged races a straggling primary dispatch against a
+// speculative secondary: if the primary has not answered within the
+// hedge delay, the same shard also goes to the secondary and the first
+// byte-complete success wins. The loser is not cancelled — its result
+// is audited against the winner's in the background, because shard
+// execution is deterministic per build and the two must be
+// byte-identical; any divergence bumps HedgeMismatches rather than
+// silently merging whichever bytes arrived first.
+func (c *Coordinator) dispatchHedged(ctx context.Context, primary, secondary *workerState, sh campaign.Shard) (*campaign.ShardResult, error) {
+	delay := c.hedgeDelay()
+	if delay <= 0 || secondary == nil {
+		return c.dispatchTo(ctx, primary, sh)
+	}
+	ch := make(chan dispatchOutcome, 2)
+	launch := func(w *workerState) {
+		r, err := c.dispatchTo(ctx, w, sh)
+		ch <- dispatchOutcome{r, err}
+	}
+	go launch(primary)
+	inflight := 1
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	var firstErr error
+	for {
+		select {
+		case <-timer.C:
+			if c.opts.Observe.Hedged != nil {
+				c.opts.Observe.Hedged()
+			}
+			go launch(secondary)
+			inflight++
+		case out := <-ch:
+			inflight--
+			if out.err == nil {
+				if inflight > 0 {
+					go c.auditLoser(ch, out.r)
+				}
+				return out.r, nil
+			}
+			if firstErr == nil {
+				firstErr = out.err
+			}
+			if inflight == 0 {
+				return nil, firstErr
+			}
+		}
+	}
+}
+
+// auditLoser consumes the hedge race's losing dispatch and asserts byte
+// identity with the winner. Detached: campaigns never wait on a
+// straggler just to audit it.
+func (c *Coordinator) auditLoser(ch <-chan dispatchOutcome, winner *campaign.ShardResult) {
+	out := <-ch
+	if out.err != nil {
+		// The loser failing outright proves nothing about determinism —
+		// the hedge existed precisely because it looked unhealthy.
+		return
+	}
+	wb, werr := json.Marshal(winner)
+	lb, lerr := json.Marshal(out.r)
+	if werr != nil || lerr != nil || !bytes.Equal(wb, lb) {
+		c.hedgeMismatches.Add(1)
+	}
+}
+
+// HedgeMismatches reports hedged dispatches whose two results were not
+// byte-identical — zero unless shard determinism is broken.
+func (c *Coordinator) HedgeMismatches() int64 { return c.hedgeMismatches.Load() }
 
 // dispatch POSTs one shard to one worker and decodes the result. The
 // dist.dispatch fault point fires first: an injected error is a failed

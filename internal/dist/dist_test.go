@@ -16,7 +16,10 @@ func TestQuorum(t *testing.T) {
 }
 
 func TestAddWorkerNormalisesAndDedupes(t *testing.T) {
-	c := New(Options{})
+	c, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !c.AddWorker("http://a:1/") {
 		t.Fatal("first registration rejected")
 	}

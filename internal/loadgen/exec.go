@@ -3,10 +3,12 @@ package loadgen
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"os/exec"
 	"strconv"
 	"strings"
 	"sync"
@@ -188,6 +190,8 @@ func (ex *executor) execute(op *Op) opResult {
 		t0, err = ex.artifactGet(op)
 	case KindSSE:
 		t0, err = ex.streamSSE(op)
+	case KindDrain:
+		err = ex.drain(op)
 	}
 	res.latency = time.Since(t0)
 	switch {
@@ -390,6 +394,24 @@ func (ex *executor) artifactGet(op *Op) (time.Time, error) {
 			op.Artifact, id, len(got), len(want))
 	}
 	return t0, nil
+}
+
+// drain runs the configured drain command — the resilience drill:
+// typically a script that SIGTERMs one worker, waits, and relaunches
+// it. The measured latency is the command's wall time; a nonzero exit
+// is a failed op, because a drill that cannot even perturb the
+// deployment proves nothing about surviving the perturbation.
+func (ex *executor) drain(op *Op) error {
+	if ex.cfg.DrainCmd == "" {
+		return errSkipped
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	out, err := exec.CommandContext(ctx, "sh", "-c", ex.cfg.DrainCmd).CombinedOutput()
+	if err != nil {
+		return fmt.Errorf("drain command: %v: %.200s", err, out)
+	}
+	return nil
 }
 
 // streamSSE subscribes to the followed job's event stream and reads it

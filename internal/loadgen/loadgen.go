@@ -50,6 +50,11 @@ type Mix struct {
 	// coordinator target — its scenario row isolates distributed
 	// execution latency for 1-vs-N-worker comparisons.
 	Distributed float64 `json:"distributed"`
+	// Drain weighs resilience-drill ops that run Config.DrainCmd
+	// (typically: SIGTERM and relaunch a worker) mid-run. Opt-in — the
+	// weight appends to the mix order, so every schedule that doesn't
+	// use it is byte-identical to before the kind existed.
+	Drain float64 `json:"drain"`
 }
 
 // DefaultMix weights a serving-shaped workload: mostly cache traffic
@@ -72,7 +77,7 @@ func (m Mix) weights() ([]float64, error) {
 	if m.zero() {
 		m = DefaultMix
 	}
-	raw := []float64{m.CampaignCached, m.CampaignUncached, m.Sim, m.ArtifactGet, m.SSE, m.Cancel, m.Distributed}
+	raw := []float64{m.CampaignCached, m.CampaignUncached, m.Sim, m.ArtifactGet, m.SSE, m.Cancel, m.Distributed, m.Drain}
 	total := 0.0
 	for _, w := range raw {
 		if w < 0 {
@@ -121,6 +126,9 @@ type Config struct {
 	Mix Mix
 	// Spec overrides the shared cached-campaign payload (DefaultSpec).
 	Spec string
+	// DrainCmd is the shell command drain ops run (via sh -c) — the
+	// operator's worker-restart recipe. Required when Mix.Drain > 0.
+	DrainCmd string
 	// Verify enables response verification (status class, artifact
 	// byte-identity, SSE monotonicity). Off, the harness only measures.
 	Verify bool
@@ -167,6 +175,9 @@ func (c Config) validate() error {
 	}
 	if _, err := c.Mix.weights(); err != nil {
 		return err
+	}
+	if c.Mix.Drain > 0 && c.DrainCmd == "" {
+		return fmt.Errorf("loadgen: drain mix weight needs a drain command (-drain-cmd)")
 	}
 	return nil
 }

@@ -162,10 +162,10 @@ func TestPlanStructure(t *testing.T) {
 		}
 	}
 	// With the default mix and 400 draws, every default-weighted kind
-	// should appear (distributed is opt-in: zero weight by default, so
-	// schedules predating it are unchanged).
+	// should appear (distributed and drain are opt-in: zero weight by
+	// default, so schedules predating them are unchanged).
 	for _, k := range opKinds {
-		if k == KindDistributed {
+		if k == KindDistributed || k == KindDrain {
 			continue
 		}
 		if kinds[k] == 0 {

@@ -36,12 +36,19 @@ const (
 	// an N-worker coordinator with the same seed to get the scaling
 	// comparison in BENCH_NOTES.md.
 	KindDistributed = "distributed"
+	// KindDrain runs Config.DrainCmd — an operator-supplied shell command
+	// that SIGTERMs and relaunches a worker (or otherwise perturbs the
+	// deployment) mid-run. It is the resilience drill of the mix: with
+	// drain ops interleaved, a run against a journaled coordinator must
+	// still finish with zero failed campaigns. No path or body; the
+	// command itself is config, not schedule.
+	KindDrain = "drain"
 )
 
 // opKinds is the fixed mix order (weights are drawn in this order, so
 // the order is part of the determinism contract; new kinds append at
 // the end, which leaves every zero-weight-for-them schedule unchanged).
-var opKinds = []string{KindCampaignCached, KindCampaignUncached, KindSim, KindArtifactGet, KindSSE, KindCancel, KindDistributed}
+var opKinds = []string{KindCampaignCached, KindCampaignUncached, KindSim, KindArtifactGet, KindSSE, KindCancel, KindDistributed, KindDrain}
 
 // Op is one planned operation. Everything in it is derived from the
 // seed; the JSON rendering (embedded in BENCH_SERVE.json as the
@@ -180,6 +187,9 @@ func BuildPlan(cfg Config) (*Plan, error) {
 				op.Artifact = planArtifact(rng, ops[lastSub].Kind)
 			case KindSSE:
 				op.Follows = lastSub
+			case KindDrain:
+				// No path or body: the op is a marker in the schedule; the
+				// command it runs lives in config.
 			}
 			// Index is provisional (per-client emit order); the merge below
 			// renumbers into global dispatch order.

@@ -67,7 +67,19 @@ type job struct {
 	// the job for quota accounting (X-Tenant header, may be empty).
 	lane   int
 	tenant string
-	events *eventLog
+	// body is the raw request payload, kept for the write-ahead journal
+	// (nil when journaling is off); jseq is the job's accept-record
+	// sequence number there (0 = not journaled); journal is the manager's
+	// journal (nil-safe), held per job so the terminal transition can
+	// append its record from finishLocked without reaching for the
+	// manager. replay marks a job resubmitted from the journal at boot —
+	// it bypasses the queue depth bound and tenant quotas, which applied
+	// at its original admission.
+	body    []byte
+	jseq    int64
+	journal *journal
+	replay  bool
+	events  *eventLog
 	// metrics is the service's counter set (set at submission); the
 	// terminal transition observes the job's end-to-end duration into
 	// its job_duration_seconds histogram.
@@ -237,6 +249,11 @@ func (j *job) finishLocked(state jobState, tables []results.Table, diskFiles []s
 	j.errMsg = errMsg
 	j.finished = time.Now()
 	j.cancel = nil
+	// Journal the terminal transition (best-effort, nil-safe; a sealed
+	// journal skips it so shutdown-swept jobs replay on the next boot).
+	// The journal has its own lock and never takes j.mu, so appending
+	// under j.mu is safe.
+	j.journal.appendTerminal(j.jseq, string(state))
 	if j.metrics != nil {
 		j.metrics.observeJobDuration(j.finished.Sub(j.created))
 	}
@@ -264,6 +281,9 @@ type manager struct {
 	coord *dist.Coordinator
 	// tenantQuota caps queued-plus-running jobs per tenant (0 = none).
 	tenantQuota int
+	// journal is the write-ahead job journal (nil when --journal-dir is
+	// unset; every method is nil-safe).
+	journal *journal
 	// closed flips once shutdown starts; ready() reports false from then
 	// on.
 	closed atomic.Bool
@@ -285,7 +305,7 @@ type manager struct {
 }
 
 // newManager starts the dispatcher and returns the manager.
-func newManager(opts Options, cache *cache, metrics *counters, faults *faultinject.Set, coord *dist.Coordinator) *manager {
+func newManager(opts Options, cache *cache, metrics *counters, faults *faultinject.Set, coord *dist.Coordinator, journal *journal) *manager {
 	base, stop := context.WithCancel(context.Background())
 	m := &manager{
 		base:        base,
@@ -298,6 +318,7 @@ func newManager(opts Options, cache *cache, metrics *counters, faults *faultinje
 		faults:      faults,
 		coord:       coord,
 		tenantQuota: opts.TenantQuota,
+		journal:     journal,
 		jobTimeout:  opts.JobTimeout,
 		sseBuffer:   opts.SSEBuffer,
 		jobs:        make(map[string]*job),
@@ -314,6 +335,10 @@ func newManager(opts Options, cache *cache, metrics *counters, faults *faultinje
 // log is sealed afterwards, so no SSE watcher outlives the service.
 func (m *manager) shutdown() {
 	m.closed.Store(true)
+	// Seal before cancelling anything: the cancellations below are
+	// shutdown artifacts, and sealing keeps their terminal records out of
+	// the journal so the interrupted jobs replay on the next boot.
+	m.journal.seal()
 	m.stop()
 	m.wg.Wait()
 	m.mu.Lock()
@@ -418,15 +443,30 @@ func (m *manager) submit(j *job) error {
 	j.created = time.Now()
 	j.state = jobQueued
 	j.metrics = m.metrics
+	j.journal = m.journal
 	j.events = newEventLog(m.sseBuffer, &m.metrics.sseDropped)
 
 	// The queue.admit fault point models a failing admission path (a
 	// broken queue backend, an overloaded admission controller): error
 	// mode rejects this one submission, latency mode delays it, panic
-	// mode is contained by the handler-level recovery.
-	if err := m.faults.Fire(m.base, "queue.admit"); err != nil {
+	// mode is contained by the handler-level recovery. Journal replay
+	// skips it — the job already passed admission once.
+	if !j.replay {
+		if err := m.faults.Fire(m.base, "queue.admit"); err != nil {
+			m.metrics.inc(&m.metrics.jobsRejected)
+			return fmt.Errorf("server: admission failed: %w", err)
+		}
+	}
+
+	// Durability before acknowledgement: the accept record is fsync'd
+	// before any path that can answer 202. A failed append rejects the
+	// submission — a job the journal cannot hold would be silently lost
+	// by a crash. Paths below that shed the job instead (full queue,
+	// tenant quota) append a synthetic "rejected" terminal so the 429'd
+	// job never resurrects at boot.
+	if err := m.journal.appendAccept(j); err != nil {
 		m.metrics.inc(&m.metrics.jobsRejected)
-		return fmt.Errorf("server: admission failed: %w", err)
+		return fmt.Errorf("server: %w", err)
 	}
 
 	// Cache tiers are consulted before the queue: an identical submission
@@ -462,17 +502,25 @@ func (m *manager) submit(j *job) error {
 	}
 	// Per-tenant quota: a tenant at its cap of queued-plus-running jobs
 	// sheds, counted per tenant. Checked under the registration lock,
-	// like the depth bound, so a burst cannot overshoot.
-	if m.tenantQuota > 0 && j.tenant != "" && m.tenantActiveLocked(j.tenant) >= m.tenantQuota {
+	// like the depth bound, so a burst cannot overshoot. Replayed jobs
+	// are exempt — the quota applied at their original admission.
+	if !j.replay && m.tenantQuota > 0 && j.tenant != "" && m.tenantActiveLocked(j.tenant) >= m.tenantQuota {
 		m.mu.Unlock()
 		m.metrics.incTenantShed(j.tenant)
+		m.journal.appendTerminal(j.jseq, stateRejected)
 		return fmt.Errorf("%w: tenant %q has %d jobs active", errTenantQuota, j.tenant, m.tenantQuota)
 	}
 	// The queue-full check happens under the registration lock so a burst
-	// of submissions cannot overshoot the declared depth.
-	if !m.queue.push(j) {
+	// of submissions cannot overshoot the declared depth. Replay pushes
+	// past the bound: every replayed job held a queue slot when it was
+	// first accepted, and boot-time replay happens before the listener
+	// opens, so nothing else is competing for depth yet.
+	if j.replay {
+		m.queue.pushReplay(j)
+	} else if !m.queue.push(j) {
 		m.mu.Unlock()
 		m.metrics.inc(&m.metrics.jobsRejected)
+		m.journal.appendTerminal(j.jseq, stateRejected)
 		return errQueueFull
 	}
 	m.registerLocked(j)

@@ -1,0 +1,157 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// This file covers the worker-lifecycle HTTP surface and the degraded-
+// health contract: a 503 from /v1/healthz always carries a Retry-After
+// hint, registration doubles as a heartbeat (idempotent, fault-
+// injectable), and DELETE /v1/workers/{id} is the graceful-drain path.
+
+// TestHealthzDegradedSetsRetryAfter pins the backoff hint on the
+// degraded health probe: a saturated service answers 503 with live=true
+// and a positive integer Retry-After, so orchestrators and clients know
+// when to come back instead of hammering or restarting it. The pure
+// liveness probe stays 200 with no hint.
+func TestHealthzDegradedSetsRetryAfter(t *testing.T) {
+	_, ts := newTestServer(t, Options{
+		Workers:    1,
+		Jobs:       1,
+		QueueDepth: 1,
+		Faults:     mustFaults(t, "job.run:latency:delay=60s"),
+	})
+	// Saturate: one running (wedged), one in the dispatcher's hand, one
+	// filling the queue proper.
+	st := postJSON(t, ts.URL+"/v1/sims", `{"cores":16,"threads":4,"hts":1,"epochs":4,"seed":1,"workers":1}`, http.StatusAccepted)
+	waitRunning(t, ts.URL, st.ID)
+	postJSON(t, ts.URL+"/v1/sims", `{"cores":16,"threads":4,"hts":1,"epochs":4,"seed":2,"workers":1}`, http.StatusAccepted)
+	time.Sleep(100 * time.Millisecond)
+	postJSON(t, ts.URL+"/v1/sims", `{"cores":16,"threads":4,"hts":1,"epochs":4,"seed":3,"workers":1}`, http.StatusAccepted)
+
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated healthz = %d, want 503", resp.StatusCode)
+	}
+	ra := resp.Header.Get("Retry-After")
+	if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+		t.Fatalf("degraded 503 Retry-After = %q, want a positive integer of seconds", ra)
+	}
+	var body struct {
+		Live   bool   `json:"live"`
+		Ready  bool   `json:"ready"`
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if !body.Live || body.Ready || body.Status != "degraded" {
+		t.Fatalf("degraded body = %+v, want live=true ready=false status=degraded", body)
+	}
+
+	// The liveness probe never degrades and never hints.
+	live, err := http.Get(ts.URL + "/v1/healthz?probe=live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Body.Close()
+	if live.StatusCode != http.StatusOK {
+		t.Fatalf("liveness probe = %d, want 200", live.StatusCode)
+	}
+	if h := live.Header.Get("Retry-After"); h != "" {
+		t.Fatalf("liveness probe carries Retry-After %q, want none", h)
+	}
+}
+
+// TestWorkerRegisterHeartbeatDeregister drives the full pool-membership
+// lifecycle over HTTP: register (learning the stable id), re-register
+// idempotently (the heartbeat), then DELETE the id (the graceful-drain
+// exit). A second DELETE answers 404 — drain loops treat that as
+// success, the pool already forgot us.
+func TestWorkerRegisterHeartbeatDeregister(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, Coordinator: true})
+	register := func() (string, bool, int) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/workers", "application/json", strings.NewReader(`{"url":"http://w1:8081"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var reply struct {
+			ID      string   `json:"id"`
+			Added   bool     `json:"added"`
+			Workers []string `json:"workers"`
+		}
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return reply.ID, reply.Added, resp.StatusCode
+	}
+
+	id, added, code := register()
+	if code != http.StatusOK || !added || id == "" {
+		t.Fatalf("first registration = (%q, %v, %d), want a fresh id, added, 200", id, added, code)
+	}
+	id2, added2, code2 := register()
+	if code2 != http.StatusOK || added2 || id2 != id {
+		t.Fatalf("heartbeat re-registration = (%q, %v, %d), want same id, not added, 200", id2, added2, code2)
+	}
+
+	del := func() int {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/workers/"+id, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := del(); code != http.StatusOK {
+		t.Fatalf("deregistration = %d, want 200", code)
+	}
+	if code := del(); code != http.StatusNotFound {
+		t.Fatalf("repeated deregistration = %d, want 404 (pool already forgot us)", code)
+	}
+}
+
+// TestWorkerHeartbeatFault exercises the worker.heartbeat fault point: a
+// coordinator that accepts connections but cannot update its pool
+// answers 500, which drives the worker's registration backoff; the next
+// heartbeat, with the fault spent, succeeds.
+func TestWorkerHeartbeatFault(t *testing.T) {
+	_, ts := newTestServer(t, Options{
+		Workers:     1,
+		Coordinator: true,
+		Faults:      mustFaults(t, "worker.heartbeat:error:times=1"),
+	})
+	post := func() int {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/workers", "application/json", strings.NewReader(`{"url":"http://w1:8081"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post(); code != http.StatusInternalServerError {
+		t.Fatalf("heartbeat under fault = %d, want 500", code)
+	}
+	if code := post(); code != http.StatusOK {
+		t.Fatalf("heartbeat after fault spent = %d, want 200", code)
+	}
+}

@@ -58,16 +58,29 @@ type counters struct {
 	// per-request recovery layers — each one failed a single job or
 	// request, never the dispatcher.
 	panicsRecovered int64
-	// Distributed-execution counters (Prometheus exposition only — the
-	// JSON key set is frozen). shardsExecuted counts shards this process
-	// ran as a worker; shardRetries counts coordinator redispatches after
-	// a failed attempt; shardCacheHits counts shards answered from the
+	// Distributed-execution counters (Prometheus exposition only — these
+	// predate the durability work and stayed out of the JSON object).
+	// shardsExecuted counts shards this process ran as a worker;
+	// shardRetries counts coordinator redispatches after a failed
+	// attempt; shardCacheHits counts shards answered from the
 	// coordinator's content-addressed shard cache; shardsDispatched
 	// breaks dispatch attempts down by worker URL; shedByTenant breaks
 	// quota rejections (also counted in jobsRejected) down by tenant.
 	shardsExecuted, shardRetries, shardCacheHits int64
 	shardsDispatched                             map[string]int64
 	shedByTenant                                 map[string]int64
+	// Durability & lifecycle counters (both expositions — the JSON key
+	// set grew deliberately here, and the frozen-set test grew with it).
+	// journalAppends counts accepted submissions made durable in the
+	// write-ahead journal; journalReplayed counts jobs re-enqueued from
+	// it at boot. shardsCheckpointed counts shard results spilled to the
+	// checkpoint store; shardsResumed counts shards answered from it
+	// instead of recomputed. shardHedges counts speculative straggler
+	// redispatches; breakerOpens counts per-worker circuit-breaker
+	// closed→open transitions.
+	journalAppends, journalReplayed   int64
+	shardsCheckpointed, shardsResumed int64
+	shardHedges, breakerOpens         int64
 	// jobDuration observes every job's submission-to-terminal wall time in
 	// seconds, cache-served jobs included (they land in the lowest
 	// buckets — the histogram is exactly the server-side half of the
@@ -144,6 +157,8 @@ type metricsView struct {
 	singleFlight                                                   int64
 	panicsRecovered                                                int64
 	shardsExecuted, shardRetries, shardCacheHits                   int64
+	journalAppends, journalReplayed                                int64
+	shardsCheckpointed, shardsResumed, shardHedges, breakerOpens   int64
 	shardsDispatched, shedByTenant                                 map[string]int64
 	jobDuration                                                    *histo.Histogram
 	sseDropped, epochs                                             int64
@@ -159,24 +174,30 @@ func (c *counters) view(queued, running, subscribers int, faults map[string]int6
 	uptime := time.Since(c.start).Seconds()
 	c.mu.Lock()
 	v := metricsView{
-		uptime:          uptime,
-		jobsSubmitted:   c.jobsSubmitted,
-		jobsRejected:    c.jobsRejected,
-		jobsStarted:     c.jobsStarted,
-		jobsDone:        c.jobsDone,
-		jobsFailed:      c.jobsFailed,
-		jobsCancelled:   c.jobsCancelled,
-		jobsTimedOut:    c.jobsTimedOut,
-		cacheHits:       c.cacheHits,
-		cacheDiskHits:   c.cacheDiskHits,
-		cacheMisses:     c.cacheMisses,
-		cacheCorrupt:    c.cacheCorrupt,
-		singleFlight:    c.singleFlight,
-		panicsRecovered: c.panicsRecovered,
-		shardsExecuted:  c.shardsExecuted,
-		shardRetries:    c.shardRetries,
-		shardCacheHits:  c.shardCacheHits,
-		jobDuration:     c.jobDuration.Clone(),
+		uptime:             uptime,
+		jobsSubmitted:      c.jobsSubmitted,
+		jobsRejected:       c.jobsRejected,
+		jobsStarted:        c.jobsStarted,
+		jobsDone:           c.jobsDone,
+		jobsFailed:         c.jobsFailed,
+		jobsCancelled:      c.jobsCancelled,
+		jobsTimedOut:       c.jobsTimedOut,
+		cacheHits:          c.cacheHits,
+		cacheDiskHits:      c.cacheDiskHits,
+		cacheMisses:        c.cacheMisses,
+		cacheCorrupt:       c.cacheCorrupt,
+		singleFlight:       c.singleFlight,
+		panicsRecovered:    c.panicsRecovered,
+		shardsExecuted:     c.shardsExecuted,
+		shardRetries:       c.shardRetries,
+		shardCacheHits:     c.shardCacheHits,
+		journalAppends:     c.journalAppends,
+		journalReplayed:    c.journalReplayed,
+		shardsCheckpointed: c.shardsCheckpointed,
+		shardsResumed:      c.shardsResumed,
+		shardHedges:        c.shardHedges,
+		breakerOpens:       c.breakerOpens,
+		jobDuration:        c.jobDuration.Clone(),
 	}
 	if len(c.shardsDispatched) > 0 {
 		v.shardsDispatched = make(map[string]int64, len(c.shardsDispatched))
@@ -202,9 +223,11 @@ func (c *counters) view(queued, running, subscribers int, faults map[string]int6
 }
 
 // json renders the view as the /v1/metrics payload — the original
-// expvar-style flat object, byte-compatible with every earlier release
-// (no keys added or removed; the histogram and the subscriber gauge are
-// exposed through the Prometheus format only).
+// expvar-style flat object. The key set is frozen by test: the
+// durability counters (journal_*, shards_checkpointed/resumed,
+// shard_hedges, worker_breaker_opens) were a deliberate, test-updating
+// addition; the histogram and the subscriber gauge remain
+// Prometheus-only.
 func (v metricsView) json() map[string]any {
 	m := map[string]any{
 		"uptime_seconds":            v.uptime,
@@ -227,6 +250,12 @@ func (v metricsView) json() map[string]any {
 		"sse_events_dropped":        v.sseDropped,
 		"epochs_observed":           v.epochs,
 		"epochs_per_sec":            v.epochsPerSec,
+		"journal_appends":           v.journalAppends,
+		"journal_replayed":          v.journalReplayed,
+		"shards_checkpointed":       v.shardsCheckpointed,
+		"shards_resumed":            v.shardsResumed,
+		"shard_hedges":              v.shardHedges,
+		"worker_breaker_opens":      v.breakerOpens,
 	}
 	if v.faults != nil {
 		var total int64

@@ -86,6 +86,17 @@ func (v metricsView) writePrometheus(w io.Writer) error {
 		fmt.Fprintf(&b, "%s_tenant_shed_total{tenant=%q} %d\n", promNamespace, tenant, v.shedByTenant[tenant])
 	}
 
+	// Durability & lifecycle: the write-ahead job journal, the shard
+	// checkpoint store, straggler hedging, and the per-worker circuit
+	// breaker. Always present (the crash-recovery CI smoke asserts on
+	// journal_replayed_total and shards_resumed_total directly).
+	counter("journal_appends_total", "Accepted submissions made durable in the write-ahead journal.", v.journalAppends)
+	counter("journal_replayed_total", "Journaled jobs re-enqueued at boot after a crash or restart.", v.journalReplayed)
+	counter("shards_checkpointed_total", "Completed shard results spilled to the checkpoint store.", v.shardsCheckpointed)
+	counter("shards_resumed_total", "Shards answered from the checkpoint store instead of recomputed.", v.shardsResumed)
+	counter("shard_hedges_total", "Speculative straggler redispatches (first byte-complete result wins).", v.shardHedges)
+	counter("worker_breaker_opens_total", "Per-worker circuit-breaker closed-to-open transitions.", v.breakerOpens)
+
 	// Job latency histogram: submission-to-terminal wall time, every job
 	// (cache-served ones land in the lowest buckets).
 	h := v.jobDuration

@@ -351,7 +351,11 @@ func TestPrometheusLintCatchesBadDocuments(t *testing.T) {
 
 // TestMetricsJSONKeysUnchanged freezes the JSON rendering's key set: the
 // Prometheus format is additive, the expvar-style object other tooling
-// scrapes must not gain or lose keys.
+// scrapes must not gain or lose keys. The durability counters
+// (journal_*, shards_checkpointed/resumed, shard_hedges,
+// worker_breaker_opens) were added here deliberately, with this list
+// updated in the same change — growth is allowed only when it is this
+// visible.
 func TestMetricsJSONKeysUnchanged(t *testing.T) {
 	_, ts := newTestServer(t, Options{Workers: 1})
 	m := metricsSnapshot(t, ts.URL)
@@ -360,8 +364,10 @@ func TestMetricsJSONKeysUnchanged(t *testing.T) {
 		"epochs_observed", "epochs_per_sec",
 		"jobs_cancelled", "jobs_done", "jobs_failed", "jobs_queued", "jobs_rejected",
 		"jobs_running", "jobs_started", "jobs_submitted", "jobs_timed_out",
-		"panics_recovered", "requests_shed", "single_flight_dedup",
-		"sse_events_dropped", "uptime_seconds",
+		"journal_appends", "journal_replayed",
+		"panics_recovered", "requests_shed", "shard_hedges",
+		"shards_checkpointed", "shards_resumed", "single_flight_dedup",
+		"sse_events_dropped", "uptime_seconds", "worker_breaker_opens",
 	}
 	got := make([]string, 0, len(m))
 	for k := range m {

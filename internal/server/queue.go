@@ -86,6 +86,23 @@ func (q *laneQueue) push(j *job) bool {
 	return true
 }
 
+// pushReplay enqueues a journal-replayed job on its lane, ignoring the
+// depth bound: every replayed job held a queue slot when it was first
+// accepted, and boot-time replay finishes before the listener opens, so
+// the bound's backpressure purpose doesn't apply yet. Within a lane,
+// replay submits in original sequence order, so FIFO order — and
+// therefore the strict-priority drain order — survives the restart.
+func (q *laneQueue) pushReplay(j *job) {
+	q.mu.Lock()
+	q.lanes[j.lane] = append(q.lanes[j.lane], j)
+	q.n++
+	q.mu.Unlock()
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+}
+
 // pop removes the highest-priority oldest job, blocking until one
 // arrives or ctx is done (then nil).
 func (q *laneQueue) pop(ctx context.Context) *job {

@@ -33,12 +33,14 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"path/filepath"
 	"regexp"
 	"strconv"
 	"strings"
@@ -90,6 +92,23 @@ type Options struct {
 	// (cmd/htserved builds it from the HTSERVED_FAULTS environment
 	// variable). Nil disables injection — every fault point passes clean.
 	Faults *faultinject.Set
+	// JournalDir, when non-empty, enables the write-ahead job journal:
+	// accepted submissions are fsync'd there before their 202, and on
+	// boot every accept that never reached a terminal state is replayed
+	// in original lane order — a kill -9 restart finishes the backlog
+	// instead of losing it (DESIGN.md §12).
+	JournalDir string
+	// CheckpointDir, when non-empty on a coordinator, spills completed
+	// shard results to disk (sha256-verified, quarantine on corruption)
+	// so a resumed campaign recomputes only shards that never finished.
+	// Defaults to <JournalDir>/shard-checkpoints when journaling is on.
+	CheckpointDir string
+	// HedgeDelay tunes straggler hedging on a coordinator: after this
+	// long without an answer, a shard is speculatively redispatched to a
+	// second worker and the first byte-complete result wins. 0 derives
+	// the delay adaptively from the observed dispatch p99; negative
+	// disables hedging.
+	HedgeDelay time.Duration
 
 	// Coordinator enables coordinator mode: campaign jobs are sharded
 	// across the worker pool through internal/dist instead of running in
@@ -131,6 +150,9 @@ func (o Options) withDefaults() Options {
 	if len(o.WorkerURLs) > 0 {
 		o.Coordinator = true
 	}
+	if o.Coordinator && o.CheckpointDir == "" && o.JournalDir != "" {
+		o.CheckpointDir = filepath.Join(o.JournalDir, "shard-checkpoints")
+	}
 	return o
 }
 
@@ -148,8 +170,12 @@ type Server struct {
 	mux   *http.ServeMux
 }
 
-// New builds a Server (creating the cache directory when configured) and
-// starts its job dispatcher.
+// New builds a Server (creating the cache and journal directories when
+// configured), replays any journaled backlog, and starts the job
+// dispatcher. Replay is synchronous: by the time New returns, every
+// non-terminal journaled job is back in its original lane and the
+// compacted journal has atomically replaced the old one — a crash
+// mid-replay leaves the previous journal intact to replay again.
 func New(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
 	if opts.CacheDir != "" {
@@ -165,20 +191,61 @@ func New(opts Options) (*Server, error) {
 		faults:  opts.Faults,
 	}
 	if opts.Coordinator {
-		s.coord = dist.New(dist.Options{
-			Workers:      opts.WorkerURLs,
-			MaxShards:    opts.MaxShards,
-			Retries:      opts.ShardRetries,
-			ShardTimeout: opts.ShardTimeout,
-			Faults:       opts.Faults,
+		coord, err := dist.New(dist.Options{
+			Workers:       opts.WorkerURLs,
+			MaxShards:     opts.MaxShards,
+			Retries:       opts.ShardRetries,
+			ShardTimeout:  opts.ShardTimeout,
+			CheckpointDir: opts.CheckpointDir,
+			HedgeDelay:    opts.HedgeDelay,
+			Faults:        opts.Faults,
 			Observe: dist.Observe{
-				Dispatched: metrics.shardDispatched,
-				Retried:    func() { metrics.inc(&metrics.shardRetries) },
-				CacheHit:   func() { metrics.inc(&metrics.shardCacheHits) },
+				Dispatched:    metrics.shardDispatched,
+				Retried:       func() { metrics.inc(&metrics.shardRetries) },
+				CacheHit:      func() { metrics.inc(&metrics.shardCacheHits) },
+				Checkpointed:  func() { metrics.inc(&metrics.shardsCheckpointed) },
+				Resumed:       func() { metrics.inc(&metrics.shardsResumed) },
+				Hedged:        func() { metrics.inc(&metrics.shardHedges) },
+				BreakerOpened: func() { metrics.inc(&metrics.breakerOpens) },
 			},
 		})
+		if err != nil {
+			return nil, fmt.Errorf("server: coordinator: %w", err)
+		}
+		s.coord = coord
 	}
-	s.jobs = newManager(opts, s.cache, s.metrics, opts.Faults, s.coord)
+	var jn *journal
+	var pending []journalRecord
+	var logPath, newPath string
+	if opts.JournalDir != "" {
+		if err := os.MkdirAll(opts.JournalDir, 0o755); err != nil {
+			return nil, fmt.Errorf("server: journal dir: %w", err)
+		}
+		logPath = filepath.Join(opts.JournalDir, journalFile)
+		newPath = logPath + ".new"
+		recs, err := readJournal(logPath)
+		if err != nil {
+			return nil, fmt.Errorf("server: journal: %w", err)
+		}
+		pending = pendingRecords(recs)
+		if jn, err = openJournal(newPath, opts.Faults, func() { metrics.inc(&metrics.journalAppends) }); err != nil {
+			return nil, fmt.Errorf("server: journal: %w", err)
+		}
+	}
+	s.jobs = newManager(opts, s.cache, s.metrics, opts.Faults, s.coord, jn)
+	if err := s.replayJournal(pending); err != nil {
+		s.jobs.shutdown()
+		return nil, err
+	}
+	if jn != nil {
+		// The swap commits the compaction: replayed accepts are already
+		// re-journaled in the new file (whose fd stays valid across the
+		// rename), and completed or rejected history is gone.
+		if err := os.Rename(newPath, logPath); err != nil {
+			s.jobs.shutdown()
+			return nil, fmt.Errorf("server: journal swap: %w", err)
+		}
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/campaigns", s.handleSubmitCampaign)
 	s.mux.HandleFunc("POST /v1/sims", s.handleSubmitSim)
@@ -195,7 +262,74 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("POST "+dist.ShardPath, s.handleRunShard)
 	s.mux.HandleFunc("POST /v1/workers", s.handleRegisterWorker)
 	s.mux.HandleFunc("GET /v1/workers", s.handleListWorkers)
+	s.mux.HandleFunc("DELETE /v1/workers/{id}", s.handleDeregisterWorker)
 	return s, nil
+}
+
+// replayJournal resubmits the journal's pending accepts in their
+// original sequence order, before the listener opens. Replayed jobs
+// bypass the admission guards (queue depth, tenant quota) — each held a
+// slot when first accepted — and are re-journaled into the new live
+// journal by the normal accept path. The journal.replay fault point
+// models a poisoned record: an injected error fails boot, matching the
+// contract that New never half-replays silently.
+func (s *Server) replayJournal(pending []journalRecord) error {
+	for _, rec := range pending {
+		if err := s.faults.Fire(context.Background(), "journal.replay"); err != nil {
+			return fmt.Errorf("server: journal replay: %w", err)
+		}
+		j, err := replayJob(rec)
+		if err != nil {
+			// The record fsync'd whole but no longer builds a job (schema
+			// drift across a version boundary); skipping it is the crash
+			// semantics the journal already promises for torn records.
+			continue
+		}
+		if err := s.jobs.submit(j); err != nil {
+			return fmt.Errorf("server: journal replay: %w", err)
+		}
+		s.metrics.inc(&s.metrics.journalReplayed)
+	}
+	return nil
+}
+
+// replayJob rebuilds a submittable job from an accept record, through
+// the same parsers the original POST handler used. The cache key is
+// recomputed from the body rather than trusted from the record, so a
+// replay under a different binary revision correctly misses the cache
+// and re-simulates.
+func replayJob(rec journalRecord) (*job, error) {
+	lane, err := parseLane(rec.Lane)
+	if err != nil {
+		lane = laneNormal
+	}
+	j := &job{
+		kind:   rec.Kind,
+		name:   rec.Name,
+		lane:   lane,
+		tenant: rec.Tenant,
+		body:   []byte(rec.Body),
+		replay: true,
+	}
+	switch rec.Kind {
+	case "campaign":
+		spec, err := campaign.ParseSpec(j.body)
+		if err != nil {
+			return nil, err
+		}
+		j.spec = spec
+		j.cacheKey = cacheKeyFor("campaign", spec)
+	case "sim":
+		req, err := parseSimRequest(j.body)
+		if err != nil {
+			return nil, err
+		}
+		j.sim = req
+		j.cacheKey = cacheKeyFor("sim", req.cachePayload())
+	default:
+		return nil, fmt.Errorf("unknown journaled job kind %q", rec.Kind)
+	}
+	return j, nil
 }
 
 // Handler returns the service's HTTP handler, wrapped in the
@@ -287,6 +421,7 @@ func (s *Server) handleSubmitCampaign(w http.ResponseWriter, r *http.Request) {
 		kind:     "campaign",
 		name:     spec.Name,
 		spec:     spec,
+		body:     body,
 		cacheKey: cacheKeyFor("campaign", spec),
 	})
 }
@@ -307,6 +442,7 @@ func (s *Server) handleSubmitSim(w http.ResponseWriter, r *http.Request) {
 		kind:     "sim",
 		name:     fmt.Sprintf("sim %s x%d", req.Mix, req.Threads),
 		sim:      req,
+		body:     body,
 		cacheKey: cacheKeyFor("sim", req.cachePayload()),
 	})
 }

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 
 	"repro/internal/campaign"
@@ -59,6 +60,9 @@ func (s *Server) handleRunShard(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.jobs.gate.Acquire(r.Context()); err != nil {
+		// Same contract as the degraded /v1/healthz 503: tell the caller
+		// when to come back instead of leaving it to guess.
+		w.Header().Set("Retry-After", strconv.Itoa(s.jobs.retryAfterSeconds()))
 		writeError(w, http.StatusServiceUnavailable, errors.New("worker shutting down"))
 		return
 	}
@@ -72,11 +76,21 @@ func (s *Server) handleRunShard(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, res)
 }
 
-// handleRegisterWorker joins a worker to the coordinator's pool
-// (idempotent). Body: {"url": "http://host:port"}.
+// handleRegisterWorker joins a worker to the coordinator's pool. Body:
+// {"url": "http://host:port"}. Registration doubles as the heartbeat —
+// workers re-POST on a cadence, and the call is idempotent — so the
+// response carries the worker's stable pool id, which the graceful-
+// drain DELETE names. The worker.heartbeat fault point models a
+// coordinator that accepts connections but cannot update its pool
+// (an injected error answers 500, exercising the worker's registration
+// backoff).
 func (s *Server) handleRegisterWorker(w http.ResponseWriter, r *http.Request) {
 	if s.coord == nil {
 		writeError(w, http.StatusNotFound, errors.New("not a coordinator"))
+		return
+	}
+	if err := s.faults.Fire(r.Context(), "worker.heartbeat"); err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("heartbeat failed: %w", err))
 		return
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
@@ -95,8 +109,25 @@ func (s *Server) handleRegisterWorker(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("worker url %q must be absolute (http:// or https://)", req.URL))
 		return
 	}
-	added := s.coord.AddWorker(req.URL)
-	writeJSON(w, http.StatusOK, map[string]any{"added": added, "workers": s.coord.WorkerURLs()})
+	id, added := s.coord.Register(req.URL)
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "added": added, "workers": s.coord.WorkerURLs()})
+}
+
+// handleDeregisterWorker removes a worker from the pool by the id its
+// registration returned — the graceful-drain path: a SIGTERMed worker
+// finishes its in-flight shards, then deregisters so the coordinator
+// stops placing new ones on it. A repeated DELETE of an already-gone
+// id answers 404, which drain loops treat as success.
+func (s *Server) handleDeregisterWorker(w http.ResponseWriter, r *http.Request) {
+	if s.coord == nil {
+		writeError(w, http.StatusNotFound, errors.New("not a coordinator"))
+		return
+	}
+	if !s.coord.Remove(r.PathValue("id")) {
+		writeError(w, http.StatusNotFound, errors.New("unknown worker id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"removed": true, "workers": s.coord.WorkerURLs()})
 }
 
 // handleListWorkers reports the pool with a live reachability sweep —
