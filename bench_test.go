@@ -8,6 +8,7 @@
 package repro_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/attack"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/trojan"
 	"repro/internal/workload"
 )
@@ -259,7 +261,33 @@ func runCampaignQ(b *testing.B, cfg core.Config, strategy trojan.Strategy) float
 // the simulation service pays per uncached campaign job, recorded in
 // BENCH_NOTES.md as the server-era baseline.
 func BenchmarkCampaignPaper(b *testing.B) {
-	spec := &campaign.Spec{
+	spec := benchPaperSpec()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := campaign.Run(spec, b.TempDir(), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCampaignPaperTraced is BenchmarkCampaignPaper with a live
+// span tree rooted over the run — the tracing-overhead guard recorded
+// in BENCH_NOTES.md (acceptance: within 5% of the untraced run). Spans
+// are job-lifecycle-granular, so the delta should be noise.
+func BenchmarkCampaignPaperTraced(b *testing.B) {
+	spec := benchPaperSpec()
+	for i := 0; i < b.N; i++ {
+		ctx, root := obs.StartTrace(context.Background(), "bench")
+		if _, _, err := campaign.RunCtx(ctx, spec, b.TempDir(), 0, campaign.Progress{}); err != nil {
+			b.Fatal(err)
+		}
+		root.End()
+	}
+}
+
+// benchPaperSpec is the scaled-down specs/paper.json both campaign
+// benchmarks share.
+func benchPaperSpec() *campaign.Spec {
+	return &campaign.Spec{
 		Name: "bench-paper",
 		Seed: 1,
 		Experiments: []campaign.ExperimentSpec{
@@ -276,11 +304,6 @@ func BenchmarkCampaignPaper(b *testing.B) {
 			{ID: "X1", Params: campaign.Params{Size: 64, Threads: 15, Epochs: 5}},
 			{ID: "X2", Params: campaign.Params{Size: 64, Threads: 15, Epochs: 8}},
 		},
-	}
-	for i := 0; i < b.N; i++ {
-		if _, _, err := campaign.Run(spec, b.TempDir(), 0); err != nil {
-			b.Fatal(err)
-		}
 	}
 }
 

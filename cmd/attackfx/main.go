@@ -31,6 +31,7 @@ import (
 	"syscall"
 
 	"repro/internal/campaign"
+	"repro/internal/obs"
 	"repro/internal/results"
 	"repro/internal/workload"
 	"repro/pkg/htsim"
@@ -40,7 +41,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := run(ctx, os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "attackfx:", err)
+		obs.Stderr().Error("attackfx: fatal", "error", err)
 		os.Exit(1)
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"syscall"
 
 	"repro/internal/campaign"
+	"repro/internal/obs"
 	"repro/internal/results"
 	"repro/pkg/htsim"
 )
@@ -32,7 +33,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "htcampaign:", err)
+		obs.Stderr().Error("htcampaign: fatal", "error", err)
 		os.Exit(1)
 	}
 }

@@ -31,11 +31,12 @@ import (
 	"time"
 
 	"repro/internal/loadgen"
+	"repro/internal/obs"
 )
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "htload:", err)
+		obs.Stderr().Error("htload: fatal", "error", err)
 		os.Exit(1)
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"syscall"
 
 	"repro/internal/campaign"
+	"repro/internal/obs"
 	"repro/internal/results"
 	"repro/pkg/htsim"
 )
@@ -30,7 +31,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := run(ctx, os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "htplace:", err)
+		obs.Stderr().Error("htplace: fatal", "error", err)
 		os.Exit(1)
 	}
 }

@@ -59,6 +59,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net"
 	"net/http"
@@ -70,6 +71,7 @@ import (
 
 	"repro/internal/exp"
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -77,7 +79,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "htserved:", err)
+		obs.Stderr().Error("htserved: fatal", "error", err)
 		os.Exit(1)
 	}
 }
@@ -113,6 +115,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		journalDir    = fs.String("journal-dir", "", "directory for the write-ahead job journal: accepted jobs survive crashes and replay on boot (empty = no journal)")
 		checkpointDir = fs.String("checkpoint-dir", "", "directory for coordinator shard checkpoints (default <journal-dir>/shard-checkpoints when journaling)")
 		hedgeDelay    = fs.Duration("hedge-delay", 0, "straggler hedge delay before redispatching a slow shard to a second worker (0 = adaptive p99, negative = off)")
+
+		// Observability (DESIGN.md §13).
+		logFormat = fs.String("log-format", "text", "structured log format: text or json")
+		logLevel  = fs.String("log-level", "info", "log level: debug, info, warn, or error")
+		noTrace   = fs.Bool("no-trace", false, "disable per-job trace trees (GET /v1/jobs/{id}/trace answers 404)")
+		pprofFlag = fs.Bool("pprof", false, "mount Go profiling handlers under /debug/pprof")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -121,6 +129,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return errors.New("-worker requires -coordinator=URL")
 	}
 	faults, err := faultinject.FromEnv(os.Getenv)
+	if err != nil {
+		return err
+	}
+	logger, err := obs.NewLogger(out, *logFormat, *logLevel)
 	if err != nil {
 		return err
 	}
@@ -142,6 +154,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		JournalDir:      *journalDir,
 		CheckpointDir:   *checkpointDir,
 		HedgeDelay:      *hedgeDelay,
+		Logger:          logger,
+		DisableTracing:  *noTrace,
+		EnablePprof:     *pprofFlag,
 	})
 	if err != nil {
 		return err
@@ -166,7 +181,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		workerDone = make(chan struct{})
 		go func() {
 			defer close(workerDone)
-			workerLifecycle(ctx, out, *coordinator, selfURL, *heartbeat)
+			workerLifecycle(ctx, logger, *coordinator, selfURL, *heartbeat)
 		}()
 	}
 	srv := &http.Server{
@@ -178,8 +193,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
-	fmt.Fprintf(out, "htserved: listening on %s (jobs %d, queue %d, cache %d entries)\n",
-		ln.Addr(), *jobs, *queue, *entries)
+	logger.Info("listening", "addr", ln.Addr().String(),
+		"jobs", *jobs, "queue", *queue, "cache_entries", *entries)
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
@@ -188,7 +203,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return err
 	case <-ctx.Done():
 	}
-	fmt.Fprintln(out, "htserved: shutting down")
+	logger.Info("shutting down")
 	if workerDone != nil {
 		// Deregister before draining: the coordinator must stop placing
 		// new shards here while the in-flight ones finish. The lifecycle
@@ -266,7 +281,7 @@ func registerBackoff(attempt int, rng *rand.Rand) time.Duration {
 // retrying and deregister so the coordinator stops placing new shards
 // here. Failures are logged but never fatal: the worker still serves
 // shards if the operator registers it by hand.
-func workerLifecycle(ctx context.Context, out io.Writer, coordinator, selfURL string, heartbeat time.Duration) {
+func workerLifecycle(ctx context.Context, logger *slog.Logger, coordinator, selfURL string, heartbeat time.Duration) {
 	if heartbeat <= 0 {
 		heartbeat = 5 * time.Second
 	}
@@ -281,7 +296,7 @@ func workerLifecycle(ctx context.Context, out io.Writer, coordinator, selfURL st
 			// Drain began: no more retries, and if the pool ever knew us,
 			// leave it cleanly.
 			if registered {
-				deregister(out, client, coordinator, id)
+				deregister(logger, client, coordinator, id)
 			}
 			return
 		}
@@ -289,13 +304,14 @@ func workerLifecycle(ctx context.Context, out io.Writer, coordinator, selfURL st
 		if err == nil {
 			id = newID
 			if !registered {
-				fmt.Fprintf(out, "htserved: registered with coordinator %s as %s (worker id %s)\n", coordinator, selfURL, id)
+				logger.Info("registered with coordinator",
+					"coordinator", coordinator, "worker", selfURL, "worker_id", id)
 			}
 			registered = true
 			attempt = 0
 		} else {
 			if attempt == 0 {
-				fmt.Fprintf(out, "htserved: worker registration pending (%v), backing off\n", err)
+				logger.Warn("worker registration pending, backing off", "coordinator", coordinator, "error", err)
 			}
 			wait = registerBackoff(attempt, rng)
 			attempt++
@@ -303,7 +319,7 @@ func workerLifecycle(ctx context.Context, out io.Writer, coordinator, selfURL st
 		select {
 		case <-ctx.Done():
 			if registered {
-				deregister(out, client, coordinator, id)
+				deregister(logger, client, coordinator, id)
 			}
 			return
 		case <-time.After(wait):
@@ -346,7 +362,7 @@ func registerOnce(ctx context.Context, client *http.Client, coordinator, selfURL
 // time. The drain context is already cancelled, so the DELETE runs
 // under its own short deadline; a 404 means the pool already forgot us,
 // which is the outcome we wanted.
-func deregister(out io.Writer, client *http.Client, coordinator, id string) {
+func deregister(logger *slog.Logger, client *http.Client, coordinator, id string) {
 	if id == "" {
 		return
 	}
@@ -359,10 +375,10 @@ func deregister(out io.Writer, client *http.Client, coordinator, id string) {
 	}
 	resp, err := client.Do(req)
 	if err != nil {
-		fmt.Fprintf(out, "htserved: worker deregistration failed: %v\n", err)
+		logger.Warn("worker deregistration failed", "coordinator", coordinator, "worker_id", id, "error", err)
 		return
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	fmt.Fprintf(out, "htserved: deregistered from coordinator %s\n", coordinator)
+	logger.Info("deregistered from coordinator", "coordinator", coordinator, "worker_id", id)
 }

@@ -44,13 +44,18 @@ func TestServeAndShutdown(t *testing.T) {
 			"-job-timeout", "5m", "-shutdown-timeout", "5s"}, &buf)
 	}()
 
-	// The listen address is printed once the listener is up.
+	// The listen address arrives as the addr attr of the structured
+	// "listening" log line once the listener is up.
 	var base string
 	deadline := time.Now().Add(10 * time.Second)
 	for time.Now().Before(deadline) && base == "" {
-		if line := buf.String(); strings.Contains(line, "listening on ") {
-			rest := line[strings.Index(line, "listening on ")+len("listening on "):]
-			base = "http://" + strings.Fields(rest)[0]
+		if out := buf.String(); strings.Contains(out, "msg=listening") {
+			for _, f := range strings.Fields(out) {
+				if a, ok := strings.CutPrefix(f, "addr="); ok {
+					base = "http://" + a
+					break
+				}
+			}
 		}
 		time.Sleep(10 * time.Millisecond)
 	}

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/results"
 	"repro/pkg/htsim"
 )
@@ -34,7 +35,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := run(ctx, os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "htsim:", err)
+		obs.Stderr().Error("htsim: fatal", "error", err)
 		os.Exit(1)
 	}
 }

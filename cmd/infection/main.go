@@ -23,6 +23,7 @@ import (
 	"syscall"
 
 	"repro/internal/campaign"
+	"repro/internal/obs"
 	"repro/internal/results"
 )
 
@@ -33,7 +34,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := run(ctx, os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "infection:", err)
+		obs.Stderr().Error("infection: fatal", "error", err)
 		os.Exit(1)
 	}
 }

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/obs"
 	"repro/internal/results"
 	"repro/pkg/htsim"
 )
@@ -386,14 +387,20 @@ func BuildTables(ctx context.Context, spec *Spec, workers int, prog Progress) ([
 		if prog.ExperimentStarted != nil {
 			prog.ExperimentStarted(e.ID)
 		}
+		// One span per experiment; a context without a trace makes this
+		// (and every span call below it) a free no-op.
+		ectx, span := obs.StartSpan(ctx, "experiment")
+		span.SetAttr("experiment", e.ID)
 		t, err := ent.run(runCtx{
-			ctx:     ctx,
+			ctx:     ectx,
 			p:       p,
 			seed:    spec.seedFor(p),
 			workers: workers,
 			obs:     prog.observerFor(e.ID),
 			effects: effects,
 		})
+		span.RecordError(err)
+		span.End()
 		if prog.ExperimentDone != nil {
 			prog.ExperimentDone(e.ID, t, err)
 		}

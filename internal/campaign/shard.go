@@ -232,10 +232,20 @@ func shardRunCtx(ctx context.Context, sh Shard, workers int) (runCtx, error) {
 // JSON. Worker-count changes never change payloads, exactly as for local
 // runs.
 func RunShard(ctx context.Context, sh Shard, workers int) (*ShardResult, error) {
+	return RunShardObserved(ctx, sh, workers, nil)
+}
+
+// RunShardObserved is RunShard with a per-epoch observer threaded into
+// the shard's execution context — the worker half of distributed live
+// progress. Only atomic shards simulate epochs (trial shards are
+// analytic and observe nothing); the observer never influences the
+// result payload, so observed and unobserved runs stay byte-identical.
+func RunShardObserved(ctx context.Context, sh Shard, workers int, o core.Observer) (*ShardResult, error) {
 	rc, err := shardRunCtx(ctx, sh, workers)
 	if err != nil {
 		return nil, err
 	}
+	rc.obs = o
 	if sh.atomic() {
 		ent := registry[sh.Experiment.ID]
 		t, err := ent.run(rc)

@@ -55,32 +55,67 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/faultinject"
 	"repro/internal/histo"
+	"repro/internal/obs"
 	"repro/internal/results"
 )
 
 // ShardPath is the worker endpoint shards are POSTed to.
 const ShardPath = "/v1/shards"
 
+// NDJSONContentType marks a streamed shard response: newline-delimited
+// StreamFrame objects instead of one ShardResult document.
+const NDJSONContentType = "application/x-ndjson"
+
 // ShardRequest is the wire form of one shard dispatch. Revision and Go
 // fingerprint the coordinator's build; a worker on a different build
 // must reject the shard rather than contribute bytes from a divergent
-// simulator.
+// simulator. Traceparent, when set, names the coordinator's dispatch
+// span so the worker's spans stitch into the same trace; Stream asks
+// for the NDJSON response (epoch frames live, then the result) instead
+// of the legacy single-document reply.
 type ShardRequest struct {
-	Revision string         `json:"revision"`
-	Go       string         `json:"go"`
-	Shard    campaign.Shard `json:"shard"`
+	Revision    string         `json:"revision"`
+	Go          string         `json:"go"`
+	Shard       campaign.Shard `json:"shard"`
+	Traceparent string         `json:"traceparent,omitempty"`
+	Stream      bool           `json:"stream,omitempty"`
+}
+
+// EpochFrame is one per-epoch Observer sample a worker relays back
+// mid-shard: the shard-local sequence number (1-based, deterministic
+// per shard content), the experiment that produced it, and the sample.
+type EpochFrame struct {
+	Seq        int64            `json:"seq"`
+	Experiment string           `json:"experiment"`
+	Sample     core.EpochSample `json:"sample"`
+}
+
+// StreamFrame is one NDJSON line of a streamed shard response. Epoch
+// frames arrive while the shard runs; exactly one terminal frame
+// follows — Result (with the worker's exported span subtree in Trace)
+// on success, Error on failure. The trace rides beside the result, not
+// inside it: ShardResult stays byte-pure because the hedge audit and
+// the checkpoint store compare and hash its serialized form.
+type StreamFrame struct {
+	Epoch  *EpochFrame           `json:"epoch,omitempty"`
+	Result *campaign.ShardResult `json:"result,omitempty"`
+	Trace  *obs.Node             `json:"trace,omitempty"`
+	Error  string                `json:"error,omitempty"`
 }
 
 // Observe carries the coordinator's metric hooks; any field may be nil.
@@ -105,6 +140,9 @@ type Observe struct {
 	// BreakerOpened fires on each worker circuit-breaker closed→open
 	// transition (including a failed half-open probe reopening it).
 	BreakerOpened func()
+	// ShardRTT observes each successful dispatch's round-trip time —
+	// the coordinator-side shard_rtt_seconds histogram.
+	ShardRTT func(d time.Duration)
 }
 
 // Options configure a Coordinator.
@@ -157,6 +195,10 @@ type Options struct {
 	Faults *faultinject.Set
 	// Observe receives metric callbacks.
 	Observe Observe
+	// Logger receives structured dispatch-lifecycle events (retries,
+	// hedges, breaker opens, audit mismatches) with shard/worker attrs;
+	// nil discards them.
+	Logger *slog.Logger
 }
 
 // withDefaults fills unset options.
@@ -193,6 +235,9 @@ func (o Options) withDefaults() Options {
 		o.PoolWait = time.Minute
 	} else if o.PoolWait < 0 {
 		o.PoolWait = 0
+	}
+	if o.Logger == nil {
+		o.Logger = obs.Discard()
 	}
 	return o
 }
@@ -437,6 +482,7 @@ func (c *Coordinator) recordFailure(w *workerState) {
 		return
 	}
 	var opened bool
+	var openFor time.Duration
 	c.mu.Lock()
 	w.fails++
 	if w.fails >= c.opts.BreakerFailures || !w.openUntil.IsZero() {
@@ -448,10 +494,14 @@ func (c *Coordinator) recordFailure(w *workerState) {
 		}
 		w.fails = 0
 		opened = true
+		openFor = wait
 	}
 	c.mu.Unlock()
-	if opened && c.opts.Observe.BreakerOpened != nil {
-		c.opts.Observe.BreakerOpened()
+	if opened {
+		if c.opts.Observe.BreakerOpened != nil {
+			c.opts.Observe.BreakerOpened()
+		}
+		c.opts.Logger.Warn("worker circuit breaker opened", "worker", w.url, "open_for", openFor)
 	}
 }
 
@@ -507,13 +557,16 @@ func (c *Coordinator) hedgeDelay() time.Duration {
 // failed shards, and merges the results into the exact tables
 // campaign.BuildTables produces locally. prog receives the same
 // experiment-lifecycle callbacks a local run reports (started on first
-// shard dispatch, done after the merge); distributed runs stream no
-// per-epoch samples — shards execute on remote workers.
+// shard dispatch, done after the merge) and — when prog.Epoch is set —
+// the same live per-epoch samples: workers stream them back over the
+// shard response and a per-campaign sink republishes each sequence
+// number exactly once, however many retries or hedge twins replay it.
 func (c *Coordinator) RunCampaign(ctx context.Context, spec *campaign.Spec, prog campaign.Progress) ([]results.Table, error) {
 	shards, err := campaign.PlanShards(spec, c.opts.MaxShards)
 	if err != nil {
 		return nil, err
 	}
+	sink := newProgressSink(prog)
 	var startedMu sync.Mutex
 	started := make(map[int]bool)
 	markStarted := func(sh campaign.Shard) {
@@ -537,7 +590,7 @@ func (c *Coordinator) RunCampaign(ctx context.Context, spec *campaign.Spec, prog
 	}
 	shardResults, err := exp.RunCtx(ctx, conc, len(shards), func(ctx context.Context, i int) (campaign.ShardResult, error) {
 		markStarted(shards[i])
-		r, err := c.runShard(ctx, shards[i], i)
+		r, err := c.runShard(ctx, shards[i], i, sink)
 		if err != nil {
 			return campaign.ShardResult{}, err
 		}
@@ -547,14 +600,56 @@ func (c *Coordinator) RunCampaign(ctx context.Context, spec *campaign.Spec, prog
 		c.reportDone(prog, spec, nil, err)
 		return nil, err
 	}
-	if ferr := c.opts.Faults.Fire(ctx, "dist.merge"); ferr != nil {
+	mctx, mspan := obs.StartSpan(ctx, "dist.merge")
+	if ferr := c.opts.Faults.Fire(mctx, "dist.merge"); ferr != nil {
 		err := fmt.Errorf("dist: merge: %w", ferr)
+		mspan.RecordError(err)
+		mspan.End()
 		c.reportDone(prog, spec, nil, err)
 		return nil, err
 	}
-	tables, err := campaign.MergeShards(ctx, spec, shardResults)
+	tables, err := campaign.MergeShards(mctx, spec, shardResults)
+	mspan.RecordError(err)
+	mspan.End()
 	c.reportDone(prog, spec, tables, err)
 	return tables, err
+}
+
+// progressSink relabels and dedups worker epoch frames for one
+// campaign: per shard plan position it forwards each sequence number at
+// most once, so a retried or hedged shard — whose rerun deterministically
+// regenerates the same samples — never duplicates an SSE event. Frames
+// beyond the furthest forwarded sequence keep flowing, so a retry that
+// gets further than the failed attempt resumes the live feed seamlessly.
+type progressSink struct {
+	epoch func(experiment string, s core.EpochSample)
+	mu    sync.Mutex
+	max   map[int]int64
+}
+
+// newProgressSink builds the sink, or nil when the campaign has no
+// epoch callback (nil sinks drop frames and suppress stream requests).
+func newProgressSink(prog campaign.Progress) *progressSink {
+	if prog.Epoch == nil {
+		return nil
+	}
+	return &progressSink{epoch: prog.Epoch, max: make(map[int]int64)}
+}
+
+// forward republishes one worker epoch frame unless an earlier attempt
+// already delivered that sequence number for this shard.
+func (ps *progressSink) forward(planIndex int, f EpochFrame) {
+	if ps == nil {
+		return
+	}
+	ps.mu.Lock()
+	if f.Seq <= ps.max[planIndex] {
+		ps.mu.Unlock()
+		return
+	}
+	ps.max[planIndex] = f.Seq
+	ps.mu.Unlock()
+	ps.epoch(f.Experiment, f.Sample)
 }
 
 // reportDone fires ExperimentDone per spec entry with the merged table
@@ -579,12 +674,16 @@ func (c *Coordinator) reportDone(prog campaign.Progress, spec *campaign.Spec, ta
 // shard's plan index), so placement is deterministic for a given plan
 // and healthy pool — and never perturbs trial streams, which key off
 // the campaign seed alone.
-func (c *Coordinator) runShard(ctx context.Context, sh campaign.Shard, planIndex int) (*campaign.ShardResult, error) {
+func (c *Coordinator) runShard(ctx context.Context, sh campaign.Shard, planIndex int, sink *progressSink) (*campaign.ShardResult, error) {
+	ctx, span := obs.StartSpan(ctx, "shard")
+	span.SetAttr("shard", sh.String())
+	defer span.End()
 	key := shardKey(sh)
 	if r, ok := c.cache.get(key); ok {
 		if c.opts.Observe.CacheHit != nil {
 			c.opts.Observe.CacheHit()
 		}
+		span.SetAttr("source", "cache")
 		// The cached payload is content-addressed; the shard identity
 		// (notably ExpIndex) must be this campaign's, not the one that
 		// populated the cache.
@@ -597,23 +696,28 @@ func (c *Coordinator) runShard(ctx context.Context, sh campaign.Shard, planIndex
 		if c.opts.Observe.Resumed != nil {
 			c.opts.Observe.Resumed()
 		}
+		span.SetAttr("source", "checkpoint")
 		c.cache.put(key, r)
 		r.Shard = sh
 		return &r, nil
 	}
 	if err := c.awaitWorkers(ctx); err != nil {
+		span.RecordError(err)
 		return nil, err
 	}
 	var lastErr error
 	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
-		if attempt > 0 && c.opts.Observe.Retried != nil {
-			c.opts.Observe.Retried()
+		if attempt > 0 {
+			if c.opts.Observe.Retried != nil {
+				c.opts.Observe.Retried()
+			}
+			c.opts.Logger.Info("redispatching shard", "shard", sh.String(), "attempt", attempt, "error", lastErr)
 		}
 		primary, secondary := c.placeShard(sh, planIndex, attempt)
 		if primary == nil {
 			return nil, errors.New("dist: no workers registered")
 		}
-		r, err := c.dispatchHedged(ctx, primary, secondary, sh)
+		r, err := c.dispatchHedged(ctx, primary, secondary, sh, planIndex, attempt, sink)
 		if err == nil {
 			c.cache.put(key, *r)
 			if c.ckpt != nil && c.ckpt.put(key, r) == nil && c.opts.Observe.Checkpointed != nil {
@@ -626,7 +730,9 @@ func (c *Coordinator) runShard(ctx context.Context, sh campaign.Shard, planIndex
 			return nil, ctx.Err()
 		}
 	}
-	return nil, fmt.Errorf("dist: shard %s failed after %d attempts: %w", sh, c.opts.Retries+1, lastErr)
+	err := fmt.Errorf("dist: shard %s failed after %d attempts: %w", sh, c.opts.Retries+1, lastErr)
+	span.RecordError(err)
+	return nil, err
 }
 
 // placeShard picks one attempt's primary worker — and a distinct
@@ -653,17 +759,36 @@ type dispatchOutcome struct {
 
 // dispatchTo runs one dispatch against one worker and feeds the outcome
 // into its breaker. A cancelled context is the campaign's doing, not
-// the worker's, and counts against no one.
-func (c *Coordinator) dispatchTo(ctx context.Context, w *workerState, sh campaign.Shard) (*campaign.ShardResult, error) {
+// the worker's, and counts against no one. Each attempt gets its own
+// shard.dispatch span — a retried shard's trace shows every failed
+// attempt beside the one that succeeded, fault annotations included.
+func (c *Coordinator) dispatchTo(ctx context.Context, w *workerState, sh campaign.Shard, planIndex, attempt int, hedged bool, sink *progressSink) (*campaign.ShardResult, error) {
+	_, span := obs.StartSpan(ctx, "shard.dispatch")
+	span.SetAttr("worker", w.url)
+	span.SetAttr("attempt", strconv.Itoa(attempt))
+	if hedged {
+		span.SetAttr("hedged", "true")
+	}
+	defer span.End()
 	t0 := time.Now()
-	r, err := c.dispatch(ctx, w.url, sh)
+	r, err := c.dispatch(ctx, w.url, sh, planIndex, sink, span)
 	if err != nil {
+		span.RecordError(err)
+		var fe *faultinject.Error
+		if errors.As(err, &fe) {
+			span.SetAttr("fault_point", fe.Point)
+		}
 		if ctx.Err() == nil {
 			c.recordFailure(w)
+			c.opts.Logger.Warn("shard dispatch failed", "shard", sh.String(), "worker", w.url, "attempt", attempt, "error", err)
 		}
 		return nil, fmt.Errorf("worker %s: %w", w.url, err)
 	}
-	c.recordSuccess(w, time.Since(t0))
+	d := time.Since(t0)
+	c.recordSuccess(w, d)
+	if c.opts.Observe.ShardRTT != nil {
+		c.opts.Observe.ShardRTT(d)
+	}
 	return r, nil
 }
 
@@ -675,17 +800,17 @@ func (c *Coordinator) dispatchTo(ctx context.Context, w *workerState, sh campaig
 // execution is deterministic per build and the two must be
 // byte-identical; any divergence bumps HedgeMismatches rather than
 // silently merging whichever bytes arrived first.
-func (c *Coordinator) dispatchHedged(ctx context.Context, primary, secondary *workerState, sh campaign.Shard) (*campaign.ShardResult, error) {
+func (c *Coordinator) dispatchHedged(ctx context.Context, primary, secondary *workerState, sh campaign.Shard, planIndex, attempt int, sink *progressSink) (*campaign.ShardResult, error) {
 	delay := c.hedgeDelay()
 	if delay <= 0 || secondary == nil {
-		return c.dispatchTo(ctx, primary, sh)
+		return c.dispatchTo(ctx, primary, sh, planIndex, attempt, false, sink)
 	}
 	ch := make(chan dispatchOutcome, 2)
-	launch := func(w *workerState) {
-		r, err := c.dispatchTo(ctx, w, sh)
+	launch := func(w *workerState, hedged bool) {
+		r, err := c.dispatchTo(ctx, w, sh, planIndex, attempt, hedged, sink)
 		ch <- dispatchOutcome{r, err}
 	}
-	go launch(primary)
+	go launch(primary, false)
 	inflight := 1
 	timer := time.NewTimer(delay)
 	defer timer.Stop()
@@ -696,7 +821,8 @@ func (c *Coordinator) dispatchHedged(ctx context.Context, primary, secondary *wo
 			if c.opts.Observe.Hedged != nil {
 				c.opts.Observe.Hedged()
 			}
-			go launch(secondary)
+			c.opts.Logger.Info("hedging straggler dispatch", "shard", sh.String(), "worker", secondary.url, "after", delay)
+			go launch(secondary, true)
 			inflight++
 		case out := <-ch:
 			inflight--
@@ -730,6 +856,7 @@ func (c *Coordinator) auditLoser(ch <-chan dispatchOutcome, winner *campaign.Sha
 	lb, lerr := json.Marshal(out.r)
 	if werr != nil || lerr != nil || !bytes.Equal(wb, lb) {
 		c.hedgeMismatches.Add(1)
+		c.opts.Logger.Error("hedge audit mismatch: shard results not byte-identical", "shard", winner.Shard.String())
 	}
 }
 
@@ -740,7 +867,12 @@ func (c *Coordinator) HedgeMismatches() int64 { return c.hedgeMismatches.Load() 
 // dispatch POSTs one shard to one worker and decodes the result. The
 // dist.dispatch fault point fires first: an injected error is a failed
 // attempt, exercising the redispatch path without a real dead worker.
-func (c *Coordinator) dispatch(ctx context.Context, workerURL string, sh campaign.Shard) (*campaign.ShardResult, error) {
+// With a progress sink or a live span the request asks for the NDJSON
+// stream (epoch frames relayed live, the worker's span subtree grafted
+// under this attempt's span); the coordinator branches on the response
+// content type, so a worker answering the legacy single document —
+// Stream unset, or an older build behind a proxy — still merges.
+func (c *Coordinator) dispatch(ctx context.Context, workerURL string, sh campaign.Shard, planIndex int, sink *progressSink, span *obs.Span) (*campaign.ShardResult, error) {
 	if err := c.opts.Faults.Fire(ctx, "dist.dispatch"); err != nil {
 		return nil, err
 	}
@@ -752,7 +884,14 @@ func (c *Coordinator) dispatch(ctx context.Context, workerURL string, sh campaig
 		ctx, cancel = context.WithTimeout(ctx, c.opts.ShardTimeout)
 		defer cancel()
 	}
-	body, err := json.Marshal(ShardRequest{Revision: results.Revision(), Go: runtime.Version(), Shard: sh})
+	stream := sink != nil || span != nil
+	body, err := json.Marshal(ShardRequest{
+		Revision:    results.Revision(),
+		Go:          runtime.Version(),
+		Shard:       sh,
+		Traceparent: span.Traceparent(),
+		Stream:      stream,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -773,7 +912,13 @@ func (c *Coordinator) dispatch(ctx context.Context, workerURL string, sh campaig
 		return nil, fmt.Errorf("shard rejected: %s: %s", resp.Status, errorBody(resp.Body))
 	}
 	var r campaign.ShardResult
-	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+	if strings.HasPrefix(resp.Header.Get("Content-Type"), NDJSONContentType) {
+		res, err := c.consumeStream(resp.Body, planIndex, sink, span)
+		if err != nil {
+			return nil, err
+		}
+		r = *res
+	} else if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
 		return nil, fmt.Errorf("decode shard result: %w", err)
 	}
 	if r.Shard.Lo != sh.Lo || r.Shard.Hi != sh.Hi || r.Shard.Experiment.ID != sh.Experiment.ID {
@@ -782,6 +927,34 @@ func (c *Coordinator) dispatch(ctx context.Context, workerURL string, sh campaig
 	// Trust the request's identity, not the echo: merges key on ExpIndex.
 	r.Shard = sh
 	return &r, nil
+}
+
+// consumeStream drains a streamed shard response: epoch frames forward
+// through the sink as they arrive (the live feed), and the terminal
+// frame yields the result — grafting the worker's exported span subtree
+// — or the worker-side error. A stream that ends without a terminal
+// frame (worker crashed mid-shard) is a failed attempt like any other.
+func (c *Coordinator) consumeStream(body io.Reader, planIndex int, sink *progressSink, span *obs.Span) (*campaign.ShardResult, error) {
+	dec := json.NewDecoder(body)
+	for {
+		var f StreamFrame
+		if err := dec.Decode(&f); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil, errors.New("shard stream ended without a result frame")
+			}
+			return nil, fmt.Errorf("decode shard stream frame: %w", err)
+		}
+		switch {
+		case f.Epoch != nil:
+			sink.forward(planIndex, *f.Epoch)
+		case f.Error != "":
+			span.Graft(f.Trace)
+			return nil, errors.New(f.Error)
+		case f.Result != nil:
+			span.Graft(f.Trace)
+			return f.Result, nil
+		}
+	}
 }
 
 // errorBody extracts a JSON error message (or raw text) from a failed

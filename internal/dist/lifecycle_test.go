@@ -345,7 +345,7 @@ func TestHedgedDispatchFirstCompleteWins(t *testing.T) {
 	}
 
 	t0 := time.Now()
-	r, err := c.dispatchHedged(context.Background(), primary, secondary, shards[0])
+	r, err := c.dispatchHedged(context.Background(), primary, secondary, shards[0], 0, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

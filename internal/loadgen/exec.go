@@ -13,6 +13,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/histo"
 )
 
 // This file executes a built plan against the live service. Workers
@@ -103,7 +105,98 @@ func (ex *executor) run() (*Report, error) {
 		ex.runClosed(results)
 	}
 	wall := time.Since(start)
-	return buildReport(ex.cfg, ex.plan, results, wall), nil
+	rep := buildReport(ex.cfg, ex.plan, results, wall)
+	// Attribution reads trace trees after the wall clock stops, so the
+	// extra GETs never pollute the measured latencies.
+	rep.Attribution = ex.attributeTraces(results)
+	return rep, nil
+}
+
+// maxTraceFetches caps the post-run attribution pass: one GET per
+// successful submission, sampled from the front of the schedule. The
+// report's jobs/sampled split makes the cap visible.
+const maxTraceFetches = 500
+
+// traceNode is the slice of the obs.Node rendering the harness reads.
+type traceNode struct {
+	Name            string       `json:"name"`
+	DurationSeconds float64      `json:"duration_seconds"`
+	Children        []*traceNode `json:"children"`
+}
+
+// find returns the first span with the given name, depth-first.
+func (n *traceNode) find(name string) *traceNode {
+	if n == nil {
+		return nil
+	}
+	if n.Name == name {
+		return n
+	}
+	for _, c := range n.Children {
+		if m := c.find(name); m != nil {
+			return m
+		}
+	}
+	return nil
+}
+
+// attributeTraces splits completed submissions' end-to-end latency into
+// where the time went — queue.wait vs gate.wait vs run — by reading
+// each job's trace tree from GET /v1/jobs/{id}/trace. Runs after the
+// timed phase. Returns nil when the target serves no traces (--no-trace
+// or a pre-tracing server): the first 404 abandons the pass.
+func (ex *executor) attributeTraces(results []opResult) *TraceAttribution {
+	attr := &TraceAttribution{}
+	qh, gh, rh := histo.NewLatency(), histo.NewLatency(), histo.NewLatency()
+	fetched := 0
+	for i := range results {
+		res := &results[i]
+		if res.op == nil || !res.op.isSubmission() || res.outcome != outcomeOK {
+			continue
+		}
+		id := ex.jobIDs[res.op.Index]
+		if id == "" {
+			continue
+		}
+		attr.Jobs++
+		if fetched >= maxTraceFetches {
+			continue // keep counting jobs so the sampling cap is visible
+		}
+		resp, err := ex.client.Get(ex.cfg.Target + "/v1/jobs/" + id + "/trace")
+		if err != nil {
+			continue
+		}
+		if resp.StatusCode == http.StatusNotFound {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			return nil // tracing is off server-side; no attribution to report
+		}
+		var tr struct {
+			Root *traceNode `json:"root"`
+		}
+		derr := json.NewDecoder(resp.Body).Decode(&tr)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || derr != nil || tr.Root == nil {
+			continue
+		}
+		fetched++
+		attr.Sampled++
+		for _, span := range []struct {
+			name string
+			h    *histo.Histogram
+		}{{"queue.wait", qh}, {"gate.wait", gh}, {"run", rh}} {
+			if n := tr.Root.find(span.name); n != nil {
+				span.h.Observe(n.DurationSeconds)
+			}
+		}
+	}
+	if attr.Sampled == 0 {
+		return nil
+	}
+	attr.QueueWait = summarize(qh)
+	attr.GateWait = summarize(gh)
+	attr.Run = summarize(rh)
+	return attr
 }
 
 // runOpen dispatches ops at their scheduled offsets through a worker
@@ -418,9 +511,15 @@ func (ex *executor) drain(op *Op) error {
 // to end-of-stream (the log seals when the job finishes), verifying
 // that event ids are strictly increasing — drop-oldest may open gaps,
 // but order can never invert and ids can never repeat within one
-// connection.
+// connection. Strict id monotonicity is also the no-duplicates check
+// for per-epoch progress: every epoch event occupies its own id, so a
+// replayed or double-forwarded worker sample would surface as a
+// repeated id. Distributed submissions carry a simulating experiment by
+// construction (distributedSpec), so their streams must additionally
+// contain at least one decodable epoch event — the live-progress signal
+// workers stream through the coordinator.
 func (ex *executor) streamSSE(op *Op) (time.Time, error) {
-	id, _, err := ex.followedJob(op)
+	id, followed, err := ex.followedJob(op)
 	if err != nil {
 		return time.Now(), err
 	}
@@ -433,17 +532,41 @@ func (ex *executor) streamSSE(op *Op) (time.Time, error) {
 	if resp.StatusCode != http.StatusOK {
 		return t0, fmt.Errorf("GET events of %s = %d", id, resp.StatusCode)
 	}
-	last, events := -1, 0
+	last, events, epochs := -1, 0, 0
+	current := ""
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 64*1024), 1024*1024)
 	for sc.Scan() {
-		v, ok := strings.CutPrefix(sc.Text(), "id: ")
+		line := sc.Text()
+		if line == "" {
+			current = "" // frame boundary
+			continue
+		}
+		if name, ok := strings.CutPrefix(line, "event: "); ok {
+			current = name
+			continue
+		}
+		if data, ok := strings.CutPrefix(line, "data: "); ok {
+			if current == "epoch" {
+				epochs++
+				if ex.cfg.Verify {
+					var ev struct {
+						Experiment string `json:"experiment"`
+					}
+					if err := json.Unmarshal([]byte(data), &ev); err != nil || ev.Experiment == "" {
+						return t0, fmt.Errorf("undecodable epoch event %.200q", data)
+					}
+				}
+			}
+			continue
+		}
+		v, ok := strings.CutPrefix(line, "id: ")
 		if !ok {
 			continue
 		}
 		n, err := strconv.Atoi(v)
 		if err != nil {
-			return t0, fmt.Errorf("unparseable SSE id line %q", sc.Text())
+			return t0, fmt.Errorf("unparseable SSE id line %q", line)
 		}
 		if ex.cfg.Verify && n <= last {
 			return t0, fmt.Errorf("SSE ids not strictly increasing: %d after %d", n, last)
@@ -456,6 +579,9 @@ func (ex *executor) streamSSE(op *Op) (time.Time, error) {
 	}
 	if ex.cfg.Verify && events == 0 {
 		return t0, fmt.Errorf("event stream of %s delivered nothing", id)
+	}
+	if ex.cfg.Verify && followed.Kind == KindDistributed && epochs == 0 {
+		return t0, fmt.Errorf("distributed job %s streamed no epoch events", id)
 	}
 	return t0, nil
 }

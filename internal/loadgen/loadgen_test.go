@@ -337,3 +337,83 @@ func TestDistributedScenarioAgainstCoordinator(t *testing.T) {
 		t.Fatalf("distributed scenario = %+v, want 6/6 ok", s)
 	}
 }
+
+// TestDistributedSSEEpochsAndAttribution pins the observability half of
+// the distributed scenario: SSE subscribers on distributed submissions
+// must see live per-epoch events (the spec carries a real simulation by
+// construction) with strictly monotonic ids, and the post-run
+// attribution pass must split completed jobs' latency into
+// queue.wait/gate.wait/run from the trace endpoint.
+func TestDistributedSSEEpochsAndAttribution(t *testing.T) {
+	worker := startServer(t, server.Options{Workers: 1, Jobs: 2, QueueDepth: 64})
+	coord := startServer(t, server.Options{Workers: 1, Jobs: 2, QueueDepth: 64, WorkerURLs: []string{worker}})
+	report, err := Run(Config{
+		Target:   coord,
+		Mode:     ModeClosed,
+		Clients:  2,
+		Requests: 4,
+		Seed:     21,
+		Mix:      Mix{Distributed: 2, SSE: 1},
+		Verify:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.VerifyFailures > 0 {
+		t.Fatalf("%d verification failures: %v", report.VerifyFailures, report.FailureSamples)
+	}
+	// The seed must actually schedule an SSE op behind a distributed
+	// submission — otherwise the epoch assertion never ran.
+	followsDist := 0
+	for _, op := range report.Schedule.Ops {
+		if op.Kind == KindSSE && op.Follows >= 0 &&
+			report.Schedule.Ops[op.Follows].Kind == KindDistributed {
+			followsDist++
+		}
+	}
+	if followsDist == 0 {
+		t.Fatal("schedule has no SSE op following a distributed submission; pick another seed")
+	}
+	a := report.Attribution
+	if a == nil {
+		t.Fatal("no trace attribution despite tracing-enabled target")
+	}
+	if a.Jobs == 0 || a.Sampled != a.Jobs {
+		t.Fatalf("attribution sampled %d of %d jobs, want all", a.Sampled, a.Jobs)
+	}
+	if a.Run.Count == 0 || a.Run.Max <= 0 {
+		t.Fatalf("run-span summary empty: %+v", a.Run)
+	}
+	if a.QueueWait.Count == 0 {
+		t.Fatalf("queue.wait summary empty: %+v", a.QueueWait)
+	}
+	var table bytes.Buffer
+	report.HumanTable(&table)
+	if !bytes.Contains(table.Bytes(), []byte("attribution (")) {
+		t.Fatalf("human table missing the attribution line:\n%s", table.String())
+	}
+}
+
+// TestAttributionAbsentWhenTracingOff: against a --no-trace server the
+// trace endpoint answers 404 and the report must simply omit the
+// attribution section, not fail verification.
+func TestAttributionAbsentWhenTracingOff(t *testing.T) {
+	url := startServer(t, server.Options{Workers: 1, Jobs: 2, QueueDepth: 64, DisableTracing: true})
+	report, err := Run(Config{
+		Target:   url,
+		Mode:     ModeClosed,
+		Clients:  1,
+		Requests: 3,
+		Seed:     5,
+		Verify:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.VerifyFailures > 0 {
+		t.Fatalf("%d verification failures: %v", report.VerifyFailures, report.FailureSamples)
+	}
+	if report.Attribution != nil {
+		t.Fatalf("attribution reported against a traceless target: %+v", report.Attribution)
+	}
+}

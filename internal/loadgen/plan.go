@@ -119,6 +119,19 @@ func uncachedSpec(base int64, kind string, client, seq int) string {
 		client, seq, seed)
 }
 
+// distributedSpec builds the payload for distributed submissions: the
+// DefaultSpec experiments plus a small real cycle simulation (X1), so a
+// coordinator target fans the job out to workers that stream per-epoch
+// progress back. The extra experiment is what makes the followed SSE
+// verification meaningful — an all-analytic spec would never publish an
+// epoch event. Artifact picks stay valid because the experiment list is
+// a superset of specExperiments.
+func distributedSpec(base int64, client, seq int) string {
+	seed := positiveSeed(base, fmt.Sprintf("distributed-c%d-s%d", client, seq))
+	return fmt.Sprintf(`{"name":"load-c%d-s%d","seed":%d,"experiments":[{"id":"E1","params":{"size":64}},{"id":"E3","params":{"trials":3}},{"id":"X1","params":{"size":64,"threads":8,"epochs":3,"hts":8}}]}`,
+		client, seq, seed)
+}
+
 // simBody builds a small unique sim payload for (client, seq).
 func simBody(base int64, client, seq int) string {
 	seed := positiveSeed(base, fmt.Sprintf("sim-c%d-s%d", client, seq))
@@ -177,7 +190,7 @@ func BuildPlan(cfg Config) (*Plan, error) {
 			case KindCampaignUncached:
 				op.Path, op.Body = "/v1/campaigns", uncachedSpec(cfg.Seed, "uncached", c, seq)
 			case KindDistributed:
-				op.Path, op.Body = "/v1/campaigns", uncachedSpec(cfg.Seed, "distributed", c, seq)
+				op.Path, op.Body = "/v1/campaigns", distributedSpec(cfg.Seed, c, seq)
 			case KindSim:
 				op.Path, op.Body = "/v1/sims", simBody(cfg.Seed, c, seq)
 			case KindCancel:

@@ -62,6 +62,21 @@ type DispatchLag struct {
 	MaxMicros  int64 `json:"max_micros"`
 }
 
+// TraceAttribution splits completed submissions' latency into where the
+// time went, read from the service's per-job trace trees
+// (GET /v1/jobs/{id}/trace) after the timed phase: queue.wait is
+// admission-to-dispatch, gate.wait is the job-slot acquisition, run is
+// the execution itself. Jobs counts eligible submissions; Sampled is
+// how many trace trees were actually read (capped). Absent entirely
+// when the target serves no traces.
+type TraceAttribution struct {
+	Jobs      int            `json:"jobs"`
+	Sampled   int            `json:"sampled"`
+	QueueWait LatencySummary `json:"queue_wait_seconds"`
+	GateWait  LatencySummary `json:"gate_wait_seconds"`
+	Run       LatencySummary `json:"run_seconds"`
+}
+
 // Report is the full run result — marshalled as BENCH_SERVE.json.
 type Report struct {
 	Target      string  `json:"target"`
@@ -75,6 +90,10 @@ type Report struct {
 	Scenarios []Scenario   `json:"scenarios"`
 	Totals    Scenario     `json:"totals"`
 	Lag       *DispatchLag `json:"dispatch_lag,omitempty"`
+
+	// Attribution is the queue-vs-run latency split read from the trace
+	// endpoint post-run; nil when the target serves no traces.
+	Attribution *TraceAttribution `json:"trace_attribution,omitempty"`
 
 	// VerifyFailures counts failed verifications (0 is the CI gate);
 	// FailureSamples holds the first few messages for diagnosis.
@@ -196,6 +215,13 @@ func (r *Report) HumanTable(w io.Writer) {
 	if r.Lag != nil {
 		fmt.Fprintf(w, "dispatch lag: mean %s, max %s\n",
 			time.Duration(r.Lag.MeanMicros)*time.Microsecond, time.Duration(r.Lag.MaxMicros)*time.Microsecond)
+	}
+	if a := r.Attribution; a != nil {
+		fmt.Fprintf(w, "attribution (%d/%d jobs traced): queue p50 %s p99 %s · gate p50 %s p99 %s · run p50 %s p99 %s\n",
+			a.Sampled, a.Jobs,
+			fmtSecs(a.QueueWait.P50), fmtSecs(a.QueueWait.P99),
+			fmtSecs(a.GateWait.P50), fmtSecs(a.GateWait.P99),
+			fmtSecs(a.Run.P50), fmtSecs(a.Run.P99))
 	}
 	if r.VerifyFailures > 0 {
 		fmt.Fprintf(w, "VERIFICATION FAILURES: %d\n", r.VerifyFailures)

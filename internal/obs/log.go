@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+)
+
+// NewLogger builds the slog.Logger behind every binary's --log-format
+// and --log-level flags: format selects the handler ("text" or "json"),
+// level one of debug/info/warn/error. The error paths name the flag
+// values so a typo surfaces as a usage error, not a silent default.
+func NewLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	lvl, err := ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown log format %q (want text or json)", format)
+	}
+}
+
+// ParseLevel maps a --log-level flag value onto a slog.Level.
+func ParseLevel(level string) (slog.Level, error) {
+	switch strings.ToLower(level) {
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "debug":
+		return slog.LevelDebug, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("unknown log level %q (want debug, info, warn, or error)", level)
+	}
+}
+
+// Stderr is the text-format info-level logger on os.Stderr — the form
+// CLI mains use for fatal errors before (or without) --log-format and
+// --log-level flags.
+func Stderr() *slog.Logger {
+	return slog.New(slog.NewTextHandler(os.Stderr, nil))
+}
+
+// Discard is the quiet default for embedders that pass no logger: a
+// slog.Logger whose records go nowhere, so library code can log
+// unconditionally without nil checks.
+func Discard() *slog.Logger {
+	return slog.New(slog.DiscardHandler)
+}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestNewLoggerFormats checks both handler selections emit the
+// structure their format promises, and that bad flag values fail
+// loudly instead of defaulting.
+func TestNewLoggerFormats(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "json", "info")
+	if err != nil {
+		t.Fatalf("json logger: %v", err)
+	}
+	lg.Info("listening", "addr", "127.0.0.1:8080")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("json output not JSON: %v (%q)", err, buf.String())
+	}
+	if rec["msg"] != "listening" || rec["addr"] != "127.0.0.1:8080" {
+		t.Fatalf("record = %v", rec)
+	}
+
+	buf.Reset()
+	lg, err = NewLogger(&buf, "text", "debug")
+	if err != nil {
+		t.Fatalf("text logger: %v", err)
+	}
+	lg.Debug("probe", "job_id", "j1")
+	if !strings.Contains(buf.String(), "msg=probe") || !strings.Contains(buf.String(), "job_id=j1") {
+		t.Fatalf("text output = %q", buf.String())
+	}
+
+	if _, err := NewLogger(&buf, "xml", "info"); err == nil {
+		t.Fatalf("accepted unknown format")
+	}
+	if _, err := NewLogger(&buf, "text", "loud"); err == nil {
+		t.Fatalf("accepted unknown level")
+	}
+}
+
+// TestLevelFilter checks the level threshold actually filters.
+func TestLevelFilter(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "text", "warn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("quiet")
+	lg.Warn("loud")
+	out := buf.String()
+	if strings.Contains(out, "quiet") || !strings.Contains(out, "loud") {
+		t.Fatalf("level filter: %q", out)
+	}
+}
+
+// TestDiscard checks the quiet default swallows records.
+func TestDiscard(t *testing.T) {
+	Discard().Error("nothing happens")
+}

@@ -1,0 +1,325 @@
+// Package obs is the stdlib-only observability layer behind the serving
+// stack: context-propagated trace spans with W3C-style traceparent
+// propagation across the coordinator/worker HTTP boundary, plus the
+// shared slog construction every binary's --log-format/--log-level
+// flags feed (log.go).
+//
+// A trace is a tree of spans rooted at one job. Spans are created
+// through a context: StartTrace roots a new trace (or JoinTrace
+// continues one announced by a traceparent header), StartSpan opens a
+// child of whatever span the context carries, and End seals it. A
+// context carrying no span makes every call a no-op on a nil *Span —
+// the disabled path allocates nothing (pinned by an allocs test), so
+// instrumentation can stay unconditional in hot paths.
+//
+// The serving path's span taxonomy and the traceparent contract are
+// documented in DESIGN.md §13. Finished trees render as Node JSON
+// (GET /v1/jobs/{id}/trace); a worker exports its subtree in its shard
+// response and the coordinator grafts it under the dispatch span, so a
+// distributed job's tree stitches the remote execution into the same
+// trace id end to end.
+package obs
+
+import (
+	"context"
+	cryptorand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// trace is the per-tree shared state: one id, one mutex guarding every
+// span in the tree (span creation, attrs, end times, grafts, renders).
+// Tree mutation is job-lifecycle-granular — experiments, shards,
+// dispatch attempts — never per-epoch, so one mutex per trace is cheap.
+type trace struct {
+	mu sync.Mutex
+	id [16]byte
+}
+
+// Span is one timed node of a trace tree. A nil *Span is the disabled
+// path: every method is a no-op, so callers never branch on whether
+// tracing is on.
+type Span struct {
+	tr       *trace
+	name     string
+	spanID   uint64
+	parentID uint64
+	start    time.Time
+	end      time.Time
+	attrs    map[string]string
+	children []*Span
+	// grafted holds remote subtrees (a worker's exported tree) attached
+	// under this span at merge time.
+	grafted []*Node
+}
+
+// Node is the JSON rendering of one span — the /v1/jobs/{id}/trace
+// payload and the wire form a worker's subtree travels back in.
+type Node struct {
+	Name            string            `json:"name"`
+	SpanID          string            `json:"span_id"`
+	ParentID        string            `json:"parent_id,omitempty"`
+	Start           time.Time         `json:"start"`
+	DurationSeconds float64           `json:"duration_seconds"`
+	InProgress      bool              `json:"in_progress,omitempty"`
+	Attrs           map[string]string `json:"attrs,omitempty"`
+	Children        []*Node           `json:"children,omitempty"`
+}
+
+// spanSalt decorrelates this process's span ids from every other
+// process contributing spans to the same trace (coordinator and
+// workers share a trace id but must never collide on span ids).
+var spanSalt = func() uint64 {
+	var b [8]byte
+	cryptorand.Read(b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}()
+
+// spanCounter sequences span ids within the process.
+var spanCounter atomic.Uint64
+
+// newSpanID derives a process-unique span id: the random per-process
+// salt mixed with a SplitMix64-style spread of the sequence number.
+func newSpanID() uint64 {
+	n := spanCounter.Add(1)
+	return spanSalt ^ (n * 0x9E3779B97F4A7C15)
+}
+
+// ctxKey carries the active span in a context.
+type ctxKey struct{}
+
+// ContextWithSpan returns ctx carrying s as the active span; a nil span
+// returns ctx unchanged.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// SpanFromContext returns the context's active span, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// StartTrace roots a new trace with a fresh random trace id and returns
+// the context carrying its root span. The caller must End the root.
+func StartTrace(ctx context.Context, name string) (context.Context, *Span) {
+	tr := &trace{}
+	cryptorand.Read(tr.id[:])
+	s := &Span{tr: tr, name: name, spanID: newSpanID(), start: time.Now()}
+	return ContextWithSpan(ctx, s), s
+}
+
+// JoinTrace continues a trace announced by a traceparent header: the
+// returned root span carries the remote trace id and names the remote
+// caller's span as its parent, so the exported subtree grafts into the
+// caller's tree by id. A malformed traceparent starts a fresh local
+// trace instead — a worker never runs unobserved because a header was
+// mangled.
+func JoinTrace(ctx context.Context, traceparent, name string) (context.Context, *Span) {
+	traceID, parentID, ok := ParseTraceparent(traceparent)
+	if !ok {
+		return StartTrace(ctx, name)
+	}
+	tr := &trace{id: traceID}
+	s := &Span{tr: tr, name: name, spanID: newSpanID(), parentID: parentID, start: time.Now()}
+	return ContextWithSpan(ctx, s), s
+}
+
+// StartSpan opens a child of the context's active span and returns the
+// context carrying it. With no active span it returns (ctx, nil): the
+// nil span no-ops every method and the call allocates nothing.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := SpanFromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	s := parent.StartChild(name)
+	return ContextWithSpan(ctx, s), s
+}
+
+// StartChild opens a child span under s (nil-safe: returns nil).
+// StartSpan is the context-threaded form; this one serves callers that
+// hold spans across scopes a context cannot follow, like the job
+// manager's queue-wait span that starts at enqueue and ends in the
+// dispatcher.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{tr: s.tr, name: name, spanID: newSpanID(), parentID: s.spanID, start: time.Now()}
+	s.tr.mu.Lock()
+	s.children = append(s.children, c)
+	s.tr.mu.Unlock()
+	return c
+}
+
+// End seals the span at now. Ending twice keeps the first end time.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	s.tr.mu.Unlock()
+}
+
+// SetAttr attaches one key/value attribute (nil-safe).
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]string)
+	}
+	s.attrs[key] = value
+	s.tr.mu.Unlock()
+}
+
+// RecordError attaches err as the span's "error" attribute (nil-safe,
+// no-op on a nil error). Fault-injection annotations land here, so a
+// chaos run's trace shows which attempt the injected fault poisoned.
+func (s *Span) RecordError(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.SetAttr("error", err.Error())
+}
+
+// Graft attaches a remote subtree (a worker's exported tree) as a child
+// of s; it renders inside this span in Tree output.
+func (s *Span) Graft(n *Node) {
+	if s == nil || n == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.grafted = append(s.grafted, n)
+	s.tr.mu.Unlock()
+}
+
+// Duration reports the span's elapsed time: end minus start once
+// sealed, time since start while in progress, zero on a nil span.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	if s.end.IsZero() {
+		return time.Since(s.start)
+	}
+	return s.end.Sub(s.start)
+}
+
+// TraceID returns the span's 32-hex-digit trace id ("" on nil).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return hex.EncodeToString(s.tr.id[:])
+}
+
+// Traceparent renders the W3C-style propagation header naming s as the
+// parent of whatever the receiver starts: 00-<trace-id>-<span-id>-01.
+// Nil spans render "" (callers skip the header).
+func (s *Span) Traceparent() string {
+	if s == nil {
+		return ""
+	}
+	return fmt.Sprintf("00-%s-%016x-01", s.TraceID(), s.spanID)
+}
+
+// ParseTraceparent splits a 00-<32 hex>-<16 hex>-<2 hex> header into
+// the trace id and parent span id, reporting ok=false on any malformed
+// input.
+func ParseTraceparent(h string) (traceID [16]byte, parentID uint64, ok bool) {
+	if len(h) != 55 || h[:3] != "00-" || h[35] != '-' || h[52] != '-' {
+		return traceID, 0, false
+	}
+	tb, err := hex.DecodeString(h[3:35])
+	if err != nil {
+		return traceID, 0, false
+	}
+	pb, err := hex.DecodeString(h[36:52])
+	if err != nil {
+		return traceID, 0, false
+	}
+	if _, err := hex.DecodeString(h[53:]); err != nil {
+		return traceID, 0, false
+	}
+	copy(traceID[:], tb)
+	return traceID, binary.BigEndian.Uint64(pb), true
+}
+
+// Tree snapshots the span and everything under it as a renderable Node
+// (nil on a nil span). Unfinished spans render with InProgress=true and
+// their duration-so-far, so a running job's trace is already readable.
+func (s *Span) Tree() *Node {
+	if s == nil {
+		return nil
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	return s.nodeLocked(time.Now())
+}
+
+// nodeLocked renders s recursively; s.tr.mu held.
+func (s *Span) nodeLocked(now time.Time) *Node {
+	n := &Node{
+		Name:   s.name,
+		SpanID: fmt.Sprintf("%016x", s.spanID),
+		Start:  s.start,
+	}
+	if s.parentID != 0 {
+		n.ParentID = fmt.Sprintf("%016x", s.parentID)
+	}
+	end := s.end
+	if end.IsZero() {
+		end = now
+		n.InProgress = true
+	}
+	n.DurationSeconds = end.Sub(s.start).Seconds()
+	if len(s.attrs) > 0 {
+		n.Attrs = make(map[string]string, len(s.attrs))
+		for k, v := range s.attrs {
+			n.Attrs[k] = v
+		}
+	}
+	for _, c := range s.children {
+		n.Children = append(n.Children, c.nodeLocked(now))
+	}
+	n.Children = append(n.Children, s.grafted...)
+	return n
+}
+
+// Walk visits n and every descendant depth-first — the form trace
+// assertions and attribution queries consume trees through.
+func (n *Node) Walk(visit func(*Node)) {
+	if n == nil {
+		return
+	}
+	visit(n)
+	for _, c := range n.Children {
+		c.Walk(visit)
+	}
+}
+
+// Find returns the first node named name in depth-first order, or nil.
+func (n *Node) Find(name string) *Node {
+	var found *Node
+	n.Walk(func(m *Node) {
+		if found == nil && m.Name == name {
+			found = m
+		}
+	})
+	return found
+}

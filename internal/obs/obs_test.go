@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSpanTreeShape builds a small tree and checks the rendered Node
+// mirrors it: names, parent links, attrs, and sealed durations.
+func TestSpanTreeShape(t *testing.T) {
+	ctx, root := StartTrace(context.Background(), "job")
+	ctx2, child := StartSpan(ctx, "queue.wait")
+	child.SetAttr("lane", "normal")
+	_, grand := StartSpan(ctx2, "gate.wait")
+	grand.End()
+	child.End()
+	root.End()
+
+	n := root.Tree()
+	if n == nil || n.Name != "job" {
+		t.Fatalf("root node = %+v", n)
+	}
+	if n.InProgress {
+		t.Fatalf("sealed root rendered in progress")
+	}
+	if len(n.Children) != 1 || n.Children[0].Name != "queue.wait" {
+		t.Fatalf("children = %+v", n.Children)
+	}
+	qw := n.Children[0]
+	if qw.Attrs["lane"] != "normal" {
+		t.Fatalf("attrs = %v", qw.Attrs)
+	}
+	if qw.ParentID != n.SpanID {
+		t.Fatalf("parent link: child %q parent %q, root %q", qw.SpanID, qw.ParentID, n.SpanID)
+	}
+	if len(qw.Children) != 1 || qw.Children[0].Name != "gate.wait" {
+		t.Fatalf("grandchildren = %+v", qw.Children)
+	}
+	if got := n.Find("gate.wait"); got == nil {
+		t.Fatalf("Find missed gate.wait")
+	}
+	if got := n.Find("no.such"); got != nil {
+		t.Fatalf("Find invented %+v", got)
+	}
+}
+
+// TestTraceparentRoundTrip renders a traceparent from a live span,
+// parses it back, and checks a joined trace carries the same ids.
+func TestTraceparentRoundTrip(t *testing.T) {
+	_, root := StartTrace(context.Background(), "coordinator")
+	tp := root.Traceparent()
+	if len(tp) != 55 || !strings.HasPrefix(tp, "00-") {
+		t.Fatalf("traceparent %q", tp)
+	}
+	traceID, parentID, ok := ParseTraceparent(tp)
+	if !ok {
+		t.Fatalf("ParseTraceparent rejected %q", tp)
+	}
+	if got := root.TraceID(); got != hexOf(traceID) {
+		t.Fatalf("trace id %x parsed from %q, want %s", traceID, tp, got)
+	}
+	_, remote := JoinTrace(context.Background(), tp, "worker.execute")
+	defer remote.End()
+	if remote.TraceID() != root.TraceID() {
+		t.Fatalf("joined trace id %s, want %s", remote.TraceID(), root.TraceID())
+	}
+	rn := remote.Tree()
+	if rn.ParentID != tp[36:52] {
+		t.Fatalf("remote parent %q, want %q", rn.ParentID, tp[36:52])
+	}
+	_ = parentID
+}
+
+func hexOf(id [16]byte) string {
+	const digits = "0123456789abcdef"
+	out := make([]byte, 32)
+	for i, b := range id {
+		out[2*i] = digits[b>>4]
+		out[2*i+1] = digits[b&0xf]
+	}
+	return string(out)
+}
+
+// TestParseTraceparentRejectsMalformed covers the malformed-header
+// paths, including JoinTrace's fall-back to a fresh local trace.
+func TestParseTraceparentRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"00-short-short-01",
+		"00-zzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzz-0000000000000001-01",
+		"00-0123456789abcdef0123456789abcdef-zzzzzzzzzzzzzzzz-01",
+		"0123456789abcdef0123456789abcdef-0000000000000001-01-00",
+		"00-0123456789abcdef0123456789abcdef-0000000000000001-zz",
+	}
+	for _, h := range bad {
+		if _, _, ok := ParseTraceparent(h); ok {
+			t.Fatalf("accepted malformed %q", h)
+		}
+	}
+	_, s := JoinTrace(context.Background(), "garbage", "worker.execute")
+	if s == nil || s.TraceID() == "" {
+		t.Fatalf("JoinTrace on garbage did not start a fresh trace")
+	}
+	s.End()
+}
+
+// TestGraft attaches a remote subtree and checks it renders under the
+// grafting span.
+func TestGraft(t *testing.T) {
+	_, root := StartTrace(context.Background(), "job")
+	dispatch := root.StartChild("shard.dispatch")
+	dispatch.Graft(&Node{Name: "worker.execute", SpanID: "00000000000000aa"})
+	dispatch.End()
+	root.End()
+	n := root.Tree()
+	if got := n.Find("worker.execute"); got == nil {
+		t.Fatalf("grafted subtree missing from tree: %+v", n)
+	}
+	b, err := json.Marshal(n)
+	if err != nil {
+		t.Fatalf("marshal tree: %v", err)
+	}
+	if !strings.Contains(string(b), `"worker.execute"`) {
+		t.Fatalf("JSON rendering lost graft: %s", b)
+	}
+}
+
+// TestInProgressRendering checks an unfinished span renders with
+// InProgress and a growing duration, so live traces are readable.
+func TestInProgressRendering(t *testing.T) {
+	_, root := StartTrace(context.Background(), "job")
+	time.Sleep(time.Millisecond)
+	n := root.Tree()
+	if !n.InProgress || n.DurationSeconds <= 0 {
+		t.Fatalf("in-progress node = %+v", n)
+	}
+	root.End()
+	d := root.Duration()
+	root.End() // second End keeps the first seal
+	if root.Duration() != d {
+		t.Fatalf("double End moved the seal: %v vs %v", d, root.Duration())
+	}
+}
+
+// TestNilSpanSafe drives every method through a nil span — the disabled
+// path must be inert, not panicky.
+func TestNilSpanSafe(t *testing.T) {
+	var s *Span
+	s.End()
+	s.SetAttr("k", "v")
+	s.RecordError(context.Canceled)
+	s.Graft(&Node{})
+	if s.StartChild("x") != nil {
+		t.Fatalf("nil StartChild returned a span")
+	}
+	if s.Tree() != nil || s.TraceID() != "" || s.Traceparent() != "" || s.Duration() != 0 {
+		t.Fatalf("nil span leaked state")
+	}
+	ctx, s2 := StartSpan(context.Background(), "x")
+	if s2 != nil || ctx != context.Background() {
+		t.Fatalf("StartSpan without a trace returned %v, %v", ctx, s2)
+	}
+}
+
+// TestDisabledPathZeroAllocs pins the tracing-off contract the bench
+// guard relies on: with no span in the context, the instrumentation
+// calls sprinkled through the serving path must not allocate (same
+// gating idiom as noc's steady-state allocs test).
+func TestDisabledPathZeroAllocs(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		c, s := StartSpan(ctx, "run")
+		s.SetAttr("k", "v")
+		s.End()
+		_ = SpanFromContext(c)
+		_ = ContextWithSpan(c, nil)
+		sc := s.StartChild("child")
+		sc.RecordError(nil)
+		sc.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled-path span calls allocate %.1f/op, want 0", allocs)
+	}
+}
+
+// TestSpanIDsUnique spot-checks span id generation for collisions
+// within a burst, since coordinator and worker ids share one tree.
+func TestSpanIDsUnique(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := 0; i < 4096; i++ {
+		id := newSpanID()
+		if seen[id] {
+			t.Fatalf("span id collision at %d", i)
+		}
+		seen[id] = true
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"runtime/debug"
 	"strings"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/exp"
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 	"repro/internal/results"
 )
 
@@ -86,6 +88,13 @@ type job struct {
 	metrics *counters
 	// epochs counts streamed samples (also aggregated in counters).
 	epochs atomic.Int64
+	// trace is the job's root span (nil with tracing disabled); queueSpan
+	// is the queue.wait child, started at enqueue and ended by the
+	// dispatcher after pop — the one span whose life a context cannot
+	// follow. Both are written once in submit, before the job is
+	// registered, and only read afterwards.
+	trace     *obs.Span
+	queueSpan *obs.Span
 
 	// spec is set for campaign jobs, sim for sim jobs.
 	spec *campaign.Spec
@@ -168,6 +177,10 @@ func epochEventFor(experiment string, s core.EpochSample) epochEvent {
 		Infection:     s.InfectionRunning,
 	}
 }
+
+// traceRoot returns the job's root span, nil with tracing disabled —
+// the signal GET /v1/jobs/{id}/trace turns into its 404.
+func (j *job) traceRoot() *obs.Span { return j.trace }
 
 // status snapshots the job for JSON rendering.
 func (j *job) status() jobStatus {
@@ -259,6 +272,14 @@ func (j *job) finishLocked(state jobState, tables []results.Table, diskFiles []s
 	}
 	j.events.publish("state", stateEvent{State: state, Cache: cacheTier, Error: errMsg})
 	j.events.close()
+	// Seal the trace at the terminal transition — every path ends here
+	// (normal completion, cancellation, the shutdown sweep), so a job's
+	// tree never renders in_progress after its state says otherwise.
+	j.trace.SetAttr("state", string(state))
+	if errMsg != "" {
+		j.trace.SetAttr("error", errMsg)
+	}
+	j.trace.End()
 }
 
 // manager owns the job table, the priority-lane queue, and the
@@ -291,7 +312,12 @@ type manager struct {
 	jobTimeout time.Duration
 	// sseBuffer is each SSE subscriber's channel capacity.
 	sseBuffer int
-	wg        sync.WaitGroup
+	// logger receives job-lifecycle events (accepted, started, terminal)
+	// with trace_id/job_id/tenant attrs; tracing gates per-job span trees
+	// and the queue/gate wait histograms.
+	logger  *slog.Logger
+	tracing bool
+	wg      sync.WaitGroup
 
 	mu    sync.Mutex
 	jobs  map[string]*job
@@ -321,6 +347,8 @@ func newManager(opts Options, cache *cache, metrics *counters, faults *faultinje
 		journal:     journal,
 		jobTimeout:  opts.JobTimeout,
 		sseBuffer:   opts.SSEBuffer,
+		logger:      opts.Logger,
+		tracing:     !opts.DisableTracing,
 		jobs:        make(map[string]*job),
 		inflight:    make(map[string]*job),
 		followers:   make(map[string][]*job),
@@ -445,6 +473,18 @@ func (m *manager) submit(j *job) error {
 	j.metrics = m.metrics
 	j.journal = m.journal
 	j.events = newEventLog(m.sseBuffer, &m.metrics.sseDropped)
+	if m.tracing {
+		// Root the job's trace at admission; finishLocked seals it at the
+		// terminal transition. The span lives on the job, not a context —
+		// the job outlives this call stack.
+		_, root := obs.StartTrace(m.base, "job")
+		root.SetAttr("kind", j.kind)
+		root.SetAttr("lane", laneName(j.lane))
+		if j.tenant != "" {
+			root.SetAttr("tenant", j.tenant)
+		}
+		j.trace = root
+	}
 
 	// The queue.admit fault point models a failing admission path (a
 	// broken queue backend, an overloaded admission controller): error
@@ -454,6 +494,8 @@ func (m *manager) submit(j *job) error {
 	if !j.replay {
 		if err := m.faults.Fire(m.base, "queue.admit"); err != nil {
 			m.metrics.inc(&m.metrics.jobsRejected)
+			m.logger.Warn("job admission fault rejected submission",
+				"fault_point", "queue.admit", "kind", j.kind, "tenant", j.tenant, "error", err)
 			return fmt.Errorf("server: admission failed: %w", err)
 		}
 	}
@@ -464,27 +506,39 @@ func (m *manager) submit(j *job) error {
 	// by a crash. Paths below that shed the job instead (full queue,
 	// tenant quota) append a synthetic "rejected" terminal so the 429'd
 	// job never resurrects at boot.
+	jspan := j.trace.StartChild("journal.append")
 	if err := m.journal.appendAccept(j); err != nil {
 		m.metrics.inc(&m.metrics.jobsRejected)
+		m.logger.Error("journal append failed; submission rejected", "kind", j.kind, "error", err)
 		return fmt.Errorf("server: %w", err)
 	}
+	jspan.End()
 
 	// Cache tiers are consulted before the queue: an identical submission
 	// returns instantly, without occupying a queue slot or a worker.
+	cspan := j.trace.StartChild("cache.lookup")
 	if tables, ok := m.cache.get(j.cacheKey); ok {
+		cspan.SetAttr("tier", "memory")
+		cspan.End()
 		m.register(j)
 		m.metrics.inc(&m.metrics.jobsSubmitted, &m.metrics.cacheHits)
+		m.logJobAccepted(j, "memory")
 		j.events.publish("state", stateEvent{State: jobQueued})
 		j.finish(jobDone, tables, nil, "memory", "")
 		return nil
 	}
 	if files, ok := m.cache.diskLoad(j.cacheKey); ok {
+		cspan.SetAttr("tier", "disk")
+		cspan.End()
 		m.register(j)
 		m.metrics.inc(&m.metrics.jobsSubmitted, &m.metrics.cacheDiskHits)
+		m.logJobAccepted(j, "disk")
 		j.events.publish("state", stateEvent{State: jobQueued})
 		j.finish(jobDone, nil, files, "disk", "")
 		return nil
 	}
+	cspan.SetAttr("tier", "miss")
+	cspan.End()
 
 	m.mu.Lock()
 	// Single-flight: an identical payload already queued or running makes
@@ -497,6 +551,8 @@ func (m *manager) submit(j *job) error {
 		m.followers[leader.id] = append(m.followers[leader.id], j)
 		m.mu.Unlock()
 		m.metrics.inc(&m.metrics.jobsSubmitted, &m.metrics.singleFlight)
+		j.trace.SetAttr("single_flight_leader", leader.id)
+		m.logJobAccepted(j, "single-flight")
 		j.events.publish("state", stateEvent{State: jobQueued})
 		return nil
 	}
@@ -508,6 +564,7 @@ func (m *manager) submit(j *job) error {
 		m.mu.Unlock()
 		m.metrics.incTenantShed(j.tenant)
 		m.journal.appendTerminal(j.jseq, stateRejected)
+		m.logger.Warn("job rejected: tenant quota exceeded", "kind", j.kind, "tenant", j.tenant, "quota", m.tenantQuota)
 		return fmt.Errorf("%w: tenant %q has %d jobs active", errTenantQuota, j.tenant, m.tenantQuota)
 	}
 	// The queue-full check happens under the registration lock so a burst
@@ -515,20 +572,40 @@ func (m *manager) submit(j *job) error {
 	// past the bound: every replayed job held a queue slot when it was
 	// first accepted, and boot-time replay happens before the listener
 	// opens, so nothing else is competing for depth yet.
+	j.queueSpan = j.trace.StartChild("queue.wait")
 	if j.replay {
 		m.queue.pushReplay(j)
 	} else if !m.queue.push(j) {
 		m.mu.Unlock()
 		m.metrics.inc(&m.metrics.jobsRejected)
 		m.journal.appendTerminal(j.jseq, stateRejected)
+		m.logger.Warn("job rejected: queue full", "kind", j.kind, "tenant", j.tenant)
 		return errQueueFull
 	}
 	m.registerLocked(j)
 	m.inflight[j.cacheKey] = j
 	m.mu.Unlock()
 	m.metrics.inc(&m.metrics.jobsSubmitted, &m.metrics.cacheMisses)
+	m.logJobAccepted(j, "")
 	j.events.publish("state", stateEvent{State: jobQueued})
 	return nil
+}
+
+// logJobAccepted records one admission at Info with the attrs every
+// job-lifecycle line carries; cache names the tier that answered
+// without simulation ("" = queued for execution).
+func (m *manager) logJobAccepted(j *job, cache string) {
+	attrs := []any{"job_id", j.id, "kind", j.kind, "name", j.name}
+	if tid := j.trace.TraceID(); tid != "" {
+		attrs = append(attrs, "trace_id", tid)
+	}
+	if j.tenant != "" {
+		attrs = append(attrs, "tenant", j.tenant)
+	}
+	if cache != "" {
+		attrs = append(attrs, "cache", cache)
+	}
+	m.logger.Info("job accepted", attrs...)
 }
 
 // tenantActiveLocked counts a tenant's queued and running jobs; m.mu
@@ -605,6 +682,7 @@ func (m *manager) registerLocked(j *job) {
 	j.id = fmt.Sprintf("job-%06d", m.seq)
 	m.jobs[j.id] = j
 	m.order = append(m.order, j.id)
+	j.trace.SetAttr("job_id", j.id)
 }
 
 // dispatch pops jobs FIFO and starts each one once the gate admits it, so
@@ -620,7 +698,21 @@ func (m *manager) dispatch() {
 		if j == nil {
 			return
 		}
-		if err := m.gate.AcquireWithin(m.base, m.jobTimeout); err != nil {
+		// The dispatcher is the queue's only consumer, so ending the
+		// queue.wait span here is race-free; its duration feeds the
+		// queue-vs-run latency attribution histogram.
+		if j.queueSpan != nil {
+			j.queueSpan.End()
+			m.metrics.observeQueueWait(j.queueSpan.Duration())
+		}
+		gspan := j.trace.StartChild("gate.wait")
+		err := m.gate.AcquireWithin(m.base, m.jobTimeout)
+		gspan.RecordError(err)
+		gspan.End()
+		if gspan != nil {
+			m.metrics.observeGateWait(gspan.Duration())
+		}
+		if err != nil {
 			if errors.Is(err, exp.ErrAcquireTimeout) {
 				m.timeOutQueued(j)
 				continue
@@ -644,6 +736,7 @@ func (m *manager) timeOutQueued(j *job) {
 		j.finishLocked(jobFailed, nil, nil, "", fmt.Sprintf("job timed out after %v waiting for a job slot", m.jobTimeout))
 		j.mu.Unlock()
 		m.metrics.inc(&m.metrics.jobsFailed, &m.metrics.jobsTimedOut)
+		m.logger.Warn("job timed out waiting for a job slot", "job_id", j.id, "timeout", m.jobTimeout.String())
 	} else {
 		j.mu.Unlock()
 	}
@@ -672,8 +765,24 @@ func (m *manager) run(j *job) {
 		return
 	}
 	m.metrics.inc(&m.metrics.jobsStarted)
+	m.logger.Info("job started", "job_id", j.id, "kind", j.kind, "trace_id", j.trace.TraceID())
 
-	tables, err := m.execute(ctx, j)
+	// The run span covers the simulation itself — everything between the
+	// gate admitting the job and its terminal transition. Threading it
+	// through the context is what roots the experiment/shard/dispatch
+	// spans the campaign and dist layers open below.
+	rspan := j.trace.StartChild("run")
+	runStart := time.Now()
+	tables, err := m.execute(obs.ContextWithSpan(ctx, rspan), j)
+	rspan.RecordError(err)
+	rspan.End()
+
+	if err != nil {
+		m.logger.Warn("job failed", "job_id", j.id, "trace_id", j.trace.TraceID(), "error", err)
+	} else {
+		m.logger.Info("job done", "job_id", j.id, "trace_id", j.trace.TraceID(),
+			"duration", time.Since(runStart).Round(time.Millisecond).String())
+	}
 
 	switch {
 	case err != nil && errors.Is(ctx.Err(), context.DeadlineExceeded):
@@ -710,6 +819,7 @@ func (m *manager) execute(ctx context.Context, j *job) (tables []results.Table, 
 		}
 	}()
 	if err := m.faults.Fire(ctx, "job.run"); err != nil {
+		m.logger.Warn("job execution fault injected", "fault_point", "job.run", "job_id", j.id, "error", err)
 		return nil, err
 	}
 
@@ -739,8 +849,10 @@ func (m *manager) execute(ctx context.Context, j *job) (tables []results.Table, 
 		}
 		if m.coord != nil {
 			// Coordinator mode: the campaign is sharded across the worker
-			// pool. Epoch samples happen on the workers and are not
-			// streamed back; experiment start/done events still fire.
+			// pool. Epoch samples stream back live over each shard's NDJSON
+			// response and arrive here through prog.Epoch (deduplicated
+			// across retries and hedges by the coordinator), so distributed
+			// jobs publish the same SSE epoch events local ones do.
 			return m.coord.RunCampaign(ctx, j.spec, prog)
 		}
 		return campaign.BuildTables(ctx, j.spec, m.workers, prog)

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -86,6 +87,12 @@ type counters struct {
 	// buckets — the histogram is exactly the server-side half of the
 	// latency join with the load harness's client-side numbers).
 	jobDuration *histo.Histogram
+	// queueWait/gateWait/shardRTT decompose where a job's latency goes:
+	// time parked in the admission queue, time blocked on the concurrency
+	// gate, and per-shard dispatch round trips (coordinator side). All
+	// three are fed from the span tree's timings, so the trace endpoint
+	// and the histograms can never tell different stories.
+	queueWait, gateWait, shardRTT *histo.Histogram
 
 	// sseDropped counts events dropped from slow subscribers' buffers
 	// (drop-oldest policy; the ids in the stream reveal each gap).
@@ -102,7 +109,35 @@ func jobDurationBuckets() *histo.Histogram { return histo.Exponential(0.001, 2, 
 
 // newCounters returns zeroed counters anchored at now.
 func newCounters() *counters {
-	return &counters{start: time.Now(), jobDuration: jobDurationBuckets()}
+	return &counters{
+		start:       time.Now(),
+		jobDuration: jobDurationBuckets(),
+		queueWait:   jobDurationBuckets(),
+		gateWait:    jobDurationBuckets(),
+		shardRTT:    jobDurationBuckets(),
+	}
+}
+
+// observeQueueWait records one job's admission-queue residency.
+func (c *counters) observeQueueWait(d time.Duration) {
+	c.mu.Lock()
+	c.queueWait.Observe(d.Seconds())
+	c.mu.Unlock()
+}
+
+// observeGateWait records one job's concurrency-gate wait.
+func (c *counters) observeGateWait(d time.Duration) {
+	c.mu.Lock()
+	c.gateWait.Observe(d.Seconds())
+	c.mu.Unlock()
+}
+
+// observeShardRTT records one shard dispatch round trip (success only —
+// failures are already counted by the retry/breaker counters).
+func (c *counters) observeShardRTT(d time.Duration) {
+	c.mu.Lock()
+	c.shardRTT.Observe(d.Seconds())
+	c.mu.Unlock()
 }
 
 // inc bumps one or more counters in a single lock acquisition, so
@@ -161,10 +196,16 @@ type metricsView struct {
 	shardsCheckpointed, shardsResumed, shardHedges, breakerOpens   int64
 	shardsDispatched, shedByTenant                                 map[string]int64
 	jobDuration                                                    *histo.Histogram
+	queueWait, gateWait, shardRTT                                  *histo.Histogram
 	sseDropped, epochs                                             int64
 	epochsPerSec                                                   float64
 	queued, running, subscribers                                   int
 	faults                                                         map[string]int64
+	// Go runtime health, sampled at scrape time (both expositions):
+	// live goroutines, heap in use, and cumulative GC pause time.
+	goroutines   int
+	heapAlloc    uint64
+	gcPauseTotal float64
 }
 
 // view snapshots the counters in one lock acquisition. The gauges are
@@ -198,6 +239,9 @@ func (c *counters) view(queued, running, subscribers int, faults map[string]int6
 		shardHedges:        c.shardHedges,
 		breakerOpens:       c.breakerOpens,
 		jobDuration:        c.jobDuration.Clone(),
+		queueWait:          c.queueWait.Clone(),
+		gateWait:           c.gateWait.Clone(),
+		shardRTT:           c.shardRTT.Clone(),
 	}
 	if len(c.shardsDispatched) > 0 {
 		v.shardsDispatched = make(map[string]int64, len(c.shardsDispatched))
@@ -219,6 +263,11 @@ func (c *counters) view(queued, running, subscribers int, faults map[string]int6
 	}
 	v.queued, v.running, v.subscribers = queued, running, subscribers
 	v.faults = faults
+	v.goroutines = runtime.NumGoroutine()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	v.heapAlloc = ms.HeapAlloc
+	v.gcPauseTotal = float64(ms.PauseTotalNs) / 1e9
 	return v
 }
 
@@ -256,6 +305,16 @@ func (v metricsView) json() map[string]any {
 		"shards_resumed":            v.shardsResumed,
 		"shard_hedges":              v.shardHedges,
 		"worker_breaker_opens":      v.breakerOpens,
+		// Latency-attribution sample counts (the full bucket layouts stay
+		// Prometheus-only, like job_duration_seconds) and Go runtime
+		// health — another deliberate, frozen-set-test-updating growth of
+		// the JSON key set.
+		"queue_wait_seconds_count":  int64(v.queueWait.Count()),
+		"gate_wait_seconds_count":   int64(v.gateWait.Count()),
+		"shard_rtt_seconds_count":   int64(v.shardRTT.Count()),
+		"go_goroutines":             v.goroutines,
+		"go_heap_alloc_bytes":       v.heapAlloc,
+		"go_gc_pause_seconds_total": v.gcPauseTotal,
 	}
 	if v.faults != nil {
 		var total int64

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/histo"
 )
 
 // This file renders a metricsView in the Prometheus text exposition
@@ -97,17 +99,20 @@ func (v metricsView) writePrometheus(w io.Writer) error {
 	counter("shard_hedges_total", "Speculative straggler redispatches (first byte-complete result wins).", v.shardHedges)
 	counter("worker_breaker_opens_total", "Per-worker circuit-breaker closed-to-open transitions.", v.breakerOpens)
 
-	// Job latency histogram: submission-to-terminal wall time, every job
-	// (cache-served ones land in the lowest buckets).
-	h := v.jobDuration
-	fmt.Fprintf(&b, "# HELP %s_job_duration_seconds Job submission-to-terminal wall time.\n", promNamespace)
-	fmt.Fprintf(&b, "# TYPE %s_job_duration_seconds histogram\n", promNamespace)
-	for _, bk := range h.Cumulative() {
-		fmt.Fprintf(&b, "%s_job_duration_seconds_bucket{le=\"%s\"} %d\n", promNamespace, promFloat(bk.Le), bk.Count)
-	}
-	fmt.Fprintf(&b, "%s_job_duration_seconds_bucket{le=\"+Inf\"} %d\n", promNamespace, h.Count())
-	fmt.Fprintf(&b, "%s_job_duration_seconds_sum %s\n", promNamespace, promFloat(h.Sum()))
-	fmt.Fprintf(&b, "%s_job_duration_seconds_count %d\n", promNamespace, h.Count())
+	// Latency histograms: the end-to-end job duration plus its span-fed
+	// decomposition (queue residency, gate wait, per-shard round trips).
+	// All share the job-duration bucket layout so attribution percentiles
+	// line up across families.
+	renderHistogram(&b, "job_duration_seconds", "Job submission-to-terminal wall time.", v.jobDuration)
+	renderHistogram(&b, "queue_wait_seconds", "Job residency in the admission queue before dispatch.", v.queueWait)
+	renderHistogram(&b, "gate_wait_seconds", "Job wait on the execution concurrency gate.", v.gateWait)
+	renderHistogram(&b, "shard_rtt_seconds", "Coordinator-side shard dispatch round-trip time (successful attempts).", v.shardRTT)
+
+	// Go runtime health, sampled at scrape time.
+	gauge("go_goroutines", "Live goroutines at scrape time.", float64(v.goroutines))
+	gauge("go_heap_alloc_bytes", "Heap bytes in use at scrape time.", float64(v.heapAlloc))
+	fmt.Fprintf(&b, "# HELP %s_go_gc_pause_seconds_total Cumulative GC stop-the-world pause time.\n# TYPE %s_go_gc_pause_seconds_total counter\n%s_go_gc_pause_seconds_total %s\n",
+		promNamespace, promNamespace, promNamespace, promFloat(v.gcPauseTotal))
 
 	// Fault-injection tallies appear only when the registry is armed,
 	// exactly like the JSON rendering.
@@ -126,6 +131,19 @@ func (v metricsView) writePrometheus(w io.Writer) error {
 
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// renderHistogram writes one histogram family in exposition order:
+// cumulative buckets, the +Inf catch-all, then _sum and _count.
+func renderHistogram(b *strings.Builder, name, help string, h *histo.Histogram) {
+	fmt.Fprintf(b, "# HELP %s_%s %s\n", promNamespace, name, help)
+	fmt.Fprintf(b, "# TYPE %s_%s histogram\n", promNamespace, name)
+	for _, bk := range h.Cumulative() {
+		fmt.Fprintf(b, "%s_%s_bucket{le=\"%s\"} %d\n", promNamespace, name, promFloat(bk.Le), bk.Count)
+	}
+	fmt.Fprintf(b, "%s_%s_bucket{le=\"+Inf\"} %d\n", promNamespace, name, h.Count())
+	fmt.Fprintf(b, "%s_%s_sum %s\n", promNamespace, name, promFloat(h.Sum()))
+	fmt.Fprintf(b, "%s_%s_count %d\n", promNamespace, name, h.Count())
 }
 
 // promFloat formats a sample value or le bound the way Prometheus does:

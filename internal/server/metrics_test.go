@@ -353,19 +353,23 @@ func TestPrometheusLintCatchesBadDocuments(t *testing.T) {
 // Prometheus format is additive, the expvar-style object other tooling
 // scrapes must not gain or lose keys. The durability counters
 // (journal_*, shards_checkpointed/resumed, shard_hedges,
-// worker_breaker_opens) were added here deliberately, with this list
-// updated in the same change — growth is allowed only when it is this
-// visible.
+// worker_breaker_opens) and then the observability keys (the three
+// latency-attribution sample counts and the go_* runtime stats) were
+// added here deliberately, with this list updated in the same change —
+// growth is allowed only when it is this visible.
 func TestMetricsJSONKeysUnchanged(t *testing.T) {
 	_, ts := newTestServer(t, Options{Workers: 1})
 	m := metricsSnapshot(t, ts.URL)
 	want := []string{
 		"cache_corrupt_quarantined", "cache_disk_hits", "cache_hits", "cache_misses",
 		"epochs_observed", "epochs_per_sec",
+		"gate_wait_seconds_count",
+		"go_gc_pause_seconds_total", "go_goroutines", "go_heap_alloc_bytes",
 		"jobs_cancelled", "jobs_done", "jobs_failed", "jobs_queued", "jobs_rejected",
 		"jobs_running", "jobs_started", "jobs_submitted", "jobs_timed_out",
 		"journal_appends", "journal_replayed",
-		"panics_recovered", "requests_shed", "shard_hedges",
+		"panics_recovered", "queue_wait_seconds_count", "requests_shed", "shard_hedges",
+		"shard_rtt_seconds_count",
 		"shards_checkpointed", "shards_resumed", "single_flight_dedup",
 		"sse_events_dropped", "uptime_seconds", "worker_breaker_opens",
 	}

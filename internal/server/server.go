@@ -38,7 +38,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -49,6 +51,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/dist"
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 	"repro/internal/results"
 	"repro/pkg/htsim"
 )
@@ -131,6 +134,23 @@ type Options struct {
 	// header); beyond it submissions shed with 429, counted per tenant.
 	// 0 means no per-tenant cap; anonymous submissions are never capped.
 	TenantQuota int
+
+	// Logger receives the service's structured event stream (job
+	// lifecycle, fault firings, cache quarantines, dispatch chaos) with
+	// trace_id/job_id/shard/tenant/worker attrs. Nil discards — embedders
+	// and tests stay quiet by default; cmd/htserved wires os.Stderr
+	// through the --log-format/--log-level flags.
+	Logger *slog.Logger
+	// DisableTracing turns the per-job span trees off. The zero value
+	// traces: spans are job-lifecycle-granular (never per-epoch) and the
+	// disabled path is the only thing cheaper. With tracing off
+	// GET /v1/jobs/{id}/trace answers 404 and the latency-attribution
+	// histograms stay at zero.
+	DisableTracing bool
+	// EnablePprof mounts the net/http/pprof handlers under /debug/pprof
+	// on the service mux (off by default: profiling endpoints are a
+	// deliberate operator opt-in, not ambient surface).
+	EnablePprof bool
 }
 
 // withDefaults fills unset options.
@@ -153,6 +173,9 @@ func (o Options) withDefaults() Options {
 	if o.Coordinator && o.CheckpointDir == "" && o.JournalDir != "" {
 		o.CheckpointDir = filepath.Join(o.JournalDir, "shard-checkpoints")
 	}
+	if o.Logger == nil {
+		o.Logger = obs.Discard()
+	}
 	return o
 }
 
@@ -163,6 +186,7 @@ type Server struct {
 	cache   *cache
 	metrics *counters
 	faults  *faultinject.Set
+	logger  *slog.Logger
 	jobs    *manager
 	// coord is non-nil in coordinator mode; campaign jobs then execute
 	// through it instead of the local campaign builder.
@@ -184,11 +208,16 @@ func New(opts Options) (*Server, error) {
 		}
 	}
 	metrics := newCounters()
+	logger := opts.Logger
 	s := &Server{
-		opts:    opts,
-		cache:   newCache(opts.CacheEntries, opts.CacheDir, opts.Faults, func() { metrics.inc(&metrics.cacheCorrupt) }),
+		opts: opts,
+		cache: newCache(opts.CacheEntries, opts.CacheDir, opts.Faults, func() {
+			metrics.inc(&metrics.cacheCorrupt)
+			logger.Warn("corrupt disk-cache entry quarantined")
+		}),
 		metrics: metrics,
 		faults:  opts.Faults,
+		logger:  logger,
 	}
 	if opts.Coordinator {
 		coord, err := dist.New(dist.Options{
@@ -199,6 +228,7 @@ func New(opts Options) (*Server, error) {
 			CheckpointDir: opts.CheckpointDir,
 			HedgeDelay:    opts.HedgeDelay,
 			Faults:        opts.Faults,
+			Logger:        logger,
 			Observe: dist.Observe{
 				Dispatched:    metrics.shardDispatched,
 				Retried:       func() { metrics.inc(&metrics.shardRetries) },
@@ -207,6 +237,7 @@ func New(opts Options) (*Server, error) {
 				Resumed:       func() { metrics.inc(&metrics.shardsResumed) },
 				Hedged:        func() { metrics.inc(&metrics.shardHedges) },
 				BreakerOpened: func() { metrics.inc(&metrics.breakerOpens) },
+				ShardRTT:      metrics.observeShardRTT,
 			},
 		})
 		if err != nil {
@@ -253,6 +284,7 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleDeleteJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/artifacts/{file}", s.handleArtifact)
 	s.mux.HandleFunc("GET /v1/plugins", s.handlePlugins)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
@@ -263,7 +295,39 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/workers", s.handleRegisterWorker)
 	s.mux.HandleFunc("GET /v1/workers", s.handleListWorkers)
 	s.mux.HandleFunc("DELETE /v1/workers/{id}", s.handleDeregisterWorker)
+	if opts.EnablePprof {
+		// Explicit mounts on the service mux — never the blank-import
+		// DefaultServeMux registration, which would expose profiling on
+		// any handler sharing the process.
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s, nil
+}
+
+// handleJobTrace serves a job's span tree as JSON — in progress or
+// finished (unfinished spans render with in_progress and their duration
+// so far). 404 with tracing disabled: absence of a trace is the
+// documented signal, not an empty tree.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	j := s.jobs.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, errors.New("unknown job"))
+		return
+	}
+	root := j.traceRoot()
+	if root == nil {
+		writeError(w, http.StatusNotFound, errors.New("tracing disabled"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"trace_id": root.TraceID(),
+		"job_id":   j.id,
+		"root":     root.Tree(),
+	})
 }
 
 // replayJournal resubmits the journal's pending accepts in their

@@ -1,0 +1,353 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+)
+
+// getTrace fetches a job's span tree from GET /v1/jobs/{id}/trace.
+func getTrace(t *testing.T, base, id string) (string, *obs.Node) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET trace = %d", resp.StatusCode)
+	}
+	var body struct {
+		TraceID string    `json:"trace_id"`
+		JobID   string    `json:"job_id"`
+		Root    *obs.Node `json:"root"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.JobID != id {
+		t.Fatalf("trace job_id = %q, want %q", body.JobID, id)
+	}
+	return body.TraceID, body.Root
+}
+
+// countNodes returns how many nodes in the tree carry the given name.
+func countNodes(n *obs.Node, name string) int {
+	c := 0
+	n.Walk(func(m *obs.Node) {
+		if m.Name == name {
+			c++
+		}
+	})
+	return c
+}
+
+// sseFrame is one parsed Server-Sent Event.
+type sseFrame struct {
+	id    int
+	event string
+	data  string
+}
+
+// readSSEFrames replays a finished job's whole event stream and parses
+// every frame (id, event name, data payload).
+func readSSEFrames(t *testing.T, base, id string, after int) []sseFrame {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, fmt.Sprintf("%s/v1/jobs/%s/events", base, id), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= 0 {
+		req.Header.Set("Last-Event-ID", strconv.Itoa(after))
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var frames []sseFrame
+	for _, raw := range strings.Split(readAll(t, resp.Body), "\n\n") {
+		var f sseFrame
+		ok := false
+		for _, line := range strings.Split(raw, "\n") {
+			if v, found := strings.CutPrefix(line, "id: "); found {
+				f.id, _ = strconv.Atoi(v)
+				ok = true
+			} else if v, found := strings.CutPrefix(line, "event: "); found {
+				f.event = v
+			} else if v, found := strings.CutPrefix(line, "data: "); found {
+				f.data = v
+			}
+		}
+		if ok {
+			frames = append(frames, f)
+		}
+	}
+	return frames
+}
+
+// countEpochFrames counts the stream's epoch events, checking each
+// decodes as a well-formed sample.
+func countEpochFrames(t *testing.T, frames []sseFrame) int {
+	t.Helper()
+	n := 0
+	for _, f := range frames {
+		if f.event != "epoch" {
+			continue
+		}
+		var ev epochEvent
+		if err := json.Unmarshal([]byte(f.data), &ev); err != nil {
+			t.Fatalf("epoch frame %q: %v", f.data, err)
+		}
+		if ev.Experiment == "" {
+			t.Fatalf("epoch frame %q has no experiment tag", f.data)
+		}
+		n++
+	}
+	return n
+}
+
+// requireMonotonicIDs fails unless frame ids strictly increase.
+func requireMonotonicIDs(t *testing.T, frames []sseFrame) {
+	t.Helper()
+	for i := 1; i < len(frames); i++ {
+		if frames[i].id <= frames[i-1].id {
+			t.Fatalf("SSE ids not strictly monotonic: %d then %d", frames[i-1].id, frames[i].id)
+		}
+	}
+}
+
+// TestTraceEndpointCampaignTree runs a local campaign and checks the
+// span tree covers the whole serving path: admission (journal.append,
+// cache.lookup, queue.wait), scheduling (gate.wait), and execution
+// (run, one experiment span per experiment) — all sealed once the job
+// is done.
+func TestTraceEndpointCampaignTree(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	st := postJSON(t, ts.URL+"/v1/campaigns", testSpec, http.StatusAccepted)
+	if done := waitState(t, ts.URL, st.ID); done.State != jobDone {
+		t.Fatalf("job finished %s (%s), want done", done.State, done.Error)
+	}
+
+	traceID, root := getTrace(t, ts.URL, st.ID)
+	if len(traceID) != 32 {
+		t.Fatalf("trace_id = %q, want 32 hex chars", traceID)
+	}
+	if root.Name != "job" {
+		t.Fatalf("root span = %q, want job", root.Name)
+	}
+	if root.Attrs["job_id"] != st.ID || root.Attrs["state"] != "done" {
+		t.Fatalf("root attrs = %v, want job_id=%s state=done", root.Attrs, st.ID)
+	}
+	for _, name := range []string{"journal.append", "cache.lookup", "queue.wait", "gate.wait", "run", "experiment"} {
+		if root.Find(name) == nil {
+			t.Errorf("span %q missing from tree", name)
+		}
+	}
+	if got := countNodes(root, "experiment"); got != 2 {
+		t.Errorf("experiment spans = %d, want 2 (E1, E3)", got)
+	}
+	if tier := root.Find("cache.lookup").Attrs["tier"]; tier != "miss" {
+		t.Errorf("cache.lookup tier = %q, want miss", tier)
+	}
+	root.Walk(func(n *obs.Node) {
+		if n.InProgress {
+			t.Errorf("span %q still in_progress after terminal state", n.Name)
+		}
+	})
+}
+
+// TestTraceDisabled404 checks the opt-out: with DisableTracing the
+// trace endpoint answers 404 and the wait histograms stay at zero.
+func TestTraceDisabled404(t *testing.T) {
+	svc, ts := newTestServer(t, Options{Workers: 1, DisableTracing: true})
+	st := postJSON(t, ts.URL+"/v1/campaigns", testSpec, http.StatusAccepted)
+	if done := waitState(t, ts.URL, st.ID); done.State != jobDone {
+		t.Fatalf("job finished %s (%s), want done", done.State, done.Error)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("trace with tracing disabled = %d, want 404", resp.StatusCode)
+	}
+	svc.metrics.mu.Lock()
+	qw, gw := svc.metrics.queueWait.Count(), svc.metrics.gateWait.Count()
+	svc.metrics.mu.Unlock()
+	if qw != 0 || gw != 0 {
+		t.Fatalf("wait histograms observed %d/%d samples with tracing disabled, want 0", qw, gw)
+	}
+}
+
+// distEpochSpec mixes a simulating experiment (X1 runs real cycle sims,
+// so its shard streams per-epoch samples) with an analytic trial space
+// (E3), covering both shard shapes. Small sizes keep it fast.
+const distEpochSpec = `{"name":"dist-epochs","seed":7,"experiments":[{"id":"X1","params":{"size":64,"threads":8,"epochs":5,"hts":8}},{"id":"E3","params":{"trials":3}}]}`
+
+// localEpochCount runs the spec on a plain single-process server and
+// returns the number of epoch events its SSE stream published — the
+// deterministic ground truth distributed runs must reproduce exactly
+// (more means duplicated samples, fewer means lost ones).
+func localEpochCount(t *testing.T, spec string) int {
+	t.Helper()
+	_, ts := newTestServer(t, Options{Workers: 1})
+	st := postJSON(t, ts.URL+"/v1/campaigns", spec, http.StatusAccepted)
+	if done := waitState(t, ts.URL, st.ID); done.State != jobDone {
+		t.Fatalf("local reference job finished %s (%s), want done", done.State, done.Error)
+	}
+	return countEpochFrames(t, readSSEFrames(t, ts.URL, st.ID, -1))
+}
+
+// TestDistributedTraceAndLiveEpochs is the distributed observability
+// gate: a coordinator job's SSE stream carries the per-epoch events
+// that happened on remote workers — exactly as many as a local run
+// publishes, ids monotonic, none re-delivered on resume — and the
+// trace tree stitches the worker-side spans under the coordinator's
+// dispatch spans in the same trace.
+func TestDistributedTraceAndLiveEpochs(t *testing.T) {
+	want := localEpochCount(t, distEpochSpec)
+	if want == 0 {
+		t.Fatal("reference spec streams no epochs — it cannot gate distributed progress")
+	}
+
+	pool := newWorkerPool(t, 2, nil)
+	_, coord := newTestServer(t, Options{Workers: 1, WorkerURLs: pool, MaxShards: 4})
+	st := postJSON(t, coord.URL+"/v1/campaigns", distEpochSpec, http.StatusAccepted)
+	done := waitState(t, coord.URL, st.ID)
+	if done.State != jobDone {
+		t.Fatalf("distributed job finished %s (%s), want done", done.State, done.Error)
+	}
+	if done.Epochs != int64(want) {
+		t.Fatalf("distributed job streamed %d epochs, local run streamed %d", done.Epochs, want)
+	}
+
+	frames := readSSEFrames(t, coord.URL, st.ID, -1)
+	requireMonotonicIDs(t, frames)
+	if got := countEpochFrames(t, frames); got != want {
+		t.Fatalf("SSE carried %d epoch events, want %d", got, want)
+	}
+
+	// Resuming mid-stream must deliver exactly the remainder — no worker
+	// epoch event is ever re-published under a new id.
+	cut := frames[len(frames)/2].id
+	resumed := readSSEFrames(t, coord.URL, st.ID, cut)
+	if len(resumed) == 0 || resumed[0].id != cut+1 {
+		t.Fatalf("resume after id %d started at %v", cut, resumed)
+	}
+	var before int
+	for _, f := range frames {
+		if f.id <= cut {
+			before++
+		}
+	}
+	if got, want := before+len(resumed), len(frames); got != want {
+		t.Fatalf("severed (%d) + resumed (%d) = %d frames, want %d", before, len(resumed), got, want)
+	}
+
+	traceID, root := getTrace(t, coord.URL, st.ID)
+	if n := countNodes(root, "worker.execute"); n == 0 {
+		t.Fatal("no worker.execute span stitched into the coordinator trace")
+	}
+	if root.Find("shard.dispatch") == nil || root.Find("shard.run") == nil {
+		t.Fatal("dispatch/worker execution spans missing from stitched tree")
+	}
+	// The worker subtree joined the coordinator's trace by id: its root
+	// names the dispatch span that carried the traceparent as parent.
+	found := false
+	root.Walk(func(n *obs.Node) {
+		if n.Name != "shard.dispatch" {
+			return
+		}
+		for _, c := range n.Children {
+			if c.Name == "worker.execute" && c.ParentID == n.SpanID {
+				found = true
+			}
+		}
+	})
+	if !found {
+		t.Fatalf("no worker.execute child linked to its shard.dispatch parent (trace %s)", traceID)
+	}
+}
+
+// TestChaosTraceShowsRedispatch arms shard.run:error on one worker of
+// two and requires the finished job's trace to show the failure the
+// way an operator would debug it: a shard span holding both the failed
+// dispatch attempt (error annotation naming the injected fault) and
+// the successful redispatch that followed — with the epoch stream
+// still exactly-once across the retries.
+func TestChaosTraceShowsRedispatch(t *testing.T) {
+	want := localEpochCount(t, distEpochSpec)
+
+	pool := newWorkerPool(t, 2, func(i int) *faultinject.Set {
+		if i == 0 {
+			return mustFaults(t, "shard.run:error")
+		}
+		return nil
+	})
+	_, coord := newTestServer(t, Options{Workers: 1, WorkerURLs: pool, MaxShards: 4})
+	st := postJSON(t, coord.URL+"/v1/campaigns", distEpochSpec, http.StatusAccepted)
+	if done := waitState(t, coord.URL, st.ID); done.State != jobDone {
+		t.Fatalf("job finished %s (%s), want done", done.State, done.Error)
+	}
+
+	_, root := getTrace(t, coord.URL, st.ID)
+	failed, redispatched := false, false
+	root.Walk(func(n *obs.Node) {
+		if n.Name != "shard" {
+			return
+		}
+		var errored, clean bool
+		for _, c := range n.Children {
+			if c.Name != "shard.dispatch" {
+				continue
+			}
+			if e := c.Attrs["error"]; e != "" {
+				if !strings.Contains(e, "injected") && !strings.Contains(e, "fault") {
+					t.Errorf("failed dispatch error %q does not name the injected fault", e)
+				}
+				errored = true
+			} else {
+				clean = true
+			}
+		}
+		failed = failed || errored
+		redispatched = redispatched || (errored && clean)
+	})
+	if !failed {
+		t.Fatal("no failed dispatch attempt recorded in the trace")
+	}
+	if !redispatched {
+		t.Fatal("no shard span shows failed attempt followed by successful redispatch")
+	}
+
+	if got := countEpochFrames(t, readSSEFrames(t, coord.URL, st.ID, -1)); got != want {
+		t.Fatalf("redispatch run streamed %d epoch events, want %d (exactly-once violated)", got, want)
+	}
+}
+
+// TestHedgedEpochsNotDuplicated forces aggressive hedging (two workers
+// racing every shard) and requires the epoch stream to stay
+// exactly-once: the coordinator's per-shard sequence dedup must drop
+// the loser's replayed samples.
+func TestHedgedEpochsNotDuplicated(t *testing.T) {
+	want := localEpochCount(t, distEpochSpec)
+
+	pool := newWorkerPool(t, 2, nil)
+	_, coord := newTestServer(t, Options{Workers: 1, WorkerURLs: pool, MaxShards: 2, HedgeDelay: 1})
+	st := postJSON(t, coord.URL+"/v1/campaigns", distEpochSpec, http.StatusAccepted)
+	done := waitState(t, coord.URL, st.ID)
+	if done.State != jobDone {
+		t.Fatalf("job finished %s (%s), want done", done.State, done.Error)
+	}
+	if got := countEpochFrames(t, readSSEFrames(t, coord.URL, st.ID, -1)); got != want {
+		t.Fatalf("hedged run streamed %d epoch events, want %d (dedup failed)", got, want)
+	}
+}

@@ -10,9 +10,13 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/campaign"
+	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/obs"
 	"repro/internal/results"
 )
 
@@ -32,6 +36,14 @@ import (
 // Build-fingerprint mismatches are rejected with 409: merging bytes
 // from heterogeneous builds would silently break the byte-identity
 // contract.
+//
+// A request with Stream set is answered as NDJSON: per-epoch frames
+// flushed live while the shard runs, then one terminal frame carrying
+// the result (plus this worker's span subtree, rooted under the
+// coordinator's Traceparent) or the error. Requests without Stream get
+// the legacy single-document reply. Pre-execution rejections (bad
+// request, build mismatch, gate refusal, shard.run fault) answer plain
+// HTTP errors in both modes — streaming begins only once execution does.
 func (s *Server) handleRunShard(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
@@ -56,6 +68,7 @@ func (s *Server) handleRunShard(w http.ResponseWriter, r *http.Request) {
 	// error answers 500, which the coordinator treats as a failed attempt
 	// and redispatches elsewhere.
 	if err := s.jobs.faults.Fire(r.Context(), "shard.run"); err != nil {
+		s.logger.Warn("shard execution fault injected", "fault_point", "shard.run", "shard", req.Shard.String(), "error", err)
 		writeError(w, http.StatusInternalServerError, fmt.Errorf("shard execution failed: %w", err))
 		return
 	}
@@ -67,13 +80,71 @@ func (s *Server) handleRunShard(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.jobs.gate.Release()
-	res, err := campaign.RunShard(r.Context(), req.Shard, s.opts.Workers)
+	if !req.Stream {
+		res, err := campaign.RunShard(r.Context(), req.Shard, s.opts.Workers)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		s.metrics.inc(&s.metrics.shardsExecuted)
+		writeJSON(w, http.StatusOK, res)
+		return
+	}
+	s.streamShard(w, r, req)
+}
+
+// streamShard runs one shard under the worker-side trace root and
+// answers the NDJSON stream. Epoch frames are written (and flushed)
+// from the simulation goroutines as samples arrive; the write mutex
+// keeps frames whole. Failures after the stream opens travel as the
+// terminal error frame — the HTTP status is already committed.
+func (s *Server) streamShard(w http.ResponseWriter, r *http.Request, req dist.ShardRequest) {
+	ctx, root := obs.JoinTrace(r.Context(), req.Traceparent, "worker.execute")
+	root.SetAttr("shard", req.Shard.String())
+	if !s.opts.DisableTracing {
+		defer root.End()
+	} else {
+		// Tracing off: run unobserved but keep the stream contract (the
+		// coordinator still wants live epochs and the terminal frame).
+		ctx, root = r.Context(), nil
+	}
+
+	w.Header().Set("Content-Type", dist.NDJSONContentType)
+	w.WriteHeader(http.StatusOK)
+	var (
+		wmu sync.Mutex
+		enc = json.NewEncoder(w)
+		fl  http.Flusher
+	)
+	fl, _ = w.(http.Flusher)
+	writeFrame := func(f dist.StreamFrame) {
+		wmu.Lock()
+		defer wmu.Unlock()
+		if enc.Encode(f) == nil && fl != nil {
+			fl.Flush()
+		}
+	}
+
+	var seq int64
+	observer := core.ObserverFunc(func(sample core.EpochSample) {
+		n := atomic.AddInt64(&seq, 1)
+		writeFrame(dist.StreamFrame{Epoch: &dist.EpochFrame{Seq: n, Experiment: req.Shard.Experiment.ID, Sample: sample}})
+	})
+
+	runCtx, span := obs.StartSpan(ctx, "shard.run")
+	res, err := campaign.RunShardObserved(runCtx, req.Shard, s.opts.Workers, observer)
+	span.RecordError(err)
+	span.End()
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		s.logger.Warn("shard execution failed", "shard", req.Shard.String(), "trace_id", root.TraceID(), "error", err)
+		root.RecordError(err)
+		root.End()
+		writeFrame(dist.StreamFrame{Error: err.Error(), Trace: root.Tree()})
 		return
 	}
 	s.metrics.inc(&s.metrics.shardsExecuted)
-	writeJSON(w, http.StatusOK, res)
+	root.End()
+	writeFrame(dist.StreamFrame{Result: res, Trace: root.Tree()})
 }
 
 // handleRegisterWorker joins a worker to the coordinator's pool. Body:
